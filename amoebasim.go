@@ -1,0 +1,164 @@
+// Package amoebasim is a simulation-faithful reproduction of the system
+// studied in "Comparing Kernel-Space and User-Space Communication
+// Protocols on Amoeba" (Oey, Langendoen, Bal; ICDCS 1995): the Amoeba 5.2
+// distributed operating system on a pool of SPARC processor boards
+// connected by 10 Mbit/s Ethernet, the FLIP network layer, Amoeba's
+// in-kernel RPC and totally-ordered group protocols, Panda's user-space
+// protocol suite, and the Orca runtime system with the paper's six
+// parallel applications.
+//
+// Everything runs on a deterministic discrete-event simulator with a cost
+// model calibrated against the paper's own microbenchmarks, so the
+// experiments of Tables 1-3 can be regenerated on any machine:
+//
+//	c, _ := amoebasim.NewCluster(amoebasim.ClusterConfig{
+//		Procs: 2, Mode: amoebasim.UserSpace,
+//	})
+//	defer c.Shutdown()
+//	server := c.Transports[0]
+//	server.HandleRPC(func(t *amoebasim.Thread, ctx *amoebasim.RPCContext, req any, n int) {
+//		server.Reply(t, ctx, req, n)
+//	})
+//	c.Procs[1].NewThread("client", amoebasim.PrioNormal, func(t *amoebasim.Thread) {
+//		reply, _, _ := c.Transports[1].Call(t, 0, "ping", 4)
+//		fmt.Println(reply, "after", c.Sim.Now())
+//	})
+//	c.Run()
+//
+// See the examples/ directory for runnable programs and cmd/amoebasim for
+// the experiment driver.
+package amoebasim
+
+import (
+	"amoebasim/internal/apps"
+	"amoebasim/internal/bench"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/model"
+	"amoebasim/internal/orca"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// Core simulation types.
+type (
+	// Sim is the discrete-event simulator driving a cluster.
+	Sim = sim.Sim
+	// Time is an instant of simulated time.
+	Time = sim.Time
+	// Processor is one simulated SPARC board.
+	Processor = proc.Processor
+	// Thread is a simulated Amoeba kernel thread.
+	Thread = proc.Thread
+	// CostModel is the calibrated machine cost model.
+	CostModel = model.CostModel
+)
+
+// Cluster assembly.
+type (
+	// Cluster is a simulated Amoeba processor pool with a Panda instance
+	// per worker.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures a pool (size, protocol implementation,
+	// loss, dedicated sequencer).
+	ClusterConfig = cluster.Config
+)
+
+// Panda communication platform.
+type (
+	// Mode selects the kernel-space or user-space Panda implementation.
+	Mode = panda.Mode
+	// Transport is the Panda interface (RPC + totally-ordered groups).
+	Transport = panda.Transport
+	// RPCContext identifies an in-progress server-side RPC.
+	RPCContext = panda.RPCContext
+	// RPCHandler is the implicit-receipt request upcall.
+	RPCHandler = panda.RPCHandler
+	// GroupHandler is the ordered group delivery upcall.
+	GroupHandler = panda.GroupHandler
+	// NonblockingSender is implemented by transports supporting the §6
+	// nonblocking broadcast extension.
+	NonblockingSender = panda.NonblockingSender
+)
+
+// Orca runtime system.
+type (
+	// Program is a parallel Orca program (shared objects + runtimes).
+	Program = orca.Program
+	// Runtime is the per-processor Orca RTS.
+	Runtime = orca.Runtime
+	// ObjType is an Orca abstract data type.
+	ObjType = orca.ObjType
+	// OpDef defines one operation of an object type.
+	OpDef = orca.OpDef
+	// Handle names a declared shared object.
+	Handle = orca.Handle
+	// State is an object's encapsulated data.
+	State = orca.State
+	// GuardFunc is an operation guard predicate.
+	GuardFunc = orca.GuardFunc
+)
+
+// Applications and experiments.
+type (
+	// App is one of the paper's six parallel applications.
+	App = apps.App
+	// AppResult is one application run's outcome.
+	AppResult = apps.Result
+	// Table1Row is one row of the paper's Table 1.
+	Table1Row = bench.Table1Row
+	// Table2Result holds Table 2's throughputs.
+	Table2Result = bench.Table2
+	// Table3Entry holds one application's Table 3 results.
+	Table3Entry = bench.Table3Entry
+	// Decomposition is the §4.2/§4.3 per-operation cost accounting.
+	Decomposition = bench.Decomposition
+)
+
+// The two Panda implementations compared by the paper.
+const (
+	KernelSpace = panda.KernelSpace
+	UserSpace   = panda.UserSpace
+)
+
+// Thread priorities.
+const (
+	PrioNormal = proc.PrioNormal
+	PrioDaemon = proc.PrioDaemon
+)
+
+// NewCluster builds a simulated pool: Ethernet segments, one Amoeba
+// kernel per processor, and a Panda transport per worker.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewProgram creates an Orca program over a cluster's transports.
+func NewProgram(c *Cluster) *Program {
+	return orca.NewProgram(c.Transports, c.Procs[:len(c.Transports)])
+}
+
+// CalibratedModel returns the cost model calibrated against the paper's
+// Tables 1 and 2.
+func CalibratedModel() *CostModel { return model.Calibrated() }
+
+// Apps returns the six applications at paper (Table 3) scale.
+func Apps() []App { return apps.All() }
+
+// AppByName returns an application by its short name (tsp, asp, ab, rl,
+// sor, leq), or nil.
+func AppByName(name string) App { return apps.ByName(name) }
+
+// RunApp executes one application on a fresh cluster and reports its
+// simulated execution time and answer.
+func RunApp(app App, cfg ClusterConfig) (AppResult, error) { return apps.RunApp(app, cfg) }
+
+// Table1 regenerates the paper's Table 1 (nil sizes = the paper's 0-4 KB).
+func Table1(sizes []int) []Table1Row { return bench.Table1(sizes) }
+
+// Table2 regenerates the paper's Table 2.
+func Table2() Table2Result { return bench.RunTable2() }
+
+// Table3 regenerates the paper's Table 3 ("paper" or "quick" scale; nil
+// procs = the paper's 1/8/16/32).
+func Table3(scale string, procs []int, seed uint64) ([]*Table3Entry, error) {
+	return bench.RunTable3(bench.Table3Apps(scale), procs, seed)
+}

@@ -1,0 +1,130 @@
+package amoebasim_test
+
+import (
+	"testing"
+
+	"amoebasim"
+)
+
+// TestFacadeSmokeTransports drives the transport-level public API: RPC
+// and totally-ordered group communication.
+func TestFacadeSmokeTransports(t *testing.T) {
+	c, err := amoebasim.NewCluster(amoebasim.ClusterConfig{
+		Procs: 3, Mode: amoebasim.UserSpace, Group: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	server := c.Transports[0]
+	server.HandleRPC(func(th *amoebasim.Thread, ctx *amoebasim.RPCContext, req any, n int) {
+		server.Reply(th, ctx, req, n)
+	})
+	delivered := 0
+	for _, tr := range c.Transports {
+		tr.HandleGroup(func(th *amoebasim.Thread, sender int, seqno uint64, payload any, n int) {
+			delivered++
+		})
+	}
+
+	var echo any
+	c.Procs[1].NewThread("driver", amoebasim.PrioNormal, func(th *amoebasim.Thread) {
+		var err error
+		echo, _, err = c.Transports[1].Call(th, 0, "hi", 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Transports[1].GroupSend(th, "bcast", 32); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if echo != "hi" {
+		t.Fatalf("echo = %v", echo)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", delivered)
+	}
+	if c.Sim.Now() == 0 {
+		t.Fatal("simulated clock did not advance")
+	}
+}
+
+// TestFacadeSmokeOrca drives the Orca-program public API. An Orca Program
+// owns its cluster's transport handlers, so it gets a fresh cluster.
+func TestFacadeSmokeOrca(t *testing.T) {
+	c, err := amoebasim.NewCluster(amoebasim.ClusterConfig{
+		Procs: 3, Mode: amoebasim.UserSpace, Group: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	pg := amoebasim.NewProgram(c)
+	typ := &amoebasim.ObjType{Name: "reg", Ops: map[string]*amoebasim.OpDef{
+		"set": {
+			Name: "set",
+			Apply: func(th *amoebasim.Thread, s amoebasim.State, args any) (any, int) {
+				*s.(*int) = args.(int)
+				return nil, 0
+			},
+		},
+		"get": {
+			Name: "get", ReadOnly: true,
+			Apply: func(th *amoebasim.Thread, s amoebasim.State, args any) (any, int) {
+				return *s.(*int), 4
+			},
+		},
+	}}
+	h := pg.DeclareReplicated("reg", typ, func() amoebasim.State {
+		v := 0
+		return &v
+	})
+
+	var regVal any
+	rt := pg.Runtime(1)
+	rt.Go("driver", func(th *amoebasim.Thread) {
+		if _, _, err := rt.Invoke(th, h, "set", 7, 8); err != nil {
+			t.Error(err)
+			return
+		}
+		var err error
+		regVal, _, err = rt.Invoke(th, h, "get", nil, 0)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if regVal != 7 {
+		t.Fatalf("register = %v", regVal)
+	}
+	// The write must have reached every replica.
+	for i := 0; i < 3; i++ {
+		if got := *pg.Runtime(i).PeekState(h).(*int); got != 7 {
+			t.Fatalf("replica %d = %d", i, got)
+		}
+	}
+}
+
+func TestFacadeAppsRegistry(t *testing.T) {
+	if len(amoebasim.Apps()) != 6 {
+		t.Fatalf("Apps() = %d, want 6", len(amoebasim.Apps()))
+	}
+	if amoebasim.AppByName("sor") == nil {
+		t.Fatal("AppByName(sor) = nil")
+	}
+	res, err := amoebasim.RunApp(amoebasim.AppByName("tsp"), amoebasim.ClusterConfig{
+		Procs: 2, Mode: amoebasim.KernelSpace, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Answer == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if amoebasim.CalibratedModel().MTU != 1500 {
+		t.Fatal("calibrated model not exposed")
+	}
+}

@@ -1,0 +1,301 @@
+package amoebasim_test
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim"
+	"amoebasim/internal/apps"
+	"amoebasim/internal/bench"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+)
+
+// The benchmarks in this file regenerate the paper's tables. Each reported
+// "sim_ms" / "sim_s" metric is SIMULATED time on the modeled 1995 testbed;
+// ns/op is merely how long the host takes to simulate it.
+
+func reportMS(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d)/float64(time.Millisecond), name)
+}
+
+// BenchmarkTable1SystemLayer regenerates Table 1's unicast and multicast
+// columns (Panda system-layer primitives, user space).
+func BenchmarkTable1SystemLayer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		uni := bench.SystemLatency(0, false)
+		mc := bench.SystemLatency(0, true)
+		reportMS(b, "unicast0k_sim_ms", uni)
+		reportMS(b, "multicast0k_sim_ms", mc)
+	}
+}
+
+// BenchmarkTable1RPC regenerates Table 1's RPC columns at 0 KB and 4 KB.
+func BenchmarkTable1RPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportMS(b, "user0k_sim_ms", bench.RPCLatency(panda.UserSpace, 0))
+		reportMS(b, "kern0k_sim_ms", bench.RPCLatency(panda.KernelSpace, 0))
+		reportMS(b, "user4k_sim_ms", bench.RPCLatency(panda.UserSpace, 4096))
+		reportMS(b, "kern4k_sim_ms", bench.RPCLatency(panda.KernelSpace, 4096))
+	}
+}
+
+// BenchmarkTable1Group regenerates Table 1's group columns at 0 KB.
+func BenchmarkTable1Group(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportMS(b, "user0k_sim_ms", bench.GroupLatency(panda.UserSpace, 0, false))
+		reportMS(b, "kern0k_sim_ms", bench.GroupLatency(panda.KernelSpace, 0, false))
+	}
+}
+
+// BenchmarkTable2Throughput regenerates Table 2 (KB/s, simulated).
+func BenchmarkTable2Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(bench.RPCThroughput(panda.UserSpace)/1000, "rpc_user_sim_KBps")
+		b.ReportMetric(bench.RPCThroughput(panda.KernelSpace)/1000, "rpc_kern_sim_KBps")
+		b.ReportMetric(bench.GroupThroughput(panda.UserSpace)/1000, "grp_user_sim_KBps")
+		b.ReportMetric(bench.GroupThroughput(panda.KernelSpace)/1000, "grp_kern_sim_KBps")
+	}
+}
+
+// BenchmarkTable3Apps regenerates Table 3 at quick scale (same code paths
+// as the paper-scale run driven by cmd/amoebasim): each sub-benchmark
+// reports simulated execution times for both implementations at 1 and 8
+// processors.
+func BenchmarkTable3Apps(b *testing.B) {
+	for _, app := range apps.TestScale() {
+		app := app
+		b.Run(app.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+					for _, procs := range []int{1, 8} {
+						res, err := apps.RunApp(app, cluster.Config{
+							Procs: procs, Mode: mode, Seed: 5,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						label := "kern"
+						if mode == panda.UserSpace {
+							label = "user"
+						}
+						b.ReportMetric(res.Elapsed.Seconds(),
+							label+"_p"+itoa(procs)+"_sim_s")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecomposition regenerates the §4.2/§4.3 accounting and reports
+// the headline per-operation event counts.
+func BenchmarkDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		du := bench.DecomposeRPC(panda.UserSpace)
+		dk := bench.DecomposeRPC(panda.KernelSpace)
+		b.ReportMetric(du.CtxSwitches+du.ColdDispatches+du.WarmDispatches, "user_rpc_switches")
+		b.ReportMetric(dk.CtxSwitches+dk.ColdDispatches+dk.WarmDispatches, "kern_rpc_switches")
+		b.ReportMetric(du.WindowTraps, "user_rpc_traps")
+		reportMS(b, "gap_sim_ms", du.Latency-dk.Latency)
+	}
+}
+
+// BenchmarkAblationPiggyback compares user-space RPC with and without
+// piggybacked reply acknowledgements (§3: "the major difference with
+// Amoeba's 3-way protocol").
+func BenchmarkAblationPiggyback(b *testing.B) {
+	throughput := func(noPiggy bool) float64 {
+		c, err := cluster.New(cluster.Config{
+			Procs: 2, Mode: panda.UserSpace, Seed: 1, NoPiggyback: noPiggy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Shutdown()
+		var received int64
+		srv := c.Transports[0]
+		srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+			received += int64(sz)
+			srv.Reply(t, ctx, nil, 0)
+		})
+		c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+			for {
+				if _, _, err := c.Transports[1].Call(t, 0, nil, 8000); err != nil {
+					return
+				}
+			}
+		})
+		c.RunUntil(amoebasim.Time(2 * time.Second))
+		return float64(received) / 2
+	}
+	for i := 0; i < b.N; i++ {
+		with := throughput(false)
+		without := throughput(true)
+		b.ReportMetric(with/1000, "piggyback_sim_KBps")
+		b.ReportMetric(without/1000, "explicit_ack_sim_KBps")
+		if without >= with {
+			b.Fatalf("piggybacking should help: %v vs %v", with, without)
+		}
+	}
+}
+
+// BenchmarkAblationContinuations measures the §5 guarded-operation cost:
+// a remote guarded BufGet completed by a later BufPut, under both
+// implementations. The kernel-space implementation relays the reply
+// through the blocked server daemon (extra context switch).
+func BenchmarkAblationContinuations(b *testing.B) {
+	latency := func(mode panda.Mode) time.Duration {
+		c, err := cluster.New(cluster.Config{Procs: 2, Mode: mode, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Shutdown()
+		pg := amoebasim.NewProgram(c)
+		typ := &amoebasim.ObjType{Name: "buf", Ops: map[string]*amoebasim.OpDef{
+			"put": {
+				Name: "put",
+				Apply: func(t *proc.Thread, s amoebasim.State, args any) (any, int) {
+					q := s.(*[]any)
+					*q = append(*q, args)
+					return nil, 0
+				},
+			},
+			"get": {
+				Name: "get",
+				Guard: func(s amoebasim.State) bool {
+					return len(*s.(*[]any)) > 0
+				},
+				Apply: func(t *proc.Thread, s amoebasim.State, args any) (any, int) {
+					q := s.(*[]any)
+					v := (*q)[0]
+					*q = (*q)[1:]
+					return v, 8
+				},
+			},
+		}}
+		h := pg.DeclareOwned("buf", typ, 0, func() amoebasim.State {
+			var q []any
+			return &q
+		})
+		const rounds = 20
+		var total time.Duration
+		consumer := pg.Runtime(1)
+		consumer.Go("consumer", func(t *proc.Thread) {
+			start := c.Sim.Now()
+			for i := 0; i < rounds; i++ {
+				if _, _, err := consumer.Invoke(t, h, "get", nil, 0); err != nil {
+					return
+				}
+			}
+			total = c.Sim.Now().Sub(start)
+		})
+		producer := pg.Runtime(0)
+		producer.Go("producer", func(t *proc.Thread) {
+			for i := 0; i < rounds; i++ {
+				t.Compute(3 * time.Millisecond) // gets always block first
+				if _, _, err := producer.Invoke(t, h, "put", i, 8); err != nil {
+					return
+				}
+			}
+		})
+		c.Run()
+		return total / rounds
+	}
+	for i := 0; i < b.N; i++ {
+		user := latency(panda.UserSpace)
+		kern := latency(panda.KernelSpace)
+		reportMS(b, "user_guarded_sim_ms", user)
+		reportMS(b, "kern_guarded_sim_ms", kern)
+	}
+}
+
+// BenchmarkAblationDedicatedSequencer measures the dedicated-sequencer
+// group latency win (§3.2: ~50 µs) and its effect on quick-scale LEQ.
+func BenchmarkAblationDedicatedSequencer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		member := bench.GroupLatency(panda.UserSpace, 0, false)
+		dedicated := bench.GroupLatency(panda.UserSpace, 0, true)
+		reportMS(b, "member_seq_sim_ms", member)
+		reportMS(b, "dedicated_seq_sim_ms", dedicated)
+		b.ReportMetric(float64(member-dedicated)/float64(time.Microsecond), "win_sim_us")
+	}
+}
+
+// BenchmarkAblationInterfaceDaemon measures §3.2's historical design: the
+// pre-continuation Panda relayed upcalls through interface-layer daemon
+// threads, costing ≈300 µs per RPC over the run-to-completion design.
+func BenchmarkAblationInterfaceDaemon(b *testing.B) {
+	latency := func(ifaceDaemon bool) time.Duration {
+		c, err := cluster.New(cluster.Config{
+			Procs: 2, Mode: panda.UserSpace, Seed: 1,
+			InterfaceDaemon: ifaceDaemon,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Shutdown()
+		srv := c.Transports[0]
+		srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+			srv.Reply(t, ctx, nil, 0)
+		})
+		const rounds = 20
+		var total time.Duration
+		c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, 0); err != nil {
+				return
+			}
+			start := c.Sim.Now()
+			for i := 0; i < rounds; i++ {
+				if _, _, err := c.Transports[1].Call(t, 0, nil, 0); err != nil {
+					return
+				}
+			}
+			total = c.Sim.Now().Sub(start)
+		})
+		c.Run()
+		return total / rounds
+	}
+	for i := 0; i < b.N; i++ {
+		direct := latency(false)
+		relayed := latency(true)
+		reportMS(b, "direct_upcall_sim_ms", direct)
+		reportMS(b, "iface_daemon_sim_ms", relayed)
+		b.ReportMetric(float64(relayed-direct)/float64(time.Microsecond), "extra_sim_us")
+		if relayed <= direct {
+			b.Fatal("interface daemon should add latency")
+		}
+	}
+}
+
+// BenchmarkExtensionNonblockingBcast measures the §6 future-work
+// extension: LEQ with nonblocking broadcasts (user space).
+func BenchmarkExtensionNonblockingBcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := apps.RunApp(&apps.LEQ{N: 48, Iters: 12}, cluster.Config{
+			Procs: 4, Mode: panda.UserSpace, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nb, err := apps.RunApp(&apps.LEQ{N: 48, Iters: 12, NB: true}, cluster.Config{
+			Procs: 4, Mode: panda.UserSpace, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if nb.Answer != base.Answer {
+			b.Fatalf("NB changed the answer: %d vs %d", nb.Answer, base.Answer)
+		}
+		b.ReportMetric(base.Elapsed.Seconds(), "blocking_sim_s")
+		b.ReportMetric(nb.Elapsed.Seconds(), "nonblocking_sim_s")
+	}
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}

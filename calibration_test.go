@@ -1,0 +1,161 @@
+package amoebasim_test
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/bench"
+	"amoebasim/internal/panda"
+)
+
+// These tests pin the reproduction to the paper: every qualitative claim
+// of §4 and Tables 1-2, plus generous absolute bands. If a change to the
+// protocols or the cost model breaks the paper's shape, they fail.
+
+func ms(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+// within checks d ∈ [lo, hi].
+func within(t *testing.T, name string, d, lo, hi time.Duration) {
+	t.Helper()
+	if d < lo || d > hi {
+		t.Errorf("%s = %v, want in [%v, %v]", name, d, lo, hi)
+	}
+}
+
+func TestCalibrationTable1Latencies(t *testing.T) {
+	rows := bench.Table1(nil)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper values with ±20% bands.
+	paper := []struct {
+		uni, mc, rpcU, rpcK, grpU, grpK float64 // ms
+	}{
+		{0.53, 0.62, 1.56, 1.27, 1.67, 1.44},
+		{1.50, 1.58, 2.53, 2.23, 3.59, 3.38},
+		{2.50, 2.55, 3.60, 3.40, 3.67, 3.44},
+		{3.72, 3.74, 4.77, 4.48, 4.84, 4.56},
+		{4.18, 4.23, 5.27, 5.06, 5.35, 5.25},
+	}
+	const lo, hi = 0.8, 1.2
+	for i, r := range rows {
+		p := paper[i]
+		within(t, "unicast", r.Unicast, ms(p.uni*lo), ms(p.uni*hi))
+		within(t, "multicast", r.Multicast, ms(p.mc*lo), ms(p.mc*hi))
+		within(t, "rpc user", r.RPCUser, ms(p.rpcU*lo), ms(p.rpcU*hi))
+		within(t, "rpc kernel", r.RPCKernel, ms(p.rpcK*lo), ms(p.rpcK*hi))
+		within(t, "group user", r.GroupUser, ms(p.grpU*lo), ms(p.grpU*hi))
+		within(t, "group kernel", r.GroupKernel, ms(p.grpK*lo), ms(p.grpK*hi))
+	}
+
+	r0 := rows[0]
+	// §4.2: kernel RPC faster; gap ≈ 0.3 ms for null messages.
+	gap := r0.RPCUser - r0.RPCKernel
+	within(t, "null RPC gap", gap, 200*time.Microsecond, 450*time.Microsecond)
+	// §4.3: group gap ≈ 0.23 ms.
+	ggap := r0.GroupUser - r0.GroupKernel
+	within(t, "null group gap", ggap, 150*time.Microsecond, 350*time.Microsecond)
+	// §4.1: multicast ≈ unicast (hardware broadcast), slightly above.
+	if r0.Multicast < r0.Unicast {
+		t.Error("multicast should not be cheaper than unicast")
+	}
+	within(t, "multicast-unicast delta", r0.Multicast-r0.Unicast,
+		10*time.Microsecond, 150*time.Microsecond)
+}
+
+func TestCalibrationBBMethodFlattensGroupSlope(t *testing.T) {
+	rows := bench.Table1(nil)
+	// The PB method sends data over the wire twice, so the 0→1 Kb slope
+	// of the group latency is roughly twice the unicast slope; the BB
+	// method (used at 2 Kb and up) removes the second pass, producing the
+	// paper's nearly flat 1 Kb → 2 Kb step.
+	uniSlope := rows[1].Unicast - rows[0].Unicast
+	grpSlope := rows[1].GroupUser - rows[0].GroupUser
+	if grpSlope < time.Duration(1.6*float64(uniSlope)) {
+		t.Errorf("group 0→1Kb slope %v should be ≈2× unicast slope %v", grpSlope, uniSlope)
+	}
+	step := rows[2].GroupUser - rows[1].GroupUser
+	if step > uniSlope/2 {
+		t.Errorf("group 1→2Kb step %v should be nearly flat (BB method)", step)
+	}
+}
+
+func TestCalibrationTable2Throughput(t *testing.T) {
+	t2 := bench.RunTable2()
+	// Paper: RPC 825 (user) / 897 (kernel); group 941 both. Bands ±25%.
+	if t2.RPCUser < 650e3 || t2.RPCUser > 1050e3 {
+		t.Errorf("RPC user throughput = %.0f KB/s, want ≈825", t2.RPCUser/1000)
+	}
+	if t2.RPCKernel < 700e3 || t2.RPCKernel > 1150e3 {
+		t.Errorf("RPC kernel throughput = %.0f KB/s, want ≈897", t2.RPCKernel/1000)
+	}
+	// Ordering: kernel RPC ≥ user RPC.
+	if t2.RPCKernel <= t2.RPCUser {
+		t.Errorf("kernel RPC throughput (%.0f) should exceed user (%.0f)",
+			t2.RPCKernel/1000, t2.RPCUser/1000)
+	}
+	// Group: both saturate the Ethernet and are nearly equal.
+	if t2.GroupUser < 800e3 || t2.GroupKernel < 800e3 {
+		t.Errorf("group throughput should saturate: user %.0f kernel %.0f",
+			t2.GroupUser/1000, t2.GroupKernel/1000)
+	}
+	ratio := t2.GroupUser / t2.GroupKernel
+	if ratio < 0.93 || ratio > 1.07 {
+		t.Errorf("group throughputs should be ≈equal, ratio %.2f", ratio)
+	}
+}
+
+func TestCalibrationDecompositionShape(t *testing.T) {
+	ku := bench.DecomposeRPC(panda.UserSpace)
+	kk := bench.DecomposeRPC(panda.KernelSpace)
+	// Kernel RPC: reply delivered directly to the blocked client.
+	if kk.DirectResumes < 0.9 {
+		t.Errorf("kernel RPC should use direct delivery (got %.1f/op)", kk.DirectResumes)
+	}
+	// User RPC: strictly more scheduling events and syscalls.
+	userSwitches := ku.CtxSwitches + ku.ColdDispatches + ku.WarmDispatches
+	kernSwitches := kk.CtxSwitches + kk.ColdDispatches + kk.WarmDispatches
+	if userSwitches < kernSwitches+1.5 {
+		t.Errorf("user RPC switches/op = %.1f, kernel = %.1f; want ≥ +2 (the paper's two extra)",
+			userSwitches, kernSwitches)
+	}
+	if ku.Syscalls <= kk.Syscalls {
+		t.Errorf("user RPC should cross the kernel boundary more often (%.1f vs %.1f)",
+			ku.Syscalls, kk.Syscalls)
+	}
+	// Register-window traps only afflict the user-space implementation
+	// (deep Panda stacks + save-all/restore-one syscalls).
+	if ku.WindowTraps < 10 {
+		t.Errorf("user RPC window traps/op = %.1f, want many", ku.WindowTraps)
+	}
+	if kk.WindowTraps > 5 {
+		t.Errorf("kernel RPC window traps/op = %.1f, want ≈0", kk.WindowTraps)
+	}
+	// Paper profiling: the user-space implementation issues several times
+	// more lock() calls.
+	if ku.Locks < kk.Locks+1 {
+		t.Errorf("user RPC locks/op = %.1f, kernel = %.1f; want more in user space",
+			ku.Locks, kk.Locks)
+	}
+
+	gu := bench.DecomposeGroup(panda.UserSpace)
+	gk := bench.DecomposeGroup(panda.KernelSpace)
+	if gu.Latency <= gk.Latency {
+		t.Error("user group latency should exceed kernel")
+	}
+	// §4.3: the user-space sequencer is a separate thread — at least one
+	// more dispatch per message than kernel space.
+	userG := gu.CtxSwitches + gu.ColdDispatches + gu.WarmDispatches
+	kernG := gk.CtxSwitches + gk.ColdDispatches + gk.WarmDispatches
+	if userG < kernG+1 {
+		t.Errorf("user group switches/op = %.1f, kernel = %.1f", userG, kernG)
+	}
+}
+
+func TestCalibrationDedicatedSequencerWin(t *testing.T) {
+	member := bench.GroupLatency(panda.UserSpace, 0, false)
+	dedicated := bench.GroupLatency(panda.UserSpace, 0, true)
+	win := member - dedicated
+	// §3.2: dedicating the sequencer machine saves ≈50 µs per message.
+	within(t, "dedicated sequencer win", win, 25*time.Microsecond, 100*time.Microsecond)
+}

@@ -1,0 +1,212 @@
+// Command amoebasim regenerates the paper's results on the simulated
+// Amoeba pool:
+//
+//	amoebasim -table 1          Table 1 (communication latencies)
+//	amoebasim -table 2          Table 2 (communication throughputs)
+//	amoebasim -table 3          Table 3 (Orca applications; -scale quick|paper)
+//	amoebasim -decompose        §4.2/§4.3 per-operation cost accounting
+//	amoebasim -trace            protocol timeline of one null RPC per mode
+//	amoebasim -sweep latency    CSV latency-vs-size sweep (plottable)
+//	amoebasim -sweep speedup    CSV speedup curve for one app (-apps, -scale)
+//	amoebasim -all              everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"amoebasim/internal/apps"
+	"amoebasim/internal/bench"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/trace"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate a paper table (1, 2 or 3)")
+		decompose = flag.Bool("decompose", false, "print the §4.2/§4.3 per-operation decomposition")
+		traceFlag = flag.Bool("trace", false, "print the protocol timeline of one null RPC per implementation")
+		sweep     = flag.String("sweep", "", "emit a CSV sweep: latency or speedup")
+		all       = flag.Bool("all", false, "regenerate everything")
+		scale     = flag.String("scale", "paper", "table 3 problem scale: paper or quick")
+		appsFlag  = flag.String("apps", "", "comma-separated subset of apps for table 3 (tsp,asp,ab,rl,sor,leq)")
+		procsFlag = flag.String("procs", "", "comma-separated processor counts for table 3 (default 1,8,16,32)")
+		seed      = flag.Uint64("seed", 5, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "amoebasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64) error {
+	did := false
+	if sweep != "" {
+		if err := runSweep(sweep, appsFlag, scale, seed); err != nil {
+			return err
+		}
+		did = true
+	}
+	if traceFlag {
+		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+			fmt.Printf("--- null RPC timeline, %v ---\n", mode)
+			if err := printRPCTrace(mode); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		did = true
+	}
+	if all || table == 1 {
+		start := time.Now()
+		bench.PrintTable1(os.Stdout, bench.Table1(nil))
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		did = true
+	}
+	if all || table == 2 {
+		start := time.Now()
+		bench.PrintTable2(os.Stdout, bench.RunTable2())
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		did = true
+	}
+	if all || decompose {
+		bench.PrintDecomposition(os.Stdout,
+			bench.DecomposeRPC(panda.KernelSpace),
+			bench.DecomposeRPC(panda.UserSpace),
+			bench.DecomposeGroup(panda.KernelSpace),
+			bench.DecomposeGroup(panda.UserSpace),
+		)
+		fmt.Println()
+		did = true
+	}
+	if all || table == 3 {
+		start := time.Now()
+		appList := bench.Table3Apps(scale)
+		if appsFlag != "" {
+			appList = nil
+			for _, name := range strings.Split(appsFlag, ",") {
+				a := apps.ByName(strings.TrimSpace(name))
+				if a == nil {
+					return fmt.Errorf("unknown app %q", name)
+				}
+				appList = append(appList, a)
+			}
+			if scale == "quick" {
+				// Swap in the quick-scale variants by name.
+				quick := bench.Table3Apps("quick")
+				for i, a := range appList {
+					for _, q := range quick {
+						if q.Name() == a.Name() {
+							appList[i] = q
+						}
+					}
+				}
+			}
+		}
+		var procs []int
+		if procsFlag != "" {
+			for _, f := range strings.Split(procsFlag, ",") {
+				var p int
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil {
+					return fmt.Errorf("bad -procs value %q", f)
+				}
+				procs = append(procs, p)
+			}
+		}
+		entries, err := bench.RunTable3(appList, procs, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable3(os.Stdout, entries)
+		fmt.Printf("(generated in %v)\n", time.Since(start).Round(time.Millisecond))
+		did = true
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}
+
+// runSweep emits plottable CSV series.
+func runSweep(kind, appsFlag, scale string, seed uint64) error {
+	switch kind {
+	case "latency":
+		fmt.Println("size_bytes,unicast_ms,multicast_ms,rpc_user_ms,rpc_kernel_ms,group_user_ms,group_kernel_ms")
+		for size := 0; size <= 8192; size += 512 {
+			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", size,
+				msF(bench.SystemLatency(size, false)),
+				msF(bench.SystemLatency(size, true)),
+				msF(bench.RPCLatency(panda.UserSpace, size)),
+				msF(bench.RPCLatency(panda.KernelSpace, size)),
+				msF(bench.GroupLatency(panda.UserSpace, size, false)),
+				msF(bench.GroupLatency(panda.KernelSpace, size, false)))
+		}
+		return nil
+	case "speedup":
+		name := appsFlag
+		if name == "" {
+			name = "asp"
+		}
+		app := apps.ByName(strings.TrimSpace(name))
+		if app == nil {
+			return fmt.Errorf("unknown app %q", name)
+		}
+		if scale == "quick" {
+			for _, q := range bench.Table3Apps("quick") {
+				if q.Name() == app.Name() {
+					app = q
+				}
+			}
+		}
+		fmt.Println("procs,kernel_s,user_s,kernel_speedup,user_speedup")
+		var base [2]float64
+		for _, p := range []int{1, 2, 4, 8, 16, 32} {
+			var secs [2]float64
+			for i, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+				res, err := apps.RunApp(app, cluster.Config{Procs: p, Mode: mode, Seed: seed})
+				if err != nil {
+					return err
+				}
+				secs[i] = res.Elapsed.Seconds()
+			}
+			if p == 1 {
+				base = secs
+			}
+			fmt.Printf("%d,%.2f,%.2f,%.2f,%.2f\n", p, secs[0], secs[1],
+				base[0]/secs[0], base[1]/secs[1])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown sweep %q (latency or speedup)", kind)
+	}
+}
+
+func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// printRPCTrace runs one null RPC with tracing enabled and dumps the
+// protocol timeline.
+func printRPCTrace(mode panda.Mode) error {
+	c, err := cluster.New(cluster.Config{Procs: 2, Mode: mode, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+	log := trace.NewLog(0)
+	c.Sim.SetTracer(log)
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+		srv.Reply(t, ctx, nil, 0)
+	})
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		_, _, _ = c.Transports[1].Call(t, 0, nil, 0)
+	})
+	c.Run()
+	_, err = log.WriteTo(os.Stdout)
+	return err
+}

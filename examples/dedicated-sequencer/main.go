@@ -1,0 +1,100 @@
+// dedicated-sequencer reproduces the paper's LEQ observation in miniature:
+// a broadcast-heavy workload overloads the user-space sequencer when it
+// shares a machine with a worker, and dedicating one processor to
+// sequencing pays off at scale (Table 3's "User-space-dedicated" row).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"amoebasim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		procs  = 8
+		rounds = 60
+	)
+	fmt.Printf("broadcast storm: %d processors, %d all-to-all rounds\n", procs, rounds)
+	for _, dedicated := range []bool{false, true} {
+		elapsed, err := storm(procs, rounds, dedicated)
+		if err != nil {
+			return err
+		}
+		label := "sequencer on member 0"
+		if dedicated {
+			label = "dedicated sequencer machine"
+		}
+		fmt.Printf("  %-28s %v\n", label, elapsed)
+	}
+	return nil
+}
+
+// storm runs `rounds` iterations in which every processor broadcasts a
+// small message and waits until it has seen everyone's message for the
+// round, then reports the simulated makespan.
+func storm(procs, rounds int, dedicated bool) (time.Duration, error) {
+	c, err := amoebasim.NewCluster(amoebasim.ClusterConfig{
+		Procs: procs, Mode: amoebasim.UserSpace, Group: true,
+		DedicatedSequencer: dedicated,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Shutdown()
+
+	type waiter struct {
+		thread *amoebasim.Thread
+		armed  bool
+	}
+	got := make([]int, procs) // messages seen by each member
+	parked := make([]*waiter, procs)
+
+	for i := 0; i < procs; i++ {
+		i := i
+		c.Transports[i].HandleGroup(func(t *amoebasim.Thread, sender int, seqno uint64, payload any, n int) {
+			got[i]++
+			if w := parked[i]; w != nil && got[i]%procs == 0 {
+				parked[i] = nil
+				t.Flush()
+				w.thread.Unblock()
+			}
+		})
+	}
+
+	var finish amoebasim.Time
+	done := 0
+	for i := 0; i < procs; i++ {
+		i := i
+		tr := c.Transports[i]
+		c.Procs[i].NewThread("storm", amoebasim.PrioNormal, func(t *amoebasim.Thread) {
+			for r := 0; r < rounds; r++ {
+				if err := tr.GroupSend(t, r, 256); err != nil {
+					return
+				}
+				t.Compute(500 * time.Microsecond) // a little local work
+				if got[i] < (r+1)*procs {
+					parked[i] = &waiter{thread: t}
+					t.Block()
+				}
+			}
+			done++
+			if done == procs {
+				finish = c.Sim.Now()
+			}
+		})
+	}
+	c.Run()
+	if done != procs {
+		return 0, fmt.Errorf("only %d/%d workers finished", done, procs)
+	}
+	return finish.Duration(), nil
+}

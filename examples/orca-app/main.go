@@ -1,0 +1,53 @@
+// orca-app runs one of the paper's Table 3 applications end to end via the
+// public API and prints its speedup curve — a miniature of
+// `amoebasim -sweep speedup`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"amoebasim"
+)
+
+func main() {
+	name := flag.String("app", "asp", "application: tsp, asp, ab, rl, sor, leq")
+	flag.Parse()
+	if err := run(*name); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(name string) error {
+	app := amoebasim.AppByName(name)
+	if app == nil {
+		return fmt.Errorf("unknown application %q", name)
+	}
+	fmt.Printf("%s on the simulated Amoeba pool (paper-scale problem)\n", name)
+	fmt.Printf("%-6s %-14s %-14s %-10s\n", "procs", "kernel-space", "user-space", "answers")
+	var base [2]float64
+	for _, procs := range []int{1, 4, 8} {
+		var secs [2]float64
+		var answers [2]int64
+		for i, mode := range []amoebasim.Mode{amoebasim.KernelSpace, amoebasim.UserSpace} {
+			res, err := amoebasim.RunApp(app, amoebasim.ClusterConfig{
+				Procs: procs, Mode: mode, Seed: 5,
+			})
+			if err != nil {
+				return err
+			}
+			secs[i] = res.Elapsed.Seconds()
+			answers[i] = res.Answer
+		}
+		if answers[0] != answers[1] {
+			return fmt.Errorf("implementations disagree: %d vs %d", answers[0], answers[1])
+		}
+		if procs == 1 {
+			base = secs
+		}
+		fmt.Printf("%-6d %7.1f s (%.1fx) %6.1f s (%.1fx)   %d\n",
+			procs, secs[0], base[0]/secs[0], secs[1], base[1]/secs[1], answers[0])
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a small simulated Amoeba pool, perform one RPC and one
+// totally-ordered broadcast under both Panda implementations, and print
+// the simulated latencies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amoebasim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, mode := range []amoebasim.Mode{amoebasim.KernelSpace, amoebasim.UserSpace} {
+		c, err := amoebasim.NewCluster(amoebasim.ClusterConfig{
+			Procs: 3, Mode: mode, Group: true,
+		})
+		if err != nil {
+			return err
+		}
+
+		// RPC: processor 0 serves, processor 1 calls.
+		server := c.Transports[0]
+		server.HandleRPC(func(t *amoebasim.Thread, ctx *amoebasim.RPCContext, req any, n int) {
+			server.Reply(t, ctx, fmt.Sprintf("echo(%v)", req), n)
+		})
+
+		// Group: every processor logs ordered deliveries.
+		for i, tr := range c.Transports {
+			i := i
+			tr.HandleGroup(func(t *amoebasim.Thread, sender int, seqno uint64, payload any, n int) {
+				if i == 0 {
+					fmt.Printf("  [%v] delivery #%d from processor %d: %v\n",
+						c.Sim.Now(), seqno, sender, payload)
+				}
+			})
+		}
+
+		client := c.Transports[1]
+		c.Procs[1].NewThread("client", amoebasim.PrioNormal, func(t *amoebasim.Thread) {
+			start := c.Sim.Now()
+			reply, _, err := client.Call(t, 0, "ping", 64)
+			if err != nil {
+				fmt.Println("  rpc error:", err)
+				return
+			}
+			fmt.Printf("  [%v] rpc reply %q in %v\n", c.Sim.Now(), reply, c.Sim.Now().Sub(start))
+
+			start = c.Sim.Now()
+			if err := client.GroupSend(t, "hello group", 128); err != nil {
+				fmt.Println("  group error:", err)
+				return
+			}
+			fmt.Printf("  [%v] broadcast ordered in %v\n", c.Sim.Now(), c.Sim.Now().Sub(start))
+		})
+
+		fmt.Printf("%v implementation:\n", mode)
+		c.Run()
+		c.Shutdown()
+	}
+	return nil
+}

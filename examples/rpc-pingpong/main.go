@@ -1,0 +1,81 @@
+// rpc-pingpong reproduces the Table 1 latency experiment interactively:
+// RPC round-trip times for 0-4 KB requests under both Panda
+// implementations, printed side by side with the paper's numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"amoebasim"
+)
+
+// paper holds Table 1's published RPC latencies in milliseconds.
+var paper = map[int][2]float64{ // size -> {user, kernel}
+	0:    {1.56, 1.27},
+	1024: {2.53, 2.23},
+	2048: {3.60, 3.40},
+	3072: {4.77, 4.48},
+	4096: {5.27, 5.06},
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("RPC latency: simulated vs. paper (Table 1)")
+	fmt.Printf("%-8s %-22s %-22s\n", "size", "user-space (paper)", "kernel-space (paper)")
+	for _, size := range []int{0, 1024, 2048, 3072, 4096} {
+		user, err := measure(amoebasim.UserSpace, size)
+		if err != nil {
+			return err
+		}
+		kern, err := measure(amoebasim.KernelSpace, size)
+		if err != nil {
+			return err
+		}
+		p := paper[size]
+		fmt.Printf("%-8s %-22s %-22s\n",
+			fmt.Sprintf("%d Kb", size/1024),
+			fmt.Sprintf("%.2f ms (%.2f)", ms(user), p[0]),
+			fmt.Sprintf("%.2f ms (%.2f)", ms(kern), p[1]))
+	}
+	return nil
+}
+
+func measure(mode amoebasim.Mode, size int) (time.Duration, error) {
+	c, err := amoebasim.NewCluster(amoebasim.ClusterConfig{Procs: 2, Mode: mode})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Shutdown()
+	server := c.Transports[0]
+	server.HandleRPC(func(t *amoebasim.Thread, ctx *amoebasim.RPCContext, req any, n int) {
+		server.Reply(t, ctx, nil, 0)
+	})
+	const rounds = 10
+	var total time.Duration
+	c.Procs[1].NewThread("client", amoebasim.PrioNormal, func(t *amoebasim.Thread) {
+		if _, _, err := c.Transports[1].Call(t, 0, nil, size); err != nil {
+			return // warm-up failed; total stays zero
+		}
+		start := c.Sim.Now()
+		for i := 0; i < rounds; i++ {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, size); err != nil {
+				return
+			}
+		}
+		total = c.Sim.Now().Sub(start)
+	})
+	c.Run()
+	if total == 0 {
+		return 0, fmt.Errorf("pingpong did not complete")
+	}
+	return total / rounds, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,3 @@
+module amoebasim
+
+go 1.22

@@ -1,0 +1,574 @@
+package akernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"amoebasim/internal/flip"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// ErrGroupSendFailed is returned by GrpSend when retransmissions are
+// exhausted.
+var ErrGroupSendFailed = errors.New("akernel: group send failed after retries")
+
+const grpMaxRetries = 16
+
+// seqPtBase is the FLIP address space for the sequencers' point-to-point
+// endpoints (one per group).
+const seqPtBase flip.Address = 0x9000_0000_0000_0000
+
+func seqAddress(g GroupID) flip.Address { return seqPtBase | flip.Address(g) }
+
+// kernPtBase is the FLIP address space for each kernel's own group-control
+// endpoint (targets of unicast retransmissions).
+const kernPtBase flip.Address = 0xD000_0000_0000_0000
+
+func kernAddress(id int) flip.Address { return kernPtBase | flip.Address(id) }
+
+// Delivery is one totally-ordered group message as seen by a member.
+type Delivery struct {
+	Sender  int // kernel id of the sender
+	Seqno   uint64
+	Payload any
+	Size    int
+}
+
+type grpKind uint8
+
+const (
+	gREQ    grpKind = iota + 1 // PB: data point-to-point to the sequencer
+	gDATA                      // sequenced broadcast (or retransmission)
+	gBB                        // BB: large data broadcast by the sender
+	gACCEPT                    // BB: sequencer's small ordering broadcast
+	gRETR                      // member requests missing seqnos
+	gSYNC                      // sequencer requests ack status
+	gSTATUS                    // member reports delivered watermark
+)
+
+type bbKey struct {
+	sender int
+	tmpID  uint64
+}
+
+// grpWire is the group protocol message carried in FLIP packets.
+type grpWire struct {
+	kind    grpKind
+	gid     GroupID
+	seqno   uint64
+	sender  int
+	tmpID   uint64
+	payload any
+	size    int
+	ackUpTo uint64
+	from    int    // requester kernel id (gRETR/gSTATUS)
+	upTo    uint64 // highest missing seqno (gRETR)
+}
+
+type grpSendState struct {
+	t       *proc.Thread
+	tmpID   uint64
+	msg     flip.Message
+	timer   *sim.Event
+	retries int
+	err     error
+	done    bool
+}
+
+// member is the per-kernel state of one group; the sequencer member also
+// carries the sequencer state.
+type member struct {
+	k       *Kernel
+	gid     GroupID
+	members []int
+	seqID   int
+	reasm   *flip.Reassembler
+
+	// Member state.
+	nextDeliver uint64 // next seqno to deliver; seqnos start at 1
+	holdback    map[uint64]*grpWire
+	bbData      map[bbKey]*grpWire
+	bbAccept    map[bbKey]*grpWire // accepts waiting for their data
+	queue       []*Delivery
+	waiters     []*grpRecvWaiter
+	sends       map[uint64]*grpSendState
+	tmpSeq      uint64
+	retrTimer   *sim.Event
+
+	// Sequencer state (only on the sequencer's kernel).
+	seqno      uint64
+	history    map[uint64]*grpWire
+	seen       map[bbKey]uint64 // duplicate filter: (sender,tmpID) -> seqno
+	acked      map[int]uint64
+	lastStatus map[int]uint64 // ack seen at the previous status probe
+	watchdog   *sim.Event
+}
+
+type grpRecvWaiter struct {
+	t   *proc.Thread
+	del *Delivery
+}
+
+// GroupConfigure statically sets up group membership on this kernel: the
+// member list, and which kernel runs the sequencer. Every member kernel
+// must be configured identically before traffic starts (the paper's
+// experiments all use static groups).
+func (k *Kernel) GroupConfigure(gid GroupID, members []int, sequencer int) error {
+	found := false
+	for _, m := range members {
+		if m == k.id {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("akernel: kernel %d not in member list for group %d", k.id, gid)
+	}
+	mb := &member{
+		k:           k,
+		gid:         gid,
+		members:     append([]int(nil), members...),
+		seqID:       sequencer,
+		reasm:       flip.NewReassembler(k.sim, k.m.RetransTimeout),
+		nextDeliver: 1,
+		holdback:    make(map[uint64]*grpWire),
+		bbData:      make(map[bbKey]*grpWire),
+		bbAccept:    make(map[bbKey]*grpWire),
+		sends:       make(map[uint64]*grpSendState),
+	}
+	if sequencer == k.id {
+		mb.history = make(map[uint64]*grpWire)
+		mb.seen = make(map[bbKey]uint64)
+		mb.acked = make(map[int]uint64)
+		mb.lastStatus = make(map[int]uint64)
+		k.flip.Register(seqAddress(gid))
+	}
+	k.flip.Register(kernAddress(k.id))
+	k.flip.JoinGroup(GroupAddress(gid))
+	k.grp[gid] = mb
+	return nil
+}
+
+// GrpSend broadcasts a message to the group with total ordering and blocks
+// until the sender's own message has been delivered back in order (Amoeba
+// semantics: "the calling thread is suspended until the message has
+// returned from the sequencer").
+func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) error {
+	mb := k.grp[gid]
+	if mb == nil {
+		return fmt.Errorf("akernel: kernel %d is not a member of group %d", k.id, gid)
+	}
+	k.enterKernel(t)
+	t.Charge(k.m.ProtoGroup)
+
+	mb.tmpSeq++
+	ss := &grpSendState{t: t, tmpID: mb.tmpSeq}
+	mb.sends[ss.tmpID] = ss
+
+	if mb.seqID == k.id {
+		// The sender is the sequencer machine: sequence locally without
+		// touching the wire for the request leg.
+		w := &grpWire{
+			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
+		}
+		t.Flush()
+		k.p.Interrupt(k.m.ProtoGroup, func() { mb.seqHandleREQ(w) })
+	} else if size <= k.m.BBThreshold {
+		// PB method: point-to-point to the sequencer, which broadcasts.
+		w := &grpWire{
+			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
+		}
+		ss.msg = flip.Message{
+			Src: RawAddress(k.id), Dst: seqAddress(gid), Proto: flip.ProtoGroup,
+			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
+			Size: size, Payload: w,
+		}
+		k.flip.SendFromThread(t, ss.msg)
+	} else {
+		// BB method: the sender broadcasts the data itself; the sequencer
+		// broadcasts a small accept message carrying the sequence number.
+		w := &grpWire{
+			kind: gBB, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
+		}
+		mb.bbData[bbKey{sender: k.id, tmpID: ss.tmpID}] = w
+		ss.msg = flip.Message{
+			Src: RawAddress(k.id), Dst: GroupAddress(gid), Proto: flip.ProtoGroup,
+			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
+			Size: size, Payload: w, Multicast: true,
+		}
+		k.flip.SendFromThread(t, ss.msg)
+	}
+	if mb.seqID != k.id {
+		ss.timer = k.sim.Schedule(k.m.RetransTimeout, func() { mb.sendTimeout(ss) })
+	}
+	t.Block()
+
+	delete(mb.sends, ss.tmpID)
+	k.leaveKernel(t)
+	return ss.err
+}
+
+// GrpReceive blocks until the next totally-ordered message is delivered to
+// this member.
+func (k *Kernel) GrpReceive(t *proc.Thread, gid GroupID) (*Delivery, error) {
+	mb := k.grp[gid]
+	if mb == nil {
+		return nil, fmt.Errorf("akernel: kernel %d is not a member of group %d", k.id, gid)
+	}
+	k.enterKernel(t)
+	if len(mb.queue) > 0 {
+		d := mb.queue[0]
+		mb.queue = mb.queue[0:copy(mb.queue, mb.queue[1:])]
+		k.leaveKernel(t)
+		return d, nil
+	}
+	w := &grpRecvWaiter{t: t}
+	mb.waiters = append(mb.waiters, w)
+	t.Block()
+	k.leaveKernel(t)
+	return w.del, nil
+}
+
+// GrpDelivered reports the member's delivered watermark.
+func (k *Kernel) GrpDelivered(gid GroupID) uint64 {
+	if mb := k.grp[gid]; mb != nil {
+		return mb.nextDeliver - 1
+	}
+	return 0
+}
+
+func (mb *member) sendTimeout(ss *grpSendState) {
+	if ss.done {
+		return
+	}
+	ss.retries++
+	if ss.retries > grpMaxRetries {
+		ss.err = ErrGroupSendFailed
+		ss.done = true
+		ss.t.Unblock()
+		return
+	}
+	mb.k.flip.SendFromInterrupt(ss.msg)
+	ss.timer = mb.k.sim.Schedule(mb.k.m.RetransTimeout, func() { mb.sendTimeout(ss) })
+}
+
+// onPacket processes group packets at interrupt level. Fragment data is
+// copied to the delivery buffer as it arrives.
+func (mb *member) onPacket(pk *flip.Packet) {
+	if pk.Length > 0 {
+		mb.k.p.Interrupt(mb.k.m.Copy(pk.Length), nil)
+	}
+	if !mb.reasm.Add(pk) {
+		return
+	}
+	w, ok := pk.Payload.(*grpWire)
+	if !ok {
+		return
+	}
+	k := mb.k
+	k.p.Interrupt(k.m.ProtoGroup, func() { mb.handle(w) })
+}
+
+func (mb *member) handle(w *grpWire) {
+	isSeq := mb.seqID == mb.k.id
+	switch w.kind {
+	case gREQ:
+		if isSeq {
+			mb.seqHandleREQ(w)
+		}
+	case gBB:
+		mb.bbData[bbKey{sender: w.sender, tmpID: w.tmpID}] = w
+		if isSeq {
+			mb.seqHandleBB(w)
+		} else {
+			mb.tryCompleteBB(bbKey{sender: w.sender, tmpID: w.tmpID})
+		}
+	case gDATA:
+		mb.onData(w)
+	case gACCEPT:
+		mb.onAccept(w)
+	case gRETR:
+		if isSeq {
+			mb.seqHandleRETR(w)
+		}
+	case gSYNC:
+		mb.sendStatus()
+	case gSTATUS:
+		if isSeq {
+			mb.seqUpdateAck(w.from, w.ackUpTo)
+			// Retransmit the suffix only when the member made no progress
+			// since the previous probe: an active member that is merely
+			// behind will catch up by itself; a stalled one lost the tail.
+			stalled := mb.lastStatus[w.from] == w.ackUpTo
+			mb.lastStatus[w.from] = w.ackUpTo
+			if stalled && w.ackUpTo < mb.seqno {
+				mb.seqHandleRETR(&grpWire{
+					kind: gRETR, gid: mb.gid, from: w.from,
+					seqno: w.ackUpTo + 1, upTo: mb.seqno,
+				})
+			}
+		}
+	}
+}
+
+// ---- Sequencer side (runs in the kernel's interrupt handler) ----
+
+func (mb *member) seqHandleREQ(w *grpWire) {
+	mb.seqUpdateAck(w.sender, w.ackUpTo)
+	key := bbKey{sender: w.sender, tmpID: w.tmpID}
+	if seqno, dup := mb.seen[key]; dup {
+		// Duplicate request: re-broadcast the sequenced message.
+		if h := mb.history[seqno]; h != nil {
+			mb.broadcastData(h)
+		}
+		return
+	}
+	mb.seqno++
+	d := &grpWire{
+		kind: gDATA, gid: mb.gid, seqno: mb.seqno, sender: w.sender,
+		tmpID: w.tmpID, payload: w.payload, size: w.size,
+	}
+	mb.k.sim.Trace(mb.k.p.Name(), "grp.seq", "seqno=%d sender=%d size=%d (PB)", mb.seqno, w.sender, w.size)
+	mb.seen[key] = mb.seqno
+	mb.history[mb.seqno] = d
+	// FLIP multicast loops back to the local member, so the sequencer
+	// machine delivers its own broadcast without special-casing.
+	mb.broadcastData(d)
+	mb.armWatchdog()
+}
+
+func (mb *member) seqHandleBB(w *grpWire) {
+	mb.seqUpdateAck(w.sender, w.ackUpTo)
+	key := bbKey{sender: w.sender, tmpID: w.tmpID}
+	if seqno, dup := mb.seen[key]; dup {
+		if h := mb.history[seqno]; h != nil {
+			mb.broadcastAccept(h)
+		}
+		return
+	}
+	mb.seqno++
+	// History keeps the payload so retransmissions can carry the data.
+	d := &grpWire{
+		kind: gDATA, gid: mb.gid, seqno: mb.seqno, sender: w.sender,
+		tmpID: w.tmpID, payload: w.payload, size: w.size,
+	}
+	mb.seen[key] = mb.seqno
+	mb.history[mb.seqno] = d
+	mb.broadcastAccept(d) // loops back; tryCompleteBB pairs it with the data
+	mb.armWatchdog()
+}
+
+func (mb *member) broadcastData(d *grpWire) {
+	k := mb.k
+	k.flip.SendFromInterrupt(flip.Message{
+		Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
+		Size: d.size, Payload: d, Multicast: true,
+	})
+}
+
+func (mb *member) broadcastAccept(d *grpWire) {
+	k := mb.k
+	acc := &grpWire{kind: gACCEPT, gid: mb.gid, seqno: d.seqno, sender: d.sender, tmpID: d.tmpID}
+	k.flip.SendFromInterrupt(flip.Message{
+		Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0,
+		Payload: acc, Multicast: true,
+	})
+}
+
+func (mb *member) seqHandleRETR(w *grpWire) {
+	k := mb.k
+	for s := w.seqno; s <= w.upTo; s++ {
+		h := mb.history[s]
+		if h == nil {
+			continue
+		}
+		k.flip.SendFromInterrupt(flip.Message{
+			Src: seqAddress(mb.gid), Dst: kernAddress(w.from), Proto: flip.ProtoGroup,
+			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
+			Size: h.size, Payload: h,
+		})
+	}
+}
+
+func (mb *member) seqUpdateAck(memberID int, upTo uint64) {
+	if upTo > mb.acked[memberID] {
+		mb.acked[memberID] = upTo
+	}
+	mb.trimHistory()
+}
+
+func (mb *member) trimHistory() {
+	if len(mb.history) == 0 {
+		return
+	}
+	min := mb.seqno
+	for _, id := range mb.members {
+		if id == mb.k.id {
+			continue
+		}
+		if a := mb.acked[id]; a < min {
+			min = a
+		}
+	}
+	for s := range mb.history {
+		if s <= min {
+			h := mb.history[s]
+			delete(mb.history, s)
+			delete(mb.seen, bbKey{sender: h.sender, tmpID: h.tmpID})
+		}
+	}
+}
+
+// minAck returns the lowest delivery watermark any non-sequencer member
+// has acknowledged.
+func (mb *member) minAck() uint64 {
+	min := mb.seqno
+	for _, id := range mb.members {
+		if id == mb.k.id {
+			continue
+		}
+		if a := mb.acked[id]; a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// armWatchdog keeps a periodic sync running while some member has not yet
+// acknowledged every sequenced message. This is the paper's history
+// overflow prevention and also recovers "tail" losses: a member that
+// missed the final broadcast has no later message to reveal the gap, so
+// the sequencer must probe. On each tick the sequencer multicasts gSYNC;
+// members answer gSTATUS; stragglers get the missing suffix retransmitted.
+func (mb *member) armWatchdog() {
+	if mb.watchdog != nil || mb.minAck() >= mb.seqno {
+		return
+	}
+	k := mb.k
+	mb.watchdog = k.sim.Schedule(k.m.RetransTimeout, func() {
+		mb.watchdog = nil
+		if mb.minAck() >= mb.seqno {
+			return
+		}
+		sync := &grpWire{kind: gSYNC, gid: mb.gid}
+		k.flip.SendFromInterrupt(flip.Message{
+			Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
+			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0,
+			Payload: sync, Multicast: true,
+		})
+		mb.armWatchdog()
+	})
+}
+
+func (mb *member) sendStatus() {
+	k := mb.k
+	st := &grpWire{kind: gSTATUS, gid: mb.gid, from: k.id, ackUpTo: mb.nextDeliver - 1}
+	k.flip.SendFromInterrupt(flip.Message{
+		Src: RawAddress(k.id), Dst: seqAddress(mb.gid), Proto: flip.ProtoGroup,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0, Payload: st,
+	})
+}
+
+// ---- Member side ----
+
+func (mb *member) onAccept(w *grpWire) {
+	key := bbKey{sender: w.sender, tmpID: w.tmpID}
+	mb.bbAccept[key] = w
+	mb.tryCompleteBB(key)
+}
+
+func (mb *member) tryCompleteBB(key bbKey) {
+	acc := mb.bbAccept[key]
+	data := mb.bbData[key]
+	if acc == nil || data == nil {
+		return
+	}
+	delete(mb.bbAccept, key)
+	delete(mb.bbData, key)
+	mb.onData(&grpWire{
+		kind: gDATA, gid: mb.gid, seqno: acc.seqno, sender: data.sender,
+		tmpID: data.tmpID, payload: data.payload, size: data.size,
+	})
+}
+
+func (mb *member) onData(w *grpWire) {
+	switch {
+	case w.seqno < mb.nextDeliver:
+		return // duplicate
+	case w.seqno > mb.nextDeliver:
+		mb.holdback[w.seqno] = w
+		mb.requestRetrans(w.seqno)
+		return
+	}
+	mb.deliver(w)
+	for {
+		next := mb.holdback[mb.nextDeliver]
+		if next == nil {
+			break
+		}
+		delete(mb.holdback, mb.nextDeliver)
+		mb.deliver(next)
+	}
+}
+
+func (mb *member) deliver(w *grpWire) {
+	mb.k.sim.Trace(mb.k.p.Name(), "grp.dlv", "seqno=%d sender=%d", w.seqno, w.sender)
+	mb.nextDeliver = w.seqno + 1
+	d := &Delivery{Sender: w.sender, Seqno: w.seqno, Payload: w.payload, Size: w.size}
+	if len(mb.waiters) > 0 {
+		rw := mb.waiters[0]
+		mb.waiters = mb.waiters[0:copy(mb.waiters, mb.waiters[1:])]
+		rw.del = d
+		rw.t.Unblock()
+	} else {
+		mb.queue = append(mb.queue, d)
+	}
+	// The sender's own message coming back in order completes its send.
+	if w.sender == mb.k.id {
+		if ss := mb.sends[w.tmpID]; ss != nil && !ss.done {
+			ss.done = true
+			mb.k.sim.Cancel(ss.timer)
+			ss.t.Unblock()
+		}
+	}
+}
+
+// requestRetrans asks the sequencer for the missing gap below the given
+// out-of-order seqno, rate-limited to one outstanding request.
+func (mb *member) requestRetrans(sawSeqno uint64) {
+	if mb.retrTimer != nil {
+		return
+	}
+	k := mb.k
+	// Highest contiguous gap: everything from nextDeliver up to the
+	// largest held-back seqno.
+	upTo := sawSeqno
+	for s := range mb.holdback {
+		if s > upTo {
+			upTo = s
+		}
+	}
+	k.sim.Trace(k.p.Name(), "grp.retr", "missing %d..%d", mb.nextDeliver, upTo)
+	req := &grpWire{kind: gRETR, gid: mb.gid, from: k.id, seqno: mb.nextDeliver, upTo: upTo}
+	k.flip.SendFromInterrupt(flip.Message{
+		Src: RawAddress(k.id), Dst: seqAddress(mb.gid), Proto: flip.ProtoGroup,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0, Payload: req,
+	})
+	mb.retrTimer = k.sim.Schedule(k.m.RetransTimeout, func() {
+		mb.retrTimer = nil
+		if len(mb.holdback) > 0 {
+			keys := make([]uint64, 0, len(mb.holdback))
+			for s := range mb.holdback {
+				keys = append(keys, s)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			mb.requestRetrans(keys[len(keys)-1])
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package akernel
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// TestGroupSingleSendHeavyLoss: one lossy send, full state dump on failure.
+func TestGroupSingleSendHeavyLoss(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		r := newRigSeeded(t, 2, 1, seed)
+		r.net.SetLossRate(0.4)
+		const gid GroupID = 1
+		for _, k := range r.kernels {
+			if err := k.GroupConfigure(gid, []int{0, 1}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sendErr error
+		sent := false
+		k1 := r.kernels[1]
+		k1.Processor().NewThread("send", proc.PrioNormal, func(th *proc.Thread) {
+			sendErr = k1.GrpSend(th, gid, "x", 100)
+			sent = true
+		})
+		r.sim.RunUntil(sim.Time(30 * time.Second))
+		if !sent || sendErr != nil {
+			mb0 := r.kernels[0].grp[gid]
+			mb1 := r.kernels[1].grp[gid]
+			t.Fatalf("seed %d: sent=%v err=%v | seq: seqno=%d hist=%d | sender: nextDeliver=%d holdback=%d sends=%d | dropped=%d",
+				seed, sent, sendErr, mb0.seqno, len(mb0.history),
+				mb1.nextDeliver, len(mb1.holdback), len(mb1.sends), r.net.Dropped())
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package akernel
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// TestGroupLossRecoveryBounded reproduces the loss scenario with a bounded horizon and
+// reports where delivery stalls, to guard against protocol livelock.
+func TestGroupLossRecoveryBounded(t *testing.T) {
+	r := newRig(t, 4, 1)
+	r.net.SetLossRate(0.10)
+	const gid GroupID = 4
+	members := []int{0, 1, 2, 3}
+	for _, k := range r.kernels {
+		if err := k.GroupConfigure(gid, members, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perSender = 8
+	const senders = 3
+	received := make([]int, 4)
+	for i, k := range r.kernels {
+		i, k := i, k
+		k.Processor().NewThread("recv", proc.PrioDaemon, func(th *proc.Thread) {
+			for received[i] < senders*perSender {
+				if _, err := k.GrpReceive(th, gid); err != nil {
+					return
+				}
+				received[i]++
+			}
+		})
+	}
+	sendErrs := 0
+	for s := 1; s <= senders; s++ {
+		s := s
+		k := r.kernels[s]
+		k.Processor().NewThread("send", proc.PrioNormal, func(th *proc.Thread) {
+			for j := 0; j < perSender; j++ {
+				if err := k.GrpSend(th, gid, s*1000+j, 200); err != nil {
+					t.Logf("sender %d msg %d at %v: %v (nextDeliver=%d holdback=%d)",
+						s, j, r.sim.Now(), err,
+						k.grp[gid].nextDeliver, len(k.grp[gid].holdback))
+					sendErrs++
+					return
+				}
+			}
+		})
+	}
+	r.sim.RunUntil(sim.Time(60 * time.Second))
+	if sendErrs > 0 {
+		seqm := r.kernels[0].grp[gid]
+		t.Fatalf("%d senders gave up; sequencer seqno=%d hist=%d acked=%v",
+			sendErrs, seqm.seqno, len(seqm.history), seqm.acked)
+	}
+	for i := 0; i < 4; i++ {
+		if received[i] != senders*perSender {
+			mb := r.kernels[i].grp[gid]
+			t.Errorf("member %d stalled at %d/%d (nextDeliver=%d, holdback=%d)",
+				i, received[i], senders*perSender, mb.nextDeliver, len(mb.holdback))
+		}
+	}
+	if t.Failed() {
+		seqm := r.kernels[0].grp[gid]
+		t.Logf("sequencer: seqno=%d history=%d acked=%v pendingEvents=%d",
+			seqm.seqno, len(seqm.history), seqm.acked, r.sim.Pending())
+	}
+}

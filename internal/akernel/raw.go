@@ -1,0 +1,116 @@
+package akernel
+
+import (
+	"amoebasim/internal/flip"
+	"amoebasim/internal/proc"
+)
+
+// rawModule is the Amoeba kernel extension that exposes the low-level FLIP
+// interface to user space. The Panda user-space implementation is built
+// entirely on these syscalls. The paper notes this extension "has not yet
+// been optimized" (user-to-kernel address translation); RawPathOverhead in
+// the cost model captures that residual per-packet cost.
+type rawModule struct {
+	k       *Kernel
+	queue   []*flip.Packet
+	waiters []*rawWaiter
+	discard func(*flip.Packet) bool
+}
+
+type rawWaiter struct {
+	t     *proc.Thread
+	match func(*flip.Packet) bool
+	pk    *flip.Packet
+}
+
+func newRawModule(k *Kernel) *rawModule {
+	return &rawModule{k: k}
+}
+
+// RawRegister announces this kernel's user-space FLIP endpoint.
+func (k *Kernel) RawRegister() { k.flip.Register(RawAddress(k.id)) }
+
+// RawJoinGroup subscribes the user-space endpoint to a FLIP group address.
+func (k *Kernel) RawJoinGroup(a flip.Address) { k.flip.JoinGroup(a) }
+
+// RawDiscard installs a kernel-level drop filter: incoming user-space
+// packets matching it are discarded in the interrupt handler without
+// waking any thread. A dedicated sequencer machine uses it to ignore
+// member traffic it subscribed to only as a side effect of joining the
+// group address.
+func (k *Kernel) RawDiscard(match func(*flip.Packet) bool) { k.raw.discard = match }
+
+// RawNextMsgID allocates a FLIP message id (local bookkeeping, no
+// crossing).
+func (k *Kernel) RawNextMsgID() uint64 { return k.flip.NextMsgID() }
+
+// RawSend transmits a message through FLIP from user space: one syscall,
+// a user-to-kernel copy, and the per-packet FLIP send processing, all
+// charged to the calling thread. Reuse msgID across retransmissions.
+func (k *Kernel) RawSend(t *proc.Thread, dst flip.Address, msgID uint64, hdr, size int, payload any, multicast bool) {
+	k.enterKernel(t)
+	t.Charge(k.m.RawPathOverhead)
+	k.flip.SendFromThread(t, flip.Message{
+		Src: RawAddress(k.id), Dst: dst, Proto: flip.ProtoSystem,
+		MsgID: msgID, Hdr: hdr, Size: size, Payload: payload,
+		Multicast: multicast,
+	})
+	k.leaveKernel(t)
+}
+
+// RawReceive blocks the calling thread (the Panda system-layer daemon)
+// until a FLIP packet arrives for the user-space endpoint, then copies it
+// to user space. FLIP fragments large messages, so the daemon receives
+// packets, not messages: reassembly happens in user space.
+func (k *Kernel) RawReceive(t *proc.Thread) *flip.Packet {
+	return k.RawReceiveMatch(t, nil)
+}
+
+// RawReceiveMatch is RawReceive restricted to packets satisfying match
+// (nil matches everything). It lets a user-space protocol thread — e.g.
+// the Panda sequencer — block directly on its own traffic so an arriving
+// packet dispatches it straight out of the interrupt handler.
+func (k *Kernel) RawReceiveMatch(t *proc.Thread, match func(*flip.Packet) bool) *flip.Packet {
+	r := k.raw
+	k.enterKernel(t)
+	var pk *flip.Packet
+	for i, q := range r.queue {
+		if match == nil || match(q) {
+			pk = q
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			break
+		}
+	}
+	if pk == nil {
+		w := &rawWaiter{t: t, match: match}
+		r.waiters = append(r.waiters, w)
+		t.Block()
+		pk = w.pk
+	}
+	t.Charge(k.m.RawPathOverhead)
+	t.CopyBytes(pk.Length)
+	k.leaveKernel(t)
+	return pk
+}
+
+// RawPending reports queued packets not yet picked up by the daemon.
+func (k *Kernel) RawPending() int { return len(k.raw.queue) }
+
+// onPacket queues an incoming FLIP packet for user space and wakes the
+// receive daemon. The dispatch of the daemon thread out of interrupt
+// context is the cost the paper's user-space analysis centers on.
+func (r *rawModule) onPacket(pk *flip.Packet) {
+	if r.discard != nil && r.discard(pk) {
+		return
+	}
+	for i, w := range r.waiters {
+		if w.match != nil && !w.match(pk) {
+			continue
+		}
+		r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+		w.pk = pk
+		w.t.Unblock()
+		return
+	}
+	r.queue = append(r.queue, pk)
+}

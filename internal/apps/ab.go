@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"time"
+
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+)
+
+// AB is the Alpha-Beta search program of §5: parallel game-tree search
+// over a synthetic deterministic game tree. Root moves are jobs from a
+// central queue; the best score found so far (alpha) is a replicated
+// object read before each job. The poor speedups come from search
+// overhead: workers searching with a stale alpha visit nodes a sequential
+// search would have pruned — "efficient pruning in parallel αβ-search is a
+// known hard problem".
+type AB struct {
+	// Branch is the game-tree branching factor (default 10).
+	Branch int
+	// Depth is the search depth below a root move (default 6).
+	Depth int
+	// RootMoves is the number of jobs (default 64).
+	RootMoves int
+	// NodeCost is the simulated CPU cost per visited node (default
+	// calibrated so the single-processor run lands near Table 3's 565 s).
+	NodeCost time.Duration
+	// Seed drives the synthetic tree's leaf values.
+	Seed uint64
+}
+
+var _ App = (*AB)(nil)
+
+// Name implements App.
+func (a *AB) Name() string { return "ab" }
+
+// NeedsGroup implements App: alpha is replicated.
+func (a *AB) NeedsGroup() bool { return true }
+
+func (a *AB) defaults() AB {
+	d := *a
+	if d.Branch == 0 {
+		d.Branch = 10
+	}
+	if d.Depth == 0 {
+		d.Depth = 6
+	}
+	if d.RootMoves == 0 {
+		d.RootMoves = 64
+	}
+	if d.NodeCost == 0 {
+		// Calibrated against the measured visited-node count of the
+		// default tree so one processor lands near Table 3's 565 s.
+		d.NodeCost = 310 * time.Microsecond
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	return d
+}
+
+// Setup implements App.
+func (a *AB) Setup(h *Harness) func() int64 {
+	cfg := a.defaults()
+
+	queueType := orca.NewType("jobqueue",
+		&orca.OpDef{
+			Name: "next",
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				q := s.(*[]int)
+				if len(*q) == 0 {
+					return -1, 4
+				}
+				j := (*q)[0]
+				*q = (*q)[1:]
+				return j, 4
+			},
+		},
+	)
+	alphaType := orca.NewType("alpha",
+		&orca.OpDef{
+			Name: "read", ReadOnly: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				return *s.(*int), 4
+			},
+		},
+		&orca.OpDef{
+			Name: "raise",
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				al := s.(*int)
+				if v := args.(int); v > *al {
+					*al = v
+				}
+				return *al, 4
+			},
+		},
+	)
+
+	queue := h.Program.DeclareOwned("jobs", queueType, 0, func() orca.State {
+		q := make([]int, cfg.RootMoves)
+		for i := range q {
+			q[i] = i
+		}
+		return &q
+	})
+	alpha := h.Program.DeclareReplicated("alpha", alphaType, func() orca.State {
+		a := -1 << 30
+		return &a
+	})
+
+	h.SpawnWorkers(func(rt *orca.Runtime, t *proc.Thread) error {
+		for {
+			res, _, err := rt.Invoke(t, queue, "next", nil, 0)
+			if err != nil {
+				return err
+			}
+			move, ok := res.(int)
+			if !ok || move < 0 {
+				return nil
+			}
+			av, _, err := rt.Invoke(t, alpha, "read", nil, 0)
+			if err != nil {
+				return err
+			}
+			curAlpha := av.(int)
+			// The root is a maximizing node; each root-move subtree is
+			// evaluated from the minimizing side, so we negate.
+			nodes := 0
+			val := -abSearch(cfg.Seed, uint64(move+1), cfg.Branch, cfg.Depth,
+				-(1 << 30), -curAlpha, &nodes)
+			t.Compute(time.Duration(nodes) * cfg.NodeCost)
+			if val > curAlpha {
+				if _, _, err := rt.Invoke(t, alpha, "raise", val, 4); err != nil {
+					return err
+				}
+			}
+		}
+	})
+
+	return func() int64 {
+		return int64(*h.Program.Runtime(0).PeekState(alpha).(*int))
+	}
+}
+
+// abSearch is a fail-soft negamax alpha-beta over the synthetic tree.
+// Nodes are identified by a path hash; leaf values derive from it
+// deterministically. The returned value is exact when it lies in
+// (alpha, beta); node counts depend on the window (hence on how stale the
+// shared alpha was).
+func abSearch(seed, node uint64, branch, depth, alpha, beta int, nodes *int) int {
+	*nodes++
+	if depth == 0 {
+		return abLeafValue(seed, node)
+	}
+	best := -1 << 30
+	for c := 0; c < branch; c++ {
+		child := node*uint64(branch+1) + uint64(c) + 1
+		v := -abSearch(seed, child, branch, depth-1, -beta, -alpha, nodes)
+		if v > best {
+			best = v
+		}
+		if best > alpha {
+			alpha = best
+		}
+		if alpha >= beta {
+			break
+		}
+	}
+	return best
+}
+
+// abLeafValue is a deterministic pseudo-random leaf evaluation in
+// [-1000, 1000].
+func abLeafValue(seed, node uint64) int {
+	z := node + seed*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z%2001) - 1000
+}

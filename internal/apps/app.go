@@ -1,0 +1,128 @@
+// Package apps contains the six parallel Orca applications measured in §5
+// of the paper: Travelling Salesman (TSP), All-Pairs Shortest Paths (ASP),
+// Alpha-Beta search (AB), Region Labeling (RL), Successive Overrelaxation
+// (SOR) and a Linear Equation solver (LEQ). Each is a real algorithm
+// computing a verifiable answer; the CPU cost of the numeric work is
+// charged to the simulated clock through per-work-unit constants
+// calibrated so single-processor runs land near Table 3.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// errBadRow reports a protocol-level payload type mismatch (should never
+// happen; indicates a harness bug).
+var errBadRow = errors.New("apps: unexpected payload type")
+
+// Result is one application run.
+type Result struct {
+	App     string
+	Procs   int
+	Mode    string
+	Elapsed time.Duration // simulated execution time
+	Answer  int64         // deterministic application answer (checksum)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s procs=%d %s: %v (answer %d)", r.App, r.Procs, r.Mode, r.Elapsed, r.Answer)
+}
+
+// App is one of the paper's parallel applications.
+type App interface {
+	// Name is the application's short name (tsp, asp, ab, rl, sor, leq).
+	Name() string
+	// NeedsGroup reports whether the app uses group communication.
+	NeedsGroup() bool
+	// Setup declares the app's shared objects and spawns its workers on
+	// the harness. The returned function extracts the deterministic
+	// answer once the simulation has completed.
+	Setup(h *Harness) func() int64
+}
+
+// Harness wires an application into a cluster: it spawns one Orca worker
+// process per processor and records when the last one finishes.
+type Harness struct {
+	Cluster *cluster.Cluster
+	Program *orca.Program
+	Procs   int
+
+	done   int
+	finish sim.Time
+	errs   []error
+}
+
+// NewHarness builds a harness over an existing cluster.
+func NewHarness(c *cluster.Cluster) *Harness {
+	procs := len(c.Transports)
+	return &Harness{
+		Cluster: c,
+		Program: orca.NewProgram(c.Transports, c.Procs[:procs]),
+		Procs:   procs,
+	}
+}
+
+// SpawnWorkers starts body on every processor. Each worker must return
+// only when its share of the computation is complete.
+func (h *Harness) SpawnWorkers(body func(rt *orca.Runtime, t *proc.Thread) error) {
+	for i := 0; i < h.Procs; i++ {
+		rt := h.Program.Runtime(i)
+		rt.Go(fmt.Sprintf("orca-worker-%d", i), func(t *proc.Thread) {
+			if err := body(rt, t); err != nil {
+				h.errs = append(h.errs, fmt.Errorf("worker %d: %w", rt.ID(), err))
+			}
+			h.done++
+			if h.done == h.Procs {
+				h.finish = h.Cluster.Sim.Now()
+			}
+		})
+	}
+}
+
+// Wait drives the simulation to completion and returns the elapsed
+// simulated time at the moment the last worker finished.
+func (h *Harness) Wait() (time.Duration, error) {
+	h.Cluster.Run()
+	if len(h.errs) > 0 {
+		return 0, h.errs[0]
+	}
+	if h.done != h.Procs {
+		return 0, fmt.Errorf("apps: only %d/%d workers finished", h.done, h.Procs)
+	}
+	return h.finish.Duration(), nil
+}
+
+// RunApp assembles a cluster for cfg, runs the app, and tears everything
+// down.
+func RunApp(app App, cfg cluster.Config) (Result, error) {
+	cfg.Group = cfg.Group || app.NeedsGroup()
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer c.Shutdown()
+	h := NewHarness(c)
+	answer := app.Setup(h)
+	elapsed, err := h.Wait()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", app.Name(), err)
+	}
+	mode := cfg.Mode.String()
+	if cfg.DedicatedSequencer {
+		mode += "-dedicated"
+	}
+	return Result{
+		App:     app.Name(),
+		Procs:   len(c.Transports),
+		Mode:    mode,
+		Elapsed: elapsed,
+		Answer:  answer(),
+	}, nil
+}

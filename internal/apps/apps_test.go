@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+)
+
+// TestAnswersIdenticalAcrossModesAndProcs is the core correctness check:
+// every application must compute exactly the same answer regardless of
+// protocol implementation and processor count — the protocols change only
+// the timing.
+func TestAnswersIdenticalAcrossModesAndProcs(t *testing.T) {
+	for _, app := range TestScale() {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			var want int64
+			first := true
+			for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+				for _, procs := range []int{1, 2, 4} {
+					res, err := RunApp(app, cluster.Config{
+						Procs: procs, Mode: mode, Seed: 5,
+					})
+					if err != nil {
+						t.Fatalf("%v procs=%d: %v", mode, procs, err)
+					}
+					if first {
+						want = res.Answer
+						first = false
+						continue
+					}
+					if res.Answer != want {
+						t.Fatalf("%v procs=%d: answer %d, want %d",
+							mode, procs, res.Answer, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppsSpeedUp checks that adding processors reduces simulated
+// execution time for the compute-bound applications at test scale.
+func TestAppsSpeedUp(t *testing.T) {
+	for _, app := range []App{
+		&TSP{Cities: 8, JobCost: 50 * time.Millisecond},
+		&AB{Branch: 4, Depth: 5, RootMoves: 12, NodeCost: time.Millisecond},
+	} {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			r1, err := RunApp(app, cluster.Config{Procs: 1, Mode: panda.UserSpace, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r4, err := RunApp(app, cluster.Config{Procs: 4, Mode: panda.UserSpace, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r4.Elapsed >= r1.Elapsed {
+				t.Fatalf("no speedup: 1p=%v 4p=%v", r1.Elapsed, r4.Elapsed)
+			}
+			speedup := float64(r1.Elapsed) / float64(r4.Elapsed)
+			t.Logf("%s: 1p=%v 4p=%v speedup=%.2f", app.Name(), r1.Elapsed, r4.Elapsed, speedup)
+			if speedup < 1.5 {
+				t.Fatalf("speedup %.2f too low for a coarse-grained app", speedup)
+			}
+		})
+	}
+}
+
+// TestLEQNonblockingExtension runs LEQ with the §6 nonblocking broadcasts
+// and verifies the answer is unchanged.
+func TestLEQNonblockingExtension(t *testing.T) {
+	base, err := RunApp(&LEQ{N: 48, Iters: 12}, cluster.Config{
+		Procs: 4, Mode: panda.UserSpace, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := RunApp(&LEQ{N: 48, Iters: 12, NB: true}, cluster.Config{
+		Procs: 4, Mode: panda.UserSpace, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Answer != base.Answer {
+		t.Fatalf("NB answer %d != blocking answer %d", nb.Answer, base.Answer)
+	}
+	t.Logf("LEQ 4p: blocking=%v nonblocking=%v", base.Elapsed, nb.Elapsed)
+	if nb.Elapsed >= base.Elapsed {
+		t.Fatalf("nonblocking broadcasts should reduce execution time (%v vs %v)",
+			nb.Elapsed, base.Elapsed)
+	}
+}
+
+// TestLEQDedicatedSequencer verifies the dedicated-sequencer configuration
+// produces the same answer.
+func TestLEQDedicatedSequencer(t *testing.T) {
+	base, err := RunApp(&LEQ{N: 48, Iters: 12}, cluster.Config{
+		Procs: 4, Mode: panda.UserSpace, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ded, err := RunApp(&LEQ{N: 48, Iters: 12}, cluster.Config{
+		Procs: 4, Mode: panda.UserSpace, Seed: 5, DedicatedSequencer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ded.Answer != base.Answer {
+		t.Fatalf("dedicated answer %d != member answer %d", ded.Answer, base.Answer)
+	}
+	if ded.Mode != "user-space-dedicated" {
+		t.Fatalf("mode label = %q", ded.Mode)
+	}
+}
+
+// TestAppsRunUnderPacketLoss exercises the full stack end to end with
+// loss: answers must still be exact.
+func TestAppsRunUnderPacketLoss(t *testing.T) {
+	for _, app := range []App{
+		&ASP{N: 32},
+		&LEQ{N: 32, Iters: 6},
+		&RL{Rows: 32, Cols: 32, Iters: 4},
+	} {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			clean, err := RunApp(app, cluster.Config{Procs: 3, Mode: panda.UserSpace, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lossy, err := RunApp(app, cluster.Config{
+				Procs: 3, Mode: panda.UserSpace, Seed: 5, LossRate: 0.03,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lossy.Answer != clean.Answer {
+				t.Fatalf("answer changed under loss: %d vs %d", lossy.Answer, clean.Answer)
+			}
+			if lossy.Elapsed < clean.Elapsed {
+				t.Logf("note: lossy run faster (%v vs %v); timers can shadow compute", lossy.Elapsed, clean.Elapsed)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 6 {
+		t.Fatalf("expected 6 apps, got %d", len(All()))
+	}
+	for _, name := range []string{"tsp", "asp", "ab", "rl", "sor", "leq"} {
+		if ByName(name) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName should return nil for unknown apps")
+	}
+}

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"time"
+
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// ASP is the All-Pairs Shortest Paths program of §5: Floyd-Warshall with
+// the distance matrix partitioned row-wise. In iteration k the owner of
+// pivot row k broadcasts it to everyone (the paper: 768 group messages of
+// 3200 bytes, ≈5 ms each); every processor then relaxes its own rows. The
+// moderate speedup is caused by the per-iteration broadcast latency.
+type ASP struct {
+	// N is the number of graph nodes (default 768, as in the paper).
+	N int
+	// CellCost is the simulated CPU cost of one relaxation (default
+	// calibrated to Table 3's 213 s single-processor run: 213 s / 768³).
+	CellCost time.Duration
+	// Seed drives instance generation.
+	Seed uint64
+}
+
+var _ App = (*ASP)(nil)
+
+// Name implements App.
+func (a *ASP) Name() string { return "asp" }
+
+// NeedsGroup implements App.
+func (a *ASP) NeedsGroup() bool { return true }
+
+func (a *ASP) defaults() ASP {
+	d := *a
+	if d.N == 0 {
+		d.N = 768
+	}
+	if d.CellCost == 0 {
+		d.CellCost = 470 * time.Nanosecond
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	return d
+}
+
+// aspBoard is the replicated pivot-row board: publish(k,row) broadcasts a
+// pivot row; await(k) is a guarded local read that blocks until row k has
+// been delivered.
+type aspBoard struct {
+	rows map[int][]int32
+}
+
+type aspPublish struct {
+	k   int
+	row []int32
+}
+
+// Setup implements App.
+func (a *ASP) Setup(h *Harness) func() int64 {
+	cfg := a.defaults()
+	n := cfg.N
+	p := h.Procs
+
+	// Deterministic directed graph.
+	rng := sim.NewRand(cfg.Seed)
+	const inf = int32(1) << 29
+	dist := make([][]int32, n)
+	for i := range dist {
+		dist[i] = make([]int32, n)
+		for j := range dist[i] {
+			switch {
+			case i == j:
+				dist[i][j] = 0
+			case rng.Intn(100) < 12: // sparse edges
+				dist[i][j] = int32(rng.Intn(99) + 1)
+			default:
+				dist[i][j] = inf
+			}
+		}
+	}
+
+	boardType := orca.NewType("rowboard",
+		&orca.OpDef{
+			Name: "publish",
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				b := s.(*aspBoard)
+				pub := args.(aspPublish)
+				b.rows[pub.k] = pub.row
+				return nil, 0
+			},
+		},
+		&orca.OpDef{
+			// await's guard references the operation parameter k, so it
+			// is supplied per invocation via InvokeGuarded.
+			Name: "await", ReadOnly: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				b := s.(*aspBoard)
+				k := args.(int)
+				return b.rows[k], len(b.rows[k]) * 4
+			},
+		},
+	)
+	board := h.Program.DeclareReplicated("rows", boardType, func() orca.State {
+		return &aspBoard{rows: make(map[int][]int32, n)}
+	})
+
+	lo := func(id int) int { return id * n / p }
+	hi := func(id int) int { return (id + 1) * n / p }
+	owner := func(k int) int { return k * p / n }
+
+	h.SpawnWorkers(func(rt *orca.Runtime, t *proc.Thread) error {
+		id := rt.ID()
+		myLo, myHi := lo(id), hi(id)
+		myRows := myHi - myLo
+		for k := 0; k < n; k++ {
+			var rowk []int32
+			if owner(k) == id {
+				rowk = append([]int32(nil), dist[k]...)
+				if _, _, err := rt.Invoke(t, board, "publish",
+					aspPublish{k: k, row: rowk}, n*4); err != nil {
+					return err
+				}
+			} else {
+				res, _, err := rt.InvokeGuarded(t, board, "await", k, 4,
+					func(s orca.State) bool {
+						_, ok := s.(*aspBoard).rows[k]
+						return ok
+					})
+				if err != nil {
+					return err
+				}
+				var okCast bool
+				rowk, okCast = res.([]int32)
+				if !okCast {
+					return errBadRow
+				}
+			}
+			for i := myLo; i < myHi; i++ {
+				dik := dist[i][k]
+				if dik >= inf {
+					continue
+				}
+				ri := dist[i]
+				for j := 0; j < n; j++ {
+					if v := dik + rowk[j]; v < ri[j] {
+						ri[j] = v
+					}
+				}
+			}
+			t.Compute(time.Duration(myRows*n) * cfg.CellCost)
+		}
+		return nil
+	})
+
+	return func() int64 {
+		var sum int64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dist[i][j] < inf {
+					sum += int64(dist[i][j])
+				}
+			}
+		}
+		return sum
+	}
+}

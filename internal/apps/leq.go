@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"time"
+
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// LEQ is the Linear Equation solver of §5: Jacobi iteration on a dense
+// diagonally-dominant system. Every iteration each processor updates its
+// block of the solution vector and broadcasts it to all others, so the
+// group sequencer handles P broadcasts per iteration — the workload that
+// overloads the user-space sequencer machine at 32 processors and makes
+// the dedicated-sequencer configuration pay off. Going from 16 to 32
+// processors doubles the number of group messages while halving their
+// size, which is why execution time rises again at 32 in the paper.
+type LEQ struct {
+	// N is the system size (default 256).
+	N int
+	// Iters is the number of Jacobi iterations (default 2400).
+	Iters int
+	// CellCost is the simulated CPU cost of one multiply-accumulate
+	// (default calibrated to Table 3's 521 s single-processor run).
+	CellCost time.Duration
+	// Seed drives system generation.
+	Seed uint64
+	// NB uses the §6 nonblocking-broadcast extension for the block
+	// publications (user-space transports only).
+	NB bool
+}
+
+var _ App = (*LEQ)(nil)
+
+// Name implements App.
+func (a *LEQ) Name() string { return "leq" }
+
+// NeedsGroup implements App.
+func (a *LEQ) NeedsGroup() bool { return true }
+
+func (a *LEQ) defaults() LEQ {
+	d := *a
+	if d.N == 0 {
+		d.N = 256
+	}
+	if d.Iters == 0 {
+		d.Iters = 2400
+	}
+	if d.CellCost == 0 {
+		// 521 s / (256²·2400 ≈ 157M MACs) ≈ 3.3 µs. The fine grain
+		// (2400 iterations, each an all-to-all broadcast round) is what
+		// loads the sequencer machine, per §5's LEQ analysis.
+		d.CellCost = 3300 * time.Nanosecond
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	return d
+}
+
+// leqBoard collects published solution blocks per iteration.
+type leqBoard struct {
+	n     int
+	procs int
+	// got[it] counts blocks received for iteration it; x[it] is the
+	// assembled vector. Old iterations are pruned.
+	got map[int]int
+	x   map[int][]float64
+}
+
+type leqPublish struct {
+	iter   int
+	lo     int
+	vals   []float64
+	origin int
+}
+
+// Setup implements App.
+func (a *LEQ) Setup(h *Harness) func() int64 {
+	cfg := a.defaults()
+	n := cfg.N
+	p := h.Procs
+
+	// Deterministic diagonally-dominant system Ax = b.
+	rng := sim.NewRand(cfg.Seed)
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float64, n)
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				A[i][j] = float64(rng.Intn(9)) / 10
+				rowSum += A[i][j]
+			}
+		}
+		A[i][i] = rowSum + 1 + float64(rng.Intn(10))
+		b[i] = float64(rng.Intn(200) - 100)
+	}
+
+	boardType := orca.NewType("xboard",
+		&orca.OpDef{
+			Name: "publish", AllowNB: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				bd := s.(*leqBoard)
+				pub := args.(leqPublish)
+				xv := bd.x[pub.iter]
+				if xv == nil {
+					xv = make([]float64, bd.n)
+					bd.x[pub.iter] = xv
+				}
+				copy(xv[pub.lo:], pub.vals)
+				bd.got[pub.iter]++
+				if bd.got[pub.iter] == bd.procs {
+					delete(bd.got, pub.iter-2)
+					delete(bd.x, pub.iter-2)
+				}
+				return nil, 0
+			},
+		},
+		&orca.OpDef{
+			// awaitIter's guard is bound per invocation (it references
+			// the iteration number).
+			Name: "awaitIter", ReadOnly: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				bd := s.(*leqBoard)
+				it := args.(int)
+				return bd.x[it], bd.n * 8
+			},
+		},
+	)
+	board := h.Program.DeclareReplicated("x", boardType, func() orca.State {
+		return &leqBoard{n: n, procs: p, got: make(map[int]int), x: make(map[int][]float64)}
+	})
+	if cfg.NB {
+		h.Program.EnableNonblockingWrites()
+	}
+
+	lo := func(id int) int { return id * n / p }
+	hi := func(id int) int { return (id + 1) * n / p }
+
+	h.SpawnWorkers(func(rt *orca.Runtime, t *proc.Thread) error {
+		id := rt.ID()
+		myLo, myHi := lo(id), hi(id)
+		blockLen := myHi - myLo
+
+		x := make([]float64, n) // x_0 = 0
+		for it := 0; it < cfg.Iters; it++ {
+			// Update my block from the previous iterate.
+			vals := make([]float64, blockLen)
+			for i := myLo; i < myHi; i++ {
+				s := b[i]
+				ai := A[i]
+				for j := 0; j < n; j++ {
+					if j != i {
+						s -= ai[j] * x[j]
+					}
+				}
+				vals[i-myLo] = s / ai[i]
+			}
+			t.Compute(time.Duration(blockLen*n) * cfg.CellCost)
+
+			if _, _, err := rt.Invoke(t, board, "publish",
+				leqPublish{iter: it, lo: myLo, vals: vals, origin: id}, blockLen*8+8); err != nil {
+				return err
+			}
+			res, _, err := rt.InvokeGuarded(t, board, "awaitIter", it, 4,
+				func(s orca.State) bool {
+					return s.(*leqBoard).got[it] == p
+				})
+			if err != nil {
+				return err
+			}
+			full, ok := res.([]float64)
+			if !ok {
+				return errBadRow
+			}
+			copy(x, full)
+		}
+		return nil
+	})
+
+	return func() int64 {
+		bd, ok := h.Program.Runtime(0).PeekState(board).(*leqBoard)
+		if !ok {
+			return 0
+		}
+		xv := bd.x[cfg.Iters-1]
+		var sum float64
+		for _, v := range xv {
+			sum += v
+		}
+		return int64(sum * 1000)
+	}
+}

@@ -1,0 +1,30 @@
+package apps
+
+// All returns the paper's six applications with paper-calibrated default
+// problem sizes (Table 3 scale).
+func All() []App {
+	return []App{&TSP{}, &ASP{}, &AB{}, &RL{}, &SOR{}, &LEQ{}}
+}
+
+// ByName returns the application with the given short name, or nil.
+func ByName(name string) App {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// TestScale returns small problem-size variants used by tests: same code
+// paths and communication patterns, far less simulated work.
+func TestScale() []App {
+	return []App{
+		&TSP{Cities: 8, JobCost: 20e6}, // 20 ms
+		&ASP{N: 48},
+		&AB{Branch: 4, Depth: 4, RootMoves: 8, NodeCost: 2e6},
+		&RL{Rows: 48, Cols: 48, Iters: 8},
+		&SOR{Rows: 48, Cols: 32, Iters: 5},
+		&LEQ{N: 48, Iters: 12},
+	}
+}

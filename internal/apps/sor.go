@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"time"
+
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// SOR is the Successive Overrelaxation program of §5: red/black
+// Gauss-Seidel iteration over a float grid, with the same strip
+// partitioning and guarded-buffer boundary exchange as Region Labeling
+// (two exchanges per iteration, one per color phase).
+type SOR struct {
+	// Rows, Cols is the grid size (default 500×512).
+	Rows, Cols int
+	// Iters is the number of red+black iterations (default 200).
+	Iters int
+	// Omega is the overrelaxation factor (default 1.9).
+	Omega float64
+	// CellCost is the simulated CPU cost per cell update (default
+	// calibrated to Table 3's 118 s single-processor run).
+	CellCost time.Duration
+	// Seed drives boundary-condition generation.
+	Seed uint64
+}
+
+var _ App = (*SOR)(nil)
+
+// Name implements App.
+func (a *SOR) Name() string { return "sor" }
+
+// NeedsGroup implements App.
+func (a *SOR) NeedsGroup() bool { return false }
+
+func (a *SOR) defaults() SOR {
+	d := *a
+	if d.Rows == 0 {
+		// Like RL, 500 rows leave a strip imbalance that makes the
+		// guarded boundary exchange block.
+		d.Rows = 500
+	}
+	if d.Cols == 0 {
+		d.Cols = 512
+	}
+	if d.Iters == 0 {
+		d.Iters = 200
+	}
+	if d.Omega == 0 {
+		d.Omega = 1.9
+	}
+	if d.CellCost == 0 {
+		// 118 s / (500·512·200 ≈ 51.2M updates) ≈ 2.30 µs.
+		d.CellCost = 2300 * time.Nanosecond
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	return d
+}
+
+// Setup implements App.
+func (a *SOR) Setup(h *Harness) func() int64 {
+	cfg := a.defaults()
+	rows, cols := cfg.Rows, cfg.Cols
+	p := h.Procs
+
+	rng := sim.NewRand(cfg.Seed)
+	grid := make([][]float64, rows)
+	for i := range grid {
+		grid[i] = make([]float64, cols)
+	}
+	// Fixed boundary values on the outer frame.
+	for j := 0; j < cols; j++ {
+		grid[0][j] = float64(rng.Intn(100))
+		grid[rows-1][j] = float64(rng.Intn(100))
+	}
+	for i := 0; i < rows; i++ {
+		grid[i][0] = float64(rng.Intn(100))
+		grid[i][cols-1] = float64(rng.Intn(100))
+	}
+
+	sb := newStripBuffers(h, p)
+	lo := func(id int) int { return id * rows / p }
+	hi := func(id int) int { return (id + 1) * rows / p }
+
+	h.SpawnWorkers(func(rt *orca.Runtime, t *proc.Thread) error {
+		id := rt.ID()
+		myLo, myHi := lo(id), hi(id)
+		for it := 0; it < cfg.Iters; it++ {
+			for phase := 0; phase < 2; phase++ {
+				ghostTop, ghostBot, err := sb.exchange(rt, t, id, p, grid[myLo], grid[myHi-1])
+				if err != nil {
+					return err
+				}
+				updates := 0
+				for i := myLo; i < myHi; i++ {
+					if i == 0 || i == rows-1 {
+						continue // fixed boundary rows
+					}
+					up := grid[i-1]
+					if i-1 < myLo {
+						up = ghostTop
+					}
+					down := grid[i+1]
+					if i+1 >= myHi {
+						down = ghostBot
+					}
+					row := grid[i]
+					for j := 1 + (i+phase)%2; j < cols-1; j += 2 {
+						gs := (up[j] + down[j] + row[j-1] + row[j+1]) / 4
+						row[j] = row[j] + cfg.Omega*(gs-row[j])
+						updates++
+					}
+				}
+				t.Compute(time.Duration(updates) * cfg.CellCost)
+			}
+		}
+		return nil
+	})
+
+	return func() int64 {
+		var sum float64
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				sum += grid[i][j]
+			}
+		}
+		return int64(sum * 1000)
+	}
+}

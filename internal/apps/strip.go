@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"amoebasim/internal/orca"
+	"amoebasim/internal/proc"
+)
+
+// stripBuffers is the boundary-exchange machinery shared by RL and SOR:
+// the grid is partitioned into horizontal strips, and after each iteration
+// neighbors exchange boundary rows through shared bounded-buffer objects.
+// Each buffer is owned by its producer, so the consumer's BufGet is a
+// remote guarded operation — it blocks (as a continuation) until the owner
+// fills the buffer. This is exactly the pattern for which the paper's
+// kernel-space implementation pays an extra context switch per operation.
+type stripBuffers struct {
+	topOut []orca.Handle // topOut[p]: p's top row, consumed by p-1
+	botOut []orca.Handle // botOut[p]: p's bottom row, consumed by p+1
+}
+
+const bufCap = 2
+
+// rowBufType is the paper's bounded buffer: put blocks while full, get
+// blocks while empty.
+func rowBufType() *orca.ObjType {
+	return orca.NewType("rowbuf",
+		&orca.OpDef{
+			Name: "put",
+			Guard: func(s orca.State) bool {
+				return len(*s.(*[][]float64)) < bufCap
+			},
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				q := s.(*[][]float64)
+				*q = append(*q, args.([]float64))
+				return nil, 0
+			},
+		},
+		&orca.OpDef{
+			Name: "get",
+			Guard: func(s orca.State) bool {
+				return len(*s.(*[][]float64)) > 0
+			},
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				q := s.(*[][]float64)
+				row := (*q)[0]
+				*q = (*q)[1:]
+				return row, len(row) * 4
+			},
+		},
+	)
+}
+
+// newStripBuffers declares the neighbor-exchange buffers for p workers.
+func newStripBuffers(h *Harness, p int) *stripBuffers {
+	sb := &stripBuffers{
+		topOut: make([]orca.Handle, p),
+		botOut: make([]orca.Handle, p),
+	}
+	typ := rowBufType()
+	mkbuf := func(name string, owner int) orca.Handle {
+		return h.Program.DeclareOwned(name, typ, owner, func() orca.State {
+			var q [][]float64
+			return &q
+		})
+	}
+	for i := 0; i < p; i++ {
+		if i > 0 {
+			sb.topOut[i] = mkbuf("top", i)
+		}
+		if i < p-1 {
+			sb.botOut[i] = mkbuf("bot", i)
+		}
+	}
+	return sb
+}
+
+// exchange sends this worker's boundary rows and collects the neighbors'
+// ghost rows for the next iteration. Rows are copied so later local
+// mutation cannot leak into a message already sent.
+func (sb *stripBuffers) exchange(rt *orca.Runtime, t *proc.Thread, id, p int,
+	top, bot []float64) (ghostTop, ghostBot []float64, err error) {
+	cols := len(top)
+	if id > 0 {
+		row := append([]float64(nil), top...)
+		if _, _, err = rt.Invoke(t, sb.topOut[id], "put", row, cols*4); err != nil {
+			return nil, nil, err
+		}
+	}
+	if id < p-1 {
+		row := append([]float64(nil), bot...)
+		if _, _, err = rt.Invoke(t, sb.botOut[id], "put", row, cols*4); err != nil {
+			return nil, nil, err
+		}
+	}
+	if id > 0 {
+		res, _, gerr := rt.Invoke(t, sb.botOut[id-1], "get", nil, 0)
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		var ok bool
+		if ghostTop, ok = res.([]float64); !ok {
+			return nil, nil, errBadRow
+		}
+	}
+	if id < p-1 {
+		res, _, gerr := rt.Invoke(t, sb.topOut[id+1], "get", nil, 0)
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		var ok bool
+		if ghostBot, ok = res.([]float64); !ok {
+			return nil, nil, errBadRow
+		}
+	}
+	return ghostTop, ghostBot, nil
+}

@@ -1,0 +1,240 @@
+// Package bench regenerates the paper's quantitative results: Table 1
+// (communication latencies), Table 2 (throughputs), Table 3 (application
+// execution times and speedups), and the §4.2/§4.3 overhead
+// decompositions.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// PaperSizes are the message sizes of Table 1.
+var PaperSizes = []int{0, 1024, 2048, 3072, 4096}
+
+// defaultRounds is the number of measured round trips per data point (the
+// paper averages 10 runs; the simulation is deterministic, so rounds only
+// smooth piggyback warts).
+const defaultRounds = 10
+
+func newCluster(cfg cluster.Config) *cluster.Cluster {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: build cluster: %v", err))
+	}
+	return c
+}
+
+// SystemLatency measures the Panda system-layer primitive of Table 1's
+// unicast/multicast columns: a user-to-user pingpong where replies are
+// sent directly from within the receive upcall (no context switching in
+// the measured path), one-way time reported.
+func SystemLatency(size int, multicast bool) time.Duration {
+	c := newCluster(cluster.Config{Procs: 2, Mode: panda.UserSpace, Group: multicast})
+	defer c.Shutdown()
+	u0, ok0 := c.Transports[0].(*panda.User)
+	u1, ok1 := c.Transports[1].(*panda.User)
+	if !ok0 || !ok1 {
+		panic("bench: user transports expected")
+	}
+	send := func(u *panda.User, t *proc.Thread, dst int) {
+		u.SystemSend(t, dst, nil, size, multicast)
+	}
+	u0.HandleRaw(func(t *proc.Thread, from int, payload any, sz int) {
+		if from != 0 {
+			send(u0, t, from)
+		}
+	})
+	const rounds = defaultRounds
+	count := 0
+	var start sim.Time
+	var total time.Duration
+	u1.HandleRaw(func(t *proc.Thread, from int, payload any, sz int) {
+		if from == 1 {
+			return // own multicast loopback
+		}
+		count++
+		if count == 1 {
+			start = c.Sim.Now()
+		}
+		if count <= rounds {
+			send(u1, t, from)
+			return
+		}
+		total = c.Sim.Now().Sub(start)
+	})
+	c.Procs[1].NewThread("pinger", proc.PrioNormal, func(t *proc.Thread) {
+		send(u1, t, 0) // warm-up (locate) + kick off
+	})
+	c.Run()
+	if total == 0 {
+		panic("bench: system pingpong did not complete")
+	}
+	return total / (2 * rounds)
+}
+
+// RPCLatency measures Table 1's RPC columns: requests of the given size,
+// empty replies, one round trip reported.
+func RPCLatency(mode panda.Mode, size int) time.Duration {
+	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	defer c.Shutdown()
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+		srv.Reply(t, ctx, nil, 0)
+	})
+	var total time.Duration
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		if _, _, err := c.Transports[1].Call(t, 0, nil, size); err != nil {
+			return
+		}
+		start := c.Sim.Now()
+		for i := 0; i < defaultRounds; i++ {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, size); err != nil {
+				return
+			}
+		}
+		total = c.Sim.Now().Sub(start)
+	})
+	c.Run()
+	if total == 0 {
+		panic("bench: rpc pingpong did not complete")
+	}
+	return total / defaultRounds
+}
+
+// GroupLatency measures Table 1's group columns: a group of two members;
+// the sender (not the sequencer machine) waits until its own message
+// comes back from the sequencer.
+func GroupLatency(mode panda.Mode, size int, dedicated bool) time.Duration {
+	c := newCluster(cluster.Config{
+		Procs: 2, Mode: mode, Group: true, DedicatedSequencer: dedicated,
+	})
+	defer c.Shutdown()
+	var total time.Duration
+	tr := c.Transports[1]
+	c.Procs[1].NewThread("sender", proc.PrioNormal, func(t *proc.Thread) {
+		if err := tr.GroupSend(t, nil, size); err != nil {
+			return
+		}
+		start := c.Sim.Now()
+		for i := 0; i < defaultRounds; i++ {
+			if err := tr.GroupSend(t, nil, size); err != nil {
+				return
+			}
+		}
+		total = c.Sim.Now().Sub(start)
+	})
+	c.Run()
+	if total == 0 {
+		panic("bench: group send did not complete")
+	}
+	return total / defaultRounds
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Size        int
+	Unicast     time.Duration
+	Multicast   time.Duration
+	RPCUser     time.Duration
+	RPCKernel   time.Duration
+	GroupUser   time.Duration
+	GroupKernel time.Duration
+}
+
+// Table1 regenerates Table 1 for the given message sizes.
+func Table1(sizes []int) []Table1Row {
+	if sizes == nil {
+		sizes = PaperSizes
+	}
+	rows := make([]Table1Row, 0, len(sizes))
+	for _, s := range sizes {
+		rows = append(rows, Table1Row{
+			Size:        s,
+			Unicast:     SystemLatency(s, false),
+			Multicast:   SystemLatency(s, true),
+			RPCUser:     RPCLatency(panda.UserSpace, s),
+			RPCKernel:   RPCLatency(panda.KernelSpace, s),
+			GroupUser:   GroupLatency(panda.UserSpace, s, false),
+			GroupKernel: GroupLatency(panda.KernelSpace, s, false),
+		})
+	}
+	return rows
+}
+
+// Table2 holds the throughput results of Table 2 in bytes/second.
+type Table2 struct {
+	RPCUser     float64
+	RPCKernel   float64
+	GroupUser   float64
+	GroupKernel float64
+}
+
+// throughputWindow is the simulated time over which throughput is
+// averaged.
+const throughputWindow = 2 * time.Second
+
+// RPCThroughput streams 8000-byte requests with empty replies and reports
+// the data rate.
+func RPCThroughput(mode panda.Mode) float64 {
+	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	defer c.Shutdown()
+	var received int64
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+		received += int64(sz)
+		srv.Reply(t, ctx, nil, 0)
+	})
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		for {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, 8000); err != nil {
+				return
+			}
+		}
+	})
+	c.RunUntil(sim.Time(throughputWindow))
+	return float64(received) / throughputWindow.Seconds()
+}
+
+// GroupThroughput has several members send 8000-byte messages in parallel
+// (saturating the Ethernet, as in the paper) and reports the ordered
+// delivery rate at one member.
+func GroupThroughput(mode panda.Mode) float64 {
+	const members = 4
+	c := newCluster(cluster.Config{Procs: members, Mode: mode, Group: true})
+	defer c.Shutdown()
+	var delivered int64
+	c.Transports[0].HandleGroup(func(t *proc.Thread, sender int, seqno uint64, payload any, sz int) {
+		delivered += int64(sz)
+	})
+	for s := 1; s < members; s++ {
+		tr := c.Transports[s]
+		c.Procs[s].NewThread("sender", proc.PrioNormal, func(t *proc.Thread) {
+			for {
+				if err := tr.GroupSend(t, nil, 8000); err != nil {
+					return
+				}
+			}
+		})
+	}
+	c.RunUntil(sim.Time(throughputWindow))
+	return float64(delivered) / throughputWindow.Seconds()
+}
+
+// RunTable2 regenerates Table 2.
+func RunTable2() Table2 {
+	return Table2{
+		RPCUser:     RPCThroughput(panda.UserSpace),
+		RPCKernel:   RPCThroughput(panda.KernelSpace),
+		GroupUser:   GroupThroughput(panda.UserSpace),
+		GroupKernel: GroupThroughput(panda.KernelSpace),
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"amoebasim/internal/apps"
+	"amoebasim/internal/panda"
+)
+
+func TestTable3AppsScales(t *testing.T) {
+	paper := Table3Apps("paper")
+	quick := Table3Apps("quick")
+	if len(paper) != 6 || len(quick) != 6 {
+		t.Fatalf("paper=%d quick=%d, want 6 each", len(paper), len(quick))
+	}
+	for i := range paper {
+		if paper[i].Name() != quick[i].Name() {
+			t.Fatalf("scale variants out of order: %s vs %s", paper[i].Name(), quick[i].Name())
+		}
+	}
+}
+
+func TestMaxSpeedup(t *testing.T) {
+	e := &Table3Entry{
+		App:   "x",
+		Procs: []int{1, 4},
+		Runs: map[string][]apps.Result{
+			"impl": {
+				{Procs: 1, Elapsed: 8 * time.Second},
+				{Procs: 4, Elapsed: 2 * time.Second},
+			},
+		},
+	}
+	if s := e.MaxSpeedup("impl"); s != 4 {
+		t.Fatalf("MaxSpeedup = %v, want 4", s)
+	}
+	if s := e.MaxSpeedup("missing"); s != 0 {
+		t.Fatalf("MaxSpeedup(missing) = %v, want 0", s)
+	}
+}
+
+func TestRunTable3QuickSmoke(t *testing.T) {
+	entries, err := RunTable3([]apps.App{&apps.SOR{Rows: 24, Cols: 24, Iters: 3}}, []int{1, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Runs["kernel-space"]) != 2 {
+		t.Fatalf("entries malformed: %+v", entries)
+	}
+	var sb strings.Builder
+	PrintTable3(&sb, entries)
+	if !strings.Contains(sb.String(), "sor") || !strings.Contains(sb.String(), "user-space") {
+		t.Fatalf("table output malformed:\n%s", sb.String())
+	}
+}
+
+func TestPrintTable1And2(t *testing.T) {
+	var sb strings.Builder
+	PrintTable1(&sb, []Table1Row{{Size: 1024, Unicast: time.Millisecond}})
+	if !strings.Contains(sb.String(), "1 Kb") {
+		t.Fatal("Table 1 output malformed")
+	}
+	sb.Reset()
+	PrintTable2(&sb, Table2{RPCUser: 825e3, RPCKernel: 897e3, GroupUser: 941e3, GroupKernel: 941e3})
+	out := sb.String()
+	if !strings.Contains(out, "825 Kb/s") || !strings.Contains(out, "941 Kb/s") {
+		t.Fatalf("Table 2 output malformed:\n%s", out)
+	}
+}
+
+func TestDecompositionPrints(t *testing.T) {
+	var sb strings.Builder
+	PrintDecomposition(&sb, Decomposition{Op: "rpc", Mode: panda.UserSpace.String(), Latency: time.Millisecond})
+	if !strings.Contains(sb.String(), "user-space") {
+		t.Fatal("decomposition output malformed")
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+)
+
+// Decomposition is the per-operation cost accounting of §4.2/§4.3: how
+// many scheduling and kernel-crossing events each null operation incurs
+// under each implementation, plus the measured latency.
+type Decomposition struct {
+	Op      string // "rpc" or "group"
+	Mode    string
+	Latency time.Duration
+	// Per-operation event counts (averaged over the measured rounds).
+	CtxSwitches    float64
+	ColdDispatches float64
+	WarmDispatches float64
+	DirectResumes  float64
+	WindowTraps    float64
+	Syscalls       float64
+	Locks          float64
+}
+
+func sub(a, b proc.Stats) proc.Stats {
+	a.CtxSwitches -= b.CtxSwitches
+	a.ColdDispatches -= b.ColdDispatches
+	a.WarmDispatches -= b.WarmDispatches
+	a.DirectResumes -= b.DirectResumes
+	a.Traps -= b.Traps
+	a.Syscalls -= b.Syscalls
+	a.Locks -= b.Locks
+	return a
+}
+
+// DecomposeRPC measures the per-RPC event counts for a mode (both
+// machines combined).
+func DecomposeRPC(mode panda.Mode) Decomposition {
+	const rounds = 50
+	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	defer c.Shutdown()
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+		srv.Reply(t, ctx, nil, 0)
+	})
+	var before, after [2]proc.Stats
+	var total time.Duration
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		if _, _, err := c.Transports[1].Call(t, 0, nil, 0); err != nil {
+			return
+		}
+		before[0], before[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
+		start := c.Sim.Now()
+		for i := 0; i < rounds; i++ {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, 0); err != nil {
+				return
+			}
+		}
+		total = c.Sim.Now().Sub(start)
+		after[0], after[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
+	})
+	c.Run()
+	d0 := sub(after[0], before[0])
+	d1 := sub(after[1], before[1])
+	return Decomposition{
+		Op:             "rpc",
+		Mode:           mode.String(),
+		Latency:        total / rounds,
+		CtxSwitches:    float64(d0.CtxSwitches+d1.CtxSwitches) / rounds,
+		ColdDispatches: float64(d0.ColdDispatches+d1.ColdDispatches) / rounds,
+		WarmDispatches: float64(d0.WarmDispatches+d1.WarmDispatches) / rounds,
+		DirectResumes:  float64(d0.DirectResumes+d1.DirectResumes) / rounds,
+		WindowTraps:    float64(d0.Traps+d1.Traps) / rounds,
+		Syscalls:       float64(d0.Syscalls+d1.Syscalls) / rounds,
+		Locks:          float64(d0.Locks+d1.Locks) / rounds,
+	}
+}
+
+// DecomposeGroup measures the per-message event counts for a mode on a
+// two-member group (sender is not the sequencer machine).
+func DecomposeGroup(mode panda.Mode) Decomposition {
+	const rounds = 50
+	c := newCluster(cluster.Config{Procs: 2, Mode: mode, Group: true})
+	defer c.Shutdown()
+	var before, after [2]proc.Stats
+	var total time.Duration
+	tr := c.Transports[1]
+	c.Procs[1].NewThread("sender", proc.PrioNormal, func(t *proc.Thread) {
+		if err := tr.GroupSend(t, nil, 0); err != nil {
+			return
+		}
+		before[0], before[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
+		start := c.Sim.Now()
+		for i := 0; i < rounds; i++ {
+			if err := tr.GroupSend(t, nil, 0); err != nil {
+				return
+			}
+		}
+		total = c.Sim.Now().Sub(start)
+		after[0], after[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
+	})
+	c.Run()
+	d0 := sub(after[0], before[0])
+	d1 := sub(after[1], before[1])
+	return Decomposition{
+		Op:             "group",
+		Mode:           mode.String(),
+		Latency:        total / rounds,
+		CtxSwitches:    float64(d0.CtxSwitches+d1.CtxSwitches) / rounds,
+		ColdDispatches: float64(d0.ColdDispatches+d1.ColdDispatches) / rounds,
+		WarmDispatches: float64(d0.WarmDispatches+d1.WarmDispatches) / rounds,
+		DirectResumes:  float64(d0.DirectResumes+d1.DirectResumes) / rounds,
+		WindowTraps:    float64(d0.Traps+d1.Traps) / rounds,
+		Syscalls:       float64(d0.Syscalls+d1.Syscalls) / rounds,
+		Locks:          float64(d0.Locks+d1.Locks) / rounds,
+	}
+}

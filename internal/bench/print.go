@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+}
+
+// PrintTable1 writes Table 1 in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Communication Latencies")
+	fmt.Fprintf(w, "%-8s %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
+		"size", "unicast", "multicast", "RPC user", "RPC kern", "grp user", "grp kern")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
+			fmt.Sprintf("%d Kb", r.Size/1024),
+			ms(r.Unicast), ms(r.Multicast),
+			ms(r.RPCUser), ms(r.RPCKernel),
+			ms(r.GroupUser), ms(r.GroupKernel))
+	}
+}
+
+// PrintTable2 writes Table 2 in the paper's layout (KB/s).
+func PrintTable2(w io.Writer, t Table2) {
+	fmt.Fprintln(w, "Table 2: Communication Throughputs")
+	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "", "user-space", "kernel-space")
+	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "RPC",
+		fmt.Sprintf("%.0f Kb/s", t.RPCUser/1000),
+		fmt.Sprintf("%.0f Kb/s", t.RPCKernel/1000))
+	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "group",
+		fmt.Sprintf("%.0f Kb/s", t.GroupUser/1000),
+		fmt.Sprintf("%.0f Kb/s", t.GroupKernel/1000))
+}
+
+// PrintTable3 writes Table 3 in the paper's layout (seconds + max
+// speedup).
+func PrintTable3(w io.Writer, entries []*Table3Entry) {
+	fmt.Fprintln(w, "Table 3: Orca application execution times [s] and max speedup")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s\n", e.App)
+		order := []string{"kernel-space", "user-space", "user-space-dedicated"}
+		for _, impl := range order {
+			rs := e.Runs[impl]
+			if len(rs) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-22s", impl)
+			for _, r := range rs {
+				fmt.Fprintf(w, " %8.1f", r.Elapsed.Seconds())
+			}
+			fmt.Fprintf(w, "   (max speedup %.1f)\n", e.MaxSpeedup(impl))
+		}
+		procsLine := "  procs:                "
+		for _, p := range e.Procs {
+			procsLine += fmt.Sprintf(" %8d", p)
+		}
+		fmt.Fprintln(w, procsLine)
+	}
+}
+
+// PrintDecomposition writes the §4.2/§4.3 accounting.
+func PrintDecomposition(w io.Writer, ds ...Decomposition) {
+	fmt.Fprintln(w, "Per-operation event decomposition (paper §4.2/§4.3)")
+	fmt.Fprintf(w, "%-6s %-14s %-10s %-7s %-7s %-7s %-8s %-7s %-9s %-6s\n",
+		"op", "impl", "latency", "ctxsw", "cold", "warm", "direct", "traps", "syscalls", "locks")
+	for _, d := range ds {
+		fmt.Fprintf(w, "%-6s %-14s %-10s %-7.1f %-7.1f %-7.1f %-8.1f %-7.1f %-9.1f %-6.1f\n",
+			d.Op, d.Mode, ms(d.Latency), d.CtxSwitches, d.ColdDispatches,
+			d.WarmDispatches, d.DirectResumes, d.WindowTraps, d.Syscalls, d.Locks)
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+
+	"amoebasim/internal/apps"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+)
+
+// PaperProcs are the processor counts of Table 3.
+var PaperProcs = []int{1, 8, 16, 32}
+
+// Table3Entry is one application's results across implementations and
+// processor counts.
+type Table3Entry struct {
+	App string
+	// Runs maps an implementation label to results indexed like Procs.
+	Runs  map[string][]apps.Result
+	Procs []int
+}
+
+// MaxSpeedup reports the best speedup (vs. the 1-processor run of the
+// same implementation) for an implementation label.
+func (e *Table3Entry) MaxSpeedup(impl string) float64 {
+	rs := e.Runs[impl]
+	if len(rs) == 0 || rs[0].Elapsed == 0 {
+		return 0
+	}
+	base := rs[0].Elapsed
+	best := 0.0
+	for _, r := range rs {
+		if r.Elapsed == 0 {
+			continue
+		}
+		if s := float64(base) / float64(r.Elapsed); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Table3Apps returns the applications at the requested scale: "paper"
+// (Table 3 problem sizes) or "quick" (small test sizes, same code paths).
+func Table3Apps(scale string) []apps.App {
+	if scale == "quick" {
+		return apps.TestScale()
+	}
+	return apps.All()
+}
+
+// RunTable3 regenerates Table 3: every application under the kernel-space
+// and user-space implementations across the processor counts, plus the
+// user-space-dedicated configuration for LEQ.
+func RunTable3(appList []apps.App, procs []int, seed uint64) ([]*Table3Entry, error) {
+	if procs == nil {
+		procs = PaperProcs
+	}
+	if seed == 0 {
+		seed = 5
+	}
+	var out []*Table3Entry
+	for _, app := range appList {
+		entry := &Table3Entry{
+			App:   app.Name(),
+			Runs:  make(map[string][]apps.Result),
+			Procs: procs,
+		}
+		impls := []struct {
+			label     string
+			mode      panda.Mode
+			dedicated bool
+		}{
+			{"kernel-space", panda.KernelSpace, false},
+			{"user-space", panda.UserSpace, false},
+		}
+		if app.Name() == "leq" {
+			impls = append(impls, struct {
+				label     string
+				mode      panda.Mode
+				dedicated bool
+			}{"user-space-dedicated", panda.UserSpace, true})
+		}
+		for _, impl := range impls {
+			for _, p := range procs {
+				res, err := apps.RunApp(app, cluster.Config{
+					Procs: p, Mode: impl.mode, Seed: seed,
+					DedicatedSequencer: impl.dedicated,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("table3 %s %s p=%d: %w", app.Name(), impl.label, p, err)
+				}
+				entry.Runs[impl.label] = append(entry.Runs[impl.label], res)
+			}
+		}
+		// Cross-check: all implementations must agree on the answer.
+		var want int64
+		first := true
+		for impl, rs := range entry.Runs {
+			for _, r := range rs {
+				if first {
+					want = r.Answer
+					first = false
+					continue
+				}
+				if r.Answer != want {
+					return nil, fmt.Errorf("table3 %s: %s procs=%d answer %d != %d",
+						app.Name(), impl, r.Procs, r.Answer, want)
+				}
+			}
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+// Package cluster assembles a complete simulated Amoeba processor pool:
+// the Ethernet, one kernel per processor board, and a Panda instance
+// (kernel-space or user-space) on each. It is the entry point the
+// benchmarks, the Orca runtime and the examples build on.
+package cluster
+
+import (
+	"fmt"
+
+	"amoebasim/internal/akernel"
+	"amoebasim/internal/ether"
+	"amoebasim/internal/model"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// procsPerSegment matches the paper's pool: "Each segment connects eight
+// processors by a 10 Mbit/sec Ethernet", joined by an Ethernet switch.
+const procsPerSegment = 8
+
+// Config describes a cluster to build.
+type Config struct {
+	// Procs is the number of worker processors.
+	Procs int
+	// Mode selects the Panda implementation (kernel-space or user-space).
+	Mode panda.Mode
+	// Group enables totally-ordered group communication among all
+	// workers.
+	Group bool
+	// DedicatedSequencer adds one extra processor that runs only the
+	// group sequencer (user-space mode only; the paper's
+	// "User-space-dedicated" configuration).
+	DedicatedSequencer bool
+	// Segments overrides the number of Ethernet segments (default:
+	// ceil(total processors / 8)).
+	Segments int
+	// Seed drives all randomness (loss injection).
+	Seed uint64
+	// LossRate injects uniform packet loss (0 = reliable).
+	LossRate float64
+	// NoPiggyback disables the user-space RPC's piggybacked reply
+	// acknowledgements (ablation).
+	NoPiggyback bool
+	// InterfaceDaemon relays user-space upcalls through interface-layer
+	// daemon threads, as in pre-continuation Panda (ablation, §3.2).
+	InterfaceDaemon bool
+	// Model overrides the machine cost model (default Calibrated).
+	Model *model.CostModel
+}
+
+// Cluster is a running simulated pool.
+type Cluster struct {
+	Sim        *sim.Sim
+	Model      *model.CostModel
+	Net        *ether.Network
+	Procs      []*proc.Processor
+	Kernels    []*akernel.Kernel
+	Transports []panda.Transport // indexed by worker processor id
+	// SeqProc is the dedicated sequencer processor id, or -1.
+	SeqProc int
+
+	cfg Config
+}
+
+// New builds a cluster. Workers are processors 0..Procs-1; a dedicated
+// sequencer, if requested, is the extra last processor.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 processor, got %d", cfg.Procs)
+	}
+	if cfg.Mode != panda.KernelSpace && cfg.Mode != panda.UserSpace {
+		return nil, fmt.Errorf("cluster: unknown mode %v", cfg.Mode)
+	}
+	if cfg.DedicatedSequencer && cfg.Mode != panda.UserSpace {
+		return nil, fmt.Errorf("cluster: dedicated sequencer requires user-space mode")
+	}
+	if cfg.DedicatedSequencer && !cfg.Group {
+		return nil, fmt.Errorf("cluster: dedicated sequencer requires group communication")
+	}
+	m := cfg.Model
+	if m == nil {
+		m = model.Calibrated()
+	}
+	total := cfg.Procs
+	if cfg.DedicatedSequencer {
+		total++
+	}
+	segs := cfg.Segments
+	if segs <= 0 {
+		segs = (total + procsPerSegment - 1) / procsPerSegment
+	}
+	s := sim.New()
+	c := &Cluster{
+		Sim:     s,
+		Model:   m,
+		Net:     ether.New(s, m, segs, cfg.Seed),
+		SeqProc: -1,
+		cfg:     cfg,
+	}
+	if cfg.LossRate > 0 {
+		c.Net.SetLossRate(cfg.LossRate)
+	}
+
+	members := make([]int, cfg.Procs)
+	for i := range members {
+		members[i] = i
+	}
+	sequencer := 0
+	if cfg.DedicatedSequencer {
+		sequencer = cfg.Procs
+		c.SeqProc = sequencer
+	}
+
+	for i := 0; i < total; i++ {
+		p := proc.New(s, m, i, fmt.Sprintf("cpu%d", i))
+		k, err := akernel.New(p, c.Net, i/procsPerSegment%segs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: boot kernel %d: %w", i, err)
+		}
+		c.Procs = append(c.Procs, p)
+		c.Kernels = append(c.Kernels, k)
+	}
+
+	for i := 0; i < cfg.Procs; i++ {
+		tr, err := c.newTransport(i, members, sequencer)
+		if err != nil {
+			return nil, err
+		}
+		c.Transports = append(c.Transports, tr)
+	}
+	if cfg.DedicatedSequencer {
+		// The sequencer machine runs only the sequencer part of the
+		// group protocol: it is not a member.
+		panda.NewUser(c.Kernels[sequencer], panda.UserConfig{
+			Members:   members,
+			Sequencer: sequencer,
+			HasGroup:  true,
+		})
+	}
+	return c, nil
+}
+
+func (c *Cluster) newTransport(i int, members []int, sequencer int) (panda.Transport, error) {
+	var groupMembers []int
+	if c.cfg.Group {
+		groupMembers = members
+	}
+	switch c.cfg.Mode {
+	case panda.KernelSpace:
+		return panda.NewKernel(c.Kernels[i], panda.KernelConfig{
+			Members:   groupMembers,
+			Sequencer: sequencer,
+		})
+	case panda.UserSpace:
+		return panda.NewUser(c.Kernels[i], panda.UserConfig{
+			Members:         groupMembers,
+			Sequencer:       sequencer,
+			NoPiggyback:     c.cfg.NoPiggyback,
+			InterfaceDaemon: c.cfg.InterfaceDaemon,
+		}), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %v", c.cfg.Mode)
+	}
+}
+
+// Run drives the simulation until no events remain.
+func (c *Cluster) Run() { c.Sim.Run() }
+
+// RunUntil drives the simulation up to the given instant.
+func (c *Cluster) RunUntil(t sim.Time) { c.Sim.RunUntil(t) }
+
+// Shutdown terminates all simulated threads; call when done to avoid
+// leaking goroutines across runs.
+func (c *Cluster) Shutdown() {
+	for _, p := range c.Procs {
+		p.Shutdown()
+	}
+}
+
+// Stats aggregates processor statistics across the pool.
+func (c *Cluster) Stats() proc.Stats {
+	var total proc.Stats
+	for _, p := range c.Procs {
+		st := p.Stats()
+		total.CtxSwitches += st.CtxSwitches
+		total.ColdDispatches += st.ColdDispatches
+		total.WarmDispatches += st.WarmDispatches
+		total.DirectResumes += st.DirectResumes
+		total.Preemptions += st.Preemptions
+		total.Interrupts += st.Interrupts
+		total.Traps += st.Traps
+		total.Syscalls += st.Syscalls
+		total.Locks += st.Locks
+		total.ThreadsCreated += st.ThreadsCreated
+		total.ThreadsDone += st.ThreadsDone
+		total.ComputeTime += st.ComputeTime
+		total.IntrTime += st.IntrTime
+		total.SwitchTime += st.SwitchTime
+	}
+	return total
+}

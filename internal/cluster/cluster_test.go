@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"testing"
+
+	"amoebasim/internal/panda"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Procs: 0, Mode: panda.UserSpace},
+		{Procs: 2},           // no mode
+		{Procs: 2, Mode: 99}, // bad mode
+		{Procs: 2, Mode: panda.KernelSpace, DedicatedSequencer: true, Group: true},
+		{Procs: 2, Mode: panda.UserSpace, DedicatedSequencer: true}, // no group
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSegmentsMatchPaperLayout(t *testing.T) {
+	// "Each segment connects eight processors"; 32 procs → 4 segments.
+	c, err := New(Config{Procs: 32, Mode: panda.UserSpace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.Net.Segments() != 4 {
+		t.Fatalf("segments = %d, want 4", c.Net.Segments())
+	}
+	if len(c.Procs) != 32 || len(c.Transports) != 32 {
+		t.Fatalf("procs=%d transports=%d", len(c.Procs), len(c.Transports))
+	}
+}
+
+func TestDedicatedSequencerAddsProcessor(t *testing.T) {
+	c, err := New(Config{Procs: 4, Mode: panda.UserSpace, Group: true, DedicatedSequencer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if len(c.Procs) != 5 {
+		t.Fatalf("processors = %d, want 5 (4 workers + sequencer)", len(c.Procs))
+	}
+	if len(c.Transports) != 4 {
+		t.Fatalf("transports = %d, want 4 (workers only)", len(c.Transports))
+	}
+	if c.SeqProc != 4 {
+		t.Fatalf("SeqProc = %d, want 4", c.SeqProc)
+	}
+}
+
+func TestStatsAggregate(t *testing.T) {
+	c, err := New(Config{Procs: 2, Mode: panda.UserSpace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	c.Run()
+	st := c.Stats()
+	if st.ThreadsCreated == 0 {
+		t.Fatal("expected some threads (panda daemons) to have been created")
+	}
+}
+
+func TestModesProduceDistinctTransports(t *testing.T) {
+	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		c, err := New(Config{Procs: 1, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Transports[0].Mode(); got != mode {
+			t.Fatalf("transport mode = %v, want %v", got, mode)
+		}
+		c.Shutdown()
+	}
+}

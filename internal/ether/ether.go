@@ -1,0 +1,222 @@
+// Package ether models the 10 Mbit/s Ethernet of the Amoeba processor
+// pool: one or more shared segments, each serializing frames at wire speed,
+// connected by a store-and-forward switch. Multicast is a hardware
+// broadcast, as on real Ethernet, so it floods every segment. Contention is
+// modeled as FIFO serialization per segment (no collision backoff); an
+// optional uniform loss rate supports protocol fault-injection tests.
+package ether
+
+import (
+	"fmt"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+// Broadcast is the destination address for multicast/broadcast frames.
+const Broadcast = -1
+
+// Frame is one Ethernet frame. Size is the Ethernet payload length in
+// bytes (protocol headers + data, excluding the MAC header, which the
+// network adds). Payload carries the simulated packet content by reference.
+type Frame struct {
+	Src     int // source NIC id
+	Dst     int // destination NIC id, or Broadcast
+	Size    int
+	Payload any
+}
+
+// Receiver is the upcall invoked (in driver context) when a frame arrives
+// at a NIC. Implementations typically wrap proc.Processor.Interrupt.
+type Receiver func(fr Frame)
+
+// NIC is one network interface attached to a segment.
+type NIC struct {
+	id   int
+	seg  *Segment
+	net  *Network
+	rx   Receiver
+	down bool
+
+	txFrames int64
+	txBytes  int64
+	rxFrames int64
+	rxBytes  int64
+}
+
+// Segment is one shared Ethernet cable.
+type Segment struct {
+	id        int
+	busyUntil sim.Time
+	nics      []*NIC
+
+	frames int64
+	bytes  int64
+}
+
+// Network is the full pool interconnect: segments plus a switch.
+type Network struct {
+	sim      *sim.Sim
+	m        *model.CostModel
+	segments []*Segment
+	nics     []*NIC
+	rng      *sim.Rand
+	lossRate float64
+
+	dropped int64
+}
+
+// New creates a network with the given number of segments. NICs are added
+// with AddNIC and assigned to segments round-robin by segment index given
+// at AddNIC time.
+func New(s *sim.Sim, m *model.CostModel, segments int, seed uint64) *Network {
+	if segments < 1 {
+		segments = 1
+	}
+	n := &Network{sim: s, m: m, rng: sim.NewRand(seed)}
+	for i := 0; i < segments; i++ {
+		n.segments = append(n.segments, &Segment{id: i})
+	}
+	return n
+}
+
+// SetLossRate sets the probability that any single frame delivery is
+// dropped. Zero (the default) is a reliable wire.
+func (n *Network) SetLossRate(rate float64) { n.lossRate = rate }
+
+// Dropped reports how many deliveries the loss injector discarded.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// Segments returns the number of segments.
+func (n *Network) Segments() int { return len(n.segments) }
+
+// AddNIC attaches a new NIC to the given segment and returns it. The NIC id
+// equals its index in creation order, which upper layers use as the
+// station address.
+func (n *Network) AddNIC(segment int, rx Receiver) (*NIC, error) {
+	if segment < 0 || segment >= len(n.segments) {
+		return nil, fmt.Errorf("ether: segment %d out of range [0,%d)", segment, len(n.segments))
+	}
+	nic := &NIC{id: len(n.nics), seg: n.segments[segment], net: n, rx: rx}
+	n.nics = append(n.nics, nic)
+	nic.seg.nics = append(nic.seg.nics, nic)
+	return nic, nil
+}
+
+// NIC returns the NIC with the given id.
+func (n *Network) NIC(id int) *NIC { return n.nics[id] }
+
+// ID returns the NIC's station address.
+func (c *NIC) ID() int { return c.id }
+
+// SegmentID returns the id of the segment the NIC is attached to.
+func (c *NIC) SegmentID() int { return c.seg.id }
+
+// Stats reports frames/bytes transmitted and received by this NIC.
+func (c *NIC) Stats() (txFrames, txBytes, rxFrames, rxBytes int64) {
+	return c.txFrames, c.txBytes, c.rxFrames, c.rxBytes
+}
+
+// SetDown takes the interface offline (failure injection): it neither
+// transmits nor receives until brought back up. Frames in flight are
+// unaffected; frames arriving while down are lost, as on real hardware.
+func (c *NIC) SetDown(down bool) { c.down = down }
+
+// Down reports whether the interface is offline.
+func (c *NIC) Down() bool { return c.down }
+
+// Send transmits a frame from this NIC. The frame occupies the local
+// segment for its wire time (queuing behind earlier frames); the switch
+// forwards it to other segments as needed (store-and-forward). Unicast to a
+// NIC on the same segment stays local; Broadcast floods all segments.
+func (c *NIC) Send(fr Frame) {
+	if c.down {
+		return
+	}
+	fr.Src = c.id
+	c.txFrames++
+	c.txBytes += int64(fr.Size)
+	n := c.net
+	arrive := n.transmitOn(c.seg, fr)
+
+	// Local deliveries.
+	n.deliverOnSegment(c.seg, fr, arrive, c)
+
+	// Switch forwarding.
+	if fr.Dst == Broadcast {
+		for _, seg := range n.segments {
+			if seg == c.seg {
+				continue
+			}
+			seg := seg
+			n.sim.ScheduleAt(arrive, func() {
+				a2 := n.transmitOn(seg, fr)
+				n.deliverOnSegment(seg, fr, a2, nil)
+			})
+		}
+		return
+	}
+	dst := n.nicByID(fr.Dst)
+	if dst == nil || dst.seg == c.seg {
+		return
+	}
+	seg := dst.seg
+	n.sim.ScheduleAt(arrive, func() {
+		a2 := n.transmitOn(seg, fr)
+		n.deliverOnSegment(seg, fr, a2, nil)
+	})
+}
+
+// transmitOn reserves the segment for the frame's wire time starting no
+// earlier than now, returning the arrival instant.
+func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
+	start := n.sim.Now()
+	if seg.busyUntil > start {
+		start = seg.busyUntil
+	}
+	tx := n.m.WireTime(fr.Size + n.m.EthernetHeaderBytes)
+	seg.busyUntil = start.Add(tx)
+	seg.frames++
+	seg.bytes += int64(fr.Size)
+	return seg.busyUntil
+}
+
+func (n *Network) deliverOnSegment(seg *Segment, fr Frame, at sim.Time, exclude *NIC) {
+	for _, nic := range seg.nics {
+		if nic == exclude {
+			continue
+		}
+		if fr.Dst != Broadcast && fr.Dst != nic.id {
+			continue
+		}
+		nic := nic
+		n.sim.ScheduleAt(at, func() {
+			if nic.down {
+				n.dropped++
+				return
+			}
+			if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+				n.dropped++
+				return
+			}
+			nic.rxFrames++
+			nic.rxBytes += int64(fr.Size)
+			if nic.rx != nil {
+				nic.rx(fr)
+			}
+		})
+	}
+}
+
+func (n *Network) nicByID(id int) *NIC {
+	if id < 0 || id >= len(n.nics) {
+		return nil
+	}
+	return n.nics[id]
+}
+
+// SegmentBytes reports total payload bytes carried by segment i.
+func (n *Network) SegmentBytes(i int) int64 { return n.segments[i].bytes }
+
+// SegmentFrames reports total frames carried by segment i.
+func (n *Network) SegmentFrames(i int) int64 { return n.segments[i].frames }

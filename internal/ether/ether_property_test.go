@@ -1,0 +1,151 @@
+package ether
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+// TestQuickUnicastExactlyOnce: on a loss-free network, any random batch of
+// unicast frames across any segment topology is delivered exactly once to
+// exactly the right station, with payload bytes conserved.
+func TestQuickUnicastExactlyOnce(t *testing.T) {
+	f := func(seed uint64, segRaw, nicRaw, framesRaw uint8) bool {
+		segs := int(segRaw%3) + 1
+		nicsPerSeg := int(nicRaw%3) + 1
+		nFrames := int(framesRaw%40) + 1
+		s := sim.New()
+		m := model.Calibrated()
+		net := New(s, m, segs, seed)
+		total := segs * nicsPerSeg
+		if total < 2 {
+			return true
+		}
+		type rx struct {
+			count int
+			bytes int64
+		}
+		got := make([]rx, total)
+		for seg := 0; seg < segs; seg++ {
+			for j := 0; j < nicsPerSeg; j++ {
+				idx := seg*nicsPerSeg + j
+				if _, err := net.AddNIC(seg, func(fr Frame) {
+					got[idx].count++
+					got[idx].bytes += int64(fr.Size)
+				}); err != nil {
+					return false
+				}
+			}
+		}
+		rng := sim.NewRand(seed + 99)
+		wantCount := make([]int, total)
+		wantBytes := make([]int64, total)
+		for i := 0; i < nFrames; i++ {
+			src := rng.Intn(total)
+			dst := rng.Intn(total)
+			if dst == src {
+				dst = (dst + 1) % total
+			}
+			size := rng.Intn(1400) + 1
+			at := time.Duration(rng.Intn(100)) * time.Millisecond
+			s.Schedule(at, func() {
+				net.NIC(src).Send(Frame{Dst: dst, Size: size})
+			})
+			wantCount[dst]++
+			wantBytes[dst] += int64(size)
+		}
+		s.Run()
+		for i := 0; i < total; i++ {
+			if got[i].count != wantCount[i] || got[i].bytes != wantBytes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBroadcastReachesEveryoneOnce: broadcasts reach every other
+// station exactly once regardless of topology.
+func TestQuickBroadcastReachesEveryoneOnce(t *testing.T) {
+	f := func(seed uint64, segRaw, nicRaw, bRaw uint8) bool {
+		segs := int(segRaw%3) + 1
+		nicsPerSeg := int(nicRaw%3) + 1
+		bcasts := int(bRaw%10) + 1
+		s := sim.New()
+		net := New(s, model.Calibrated(), segs, seed)
+		total := segs * nicsPerSeg
+		counts := make([]int, total)
+		for seg := 0; seg < segs; seg++ {
+			for j := 0; j < nicsPerSeg; j++ {
+				idx := seg*nicsPerSeg + j
+				if _, err := net.AddNIC(seg, func(fr Frame) { counts[idx]++ }); err != nil {
+					return false
+				}
+			}
+		}
+		rng := sim.NewRand(seed + 5)
+		senders := make([]int, total)
+		for i := 0; i < bcasts; i++ {
+			src := rng.Intn(total)
+			senders[src]++
+			s.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+				net.NIC(src).Send(Frame{Dst: Broadcast, Size: 100})
+			})
+		}
+		s.Run()
+		for i := 0; i < total; i++ {
+			if counts[i] != bcasts-senders[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICDownBlocksTraffic(t *testing.T) {
+	s := sim.New()
+	net := New(s, model.Calibrated(), 1, 1)
+	got := 0
+	rxNIC, err := net.AddNIC(0, func(fr Frame) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := net.AddNIC(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxNIC.SetDown(true)
+	tx.Send(Frame{Dst: 0, Size: 100})
+	s.Run()
+	if got != 0 {
+		t.Fatal("down NIC received a frame")
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", net.Dropped())
+	}
+	rxNIC.SetDown(false)
+	tx.Send(Frame{Dst: 0, Size: 100})
+	s.Run()
+	if got != 1 {
+		t.Fatal("recovered NIC did not receive")
+	}
+	// A down sender transmits nothing.
+	tx.SetDown(true)
+	tx.Send(Frame{Dst: 0, Size: 100})
+	s.Run()
+	if got != 1 {
+		t.Fatal("down sender transmitted")
+	}
+	if !tx.Down() {
+		t.Fatal("Down() should report true")
+	}
+}

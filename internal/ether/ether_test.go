@@ -1,0 +1,183 @@
+package ether
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+func setup(t *testing.T, segments, nicsPerSeg int) (*sim.Sim, *Network, [][]Frame, []sim.Time) {
+	t.Helper()
+	s := sim.New()
+	m := model.Calibrated()
+	n := New(s, m, segments, 1)
+	total := segments * nicsPerSeg
+	got := make([][]Frame, total)
+	at := make([]sim.Time, total)
+	for seg := 0; seg < segments; seg++ {
+		for j := 0; j < nicsPerSeg; j++ {
+			idx := seg*nicsPerSeg + j
+			if _, err := n.AddNIC(seg, func(fr Frame) {
+				got[idx] = append(got[idx], fr)
+				at[idx] = s.Now()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s, n, got, at
+}
+
+func TestUnicastSameSegment(t *testing.T) {
+	s, n, got, at := setup(t, 1, 3)
+	n.NIC(0).Send(Frame{Dst: 1, Size: 1000})
+	s.Run()
+	if len(got[1]) != 1 {
+		t.Fatalf("dst received %d frames", len(got[1]))
+	}
+	if len(got[2]) != 0 || len(got[0]) != 0 {
+		t.Fatal("unicast leaked to other stations")
+	}
+	m := model.Calibrated()
+	want := sim.Time(m.WireTime(1000 + m.EthernetHeaderBytes))
+	if at[1] != want {
+		t.Fatalf("arrival = %v, want %v", at[1], want)
+	}
+}
+
+func TestWireTimeMatchesRate(t *testing.T) {
+	m := model.Calibrated()
+	// 1000+14 payload + 24 overhead = 1038 bytes = 8304 bits at 10 Mbit/s.
+	want := time.Duration(8304 * 100) // ns: bit time = 100ns
+	if got := m.WireTime(1014); got != want {
+		t.Fatalf("WireTime = %v, want %v", got, want)
+	}
+	// Min frame enforcement.
+	if got := m.WireTime(10); got != m.WireTime(64) {
+		t.Fatal("minimum frame size not enforced")
+	}
+}
+
+func TestBroadcastReachesAllSegments(t *testing.T) {
+	s, n, got, _ := setup(t, 2, 2)
+	n.NIC(0).Send(Frame{Dst: Broadcast, Size: 100})
+	s.Run()
+	for i := 1; i < 4; i++ {
+		if len(got[i]) != 1 {
+			t.Fatalf("station %d received %d frames, want 1", i, len(got[i]))
+		}
+	}
+	if len(got[0]) != 0 {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestCrossSegmentUnicastStoreAndForward(t *testing.T) {
+	s, n, got, at := setup(t, 2, 1)
+	n.NIC(0).Send(Frame{Dst: 1, Size: 1000})
+	s.Run()
+	if len(got[1]) != 1 {
+		t.Fatalf("cross-segment frame not delivered")
+	}
+	m := model.Calibrated()
+	oneHop := sim.Time(m.WireTime(1000 + m.EthernetHeaderBytes))
+	if at[1] != 2*oneHop {
+		t.Fatalf("store-and-forward arrival = %v, want %v", at[1], 2*oneHop)
+	}
+}
+
+func TestSegmentSerialization(t *testing.T) {
+	s, n, got, _ := setup(t, 1, 3)
+	// Two frames sent simultaneously must serialize on the wire.
+	n.NIC(0).Send(Frame{Dst: 2, Size: 1000, Payload: "a"})
+	n.NIC(1).Send(Frame{Dst: 2, Size: 1000, Payload: "b"})
+	s.Run()
+	if len(got[2]) != 2 {
+		t.Fatalf("received %d frames", len(got[2]))
+	}
+	m := model.Calibrated()
+	tx := m.WireTime(1000 + m.EthernetHeaderBytes)
+	if s.Now() != sim.Time(2*tx) {
+		t.Fatalf("completion = %v, want %v (serialized)", s.Now(), 2*tx)
+	}
+	if got[2][0].Payload != "a" || got[2][1].Payload != "b" {
+		t.Fatal("FIFO order violated")
+	}
+}
+
+func TestThroughputSaturation(t *testing.T) {
+	s := sim.New()
+	m := model.Calibrated()
+	n := New(s, m, 1, 1)
+	var rxBytes int64
+	if _, err := n.AddNIC(0, func(fr Frame) { rxBytes += int64(fr.Size) }); err != nil {
+		t.Fatal(err)
+	}
+	sender, err := n.AddNIC(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer far more than 10 Mbit/s for one simulated second.
+	for i := 0; i < 2000; i++ {
+		sender.Send(Frame{Dst: 0, Size: 1486})
+	}
+	s.RunUntil(sim.Time(time.Second))
+	rate := float64(rxBytes) // bytes in ~1s
+	// 10 Mbit/s = 1.25 MB/s; with framing overhead goodput ≈ 1.2 MB/s.
+	if rate < 1.1e6 || rate > 1.26e6 {
+		t.Fatalf("saturated goodput = %.0f B/s, want ≈1.2 MB/s", rate)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	s := sim.New()
+	m := model.Calibrated()
+	n := New(s, m, 1, 42)
+	n.SetLossRate(0.5)
+	received := 0
+	if _, err := n.AddNIC(0, func(fr Frame) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	sender, err := n.AddNIC(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	for i := 0; i < total; i++ {
+		sender.Send(Frame{Dst: 0, Size: 100})
+	}
+	s.Run()
+	if received == 0 || received == total {
+		t.Fatalf("loss injection ineffective: received %d/%d", received, total)
+	}
+	if received < total/4 || received > 3*total/4 {
+		t.Fatalf("loss far from 50%%: received %d/%d", received, total)
+	}
+	if n.Dropped() != int64(total-received) {
+		t.Fatalf("Dropped = %d, want %d", n.Dropped(), total-received)
+	}
+}
+
+func TestAddNICBadSegment(t *testing.T) {
+	s := sim.New()
+	n := New(s, model.Calibrated(), 1, 1)
+	if _, err := n.AddNIC(5, nil); err == nil {
+		t.Fatal("expected error for out-of-range segment")
+	}
+}
+
+func TestNICStats(t *testing.T) {
+	s, n, _, _ := setup(t, 1, 2)
+	n.NIC(0).Send(Frame{Dst: 1, Size: 500})
+	s.Run()
+	txF, txB, _, _ := n.NIC(0).Stats()
+	_, _, rxF, rxB := n.NIC(1).Stats()
+	if txF != 1 || txB != 500 || rxF != 1 || rxB != 500 {
+		t.Fatalf("stats tx=%d/%d rx=%d/%d", txF, txB, rxF, rxB)
+	}
+	if n.SegmentFrames(0) != 1 || n.SegmentBytes(0) != 500 {
+		t.Fatal("segment stats wrong")
+	}
+}

@@ -1,0 +1,398 @@
+// Package flip implements FLIP (Fast Local Internet Protocol), Amoeba's
+// network-layer protocol: location-transparent addressing with a broadcast
+// locate mechanism, unreliable unicast and multicast, and fragmentation of
+// large messages into Ethernet-sized packets at the sending kernel.
+// Reassembly is left to the receiving client — in the kernel for Amoeba's
+// own protocols, in user space (the Panda receive daemon) for the
+// user-space implementation, exactly as the paper describes.
+//
+// One Stack instance lives inside each simulated kernel. Receive processing
+// runs at interrupt level on the owning processor.
+package flip
+
+import (
+	"fmt"
+	"time"
+
+	"amoebasim/internal/ether"
+	"amoebasim/internal/model"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// Address is a location-transparent FLIP address. Point-to-point and group
+// addresses share the space; group membership is explicit via JoinGroup.
+type Address uint64
+
+// Protocol identifies the FLIP client a packet belongs to.
+type Protocol uint8
+
+// Client protocols multiplexed over FLIP.
+const (
+	ProtoRPC    Protocol = iota + 1 // Amoeba kernel RPC
+	ProtoGroup                      // Amoeba kernel group communication
+	ProtoSystem                     // Panda system layer (user space)
+)
+
+// packet kinds (internal control vs. data).
+type kind uint8
+
+const (
+	kindData kind = iota + 1
+	kindLocate
+	kindHere
+)
+
+// Packet is one FLIP packet: at most one Ethernet frame.
+type Packet struct {
+	Kind   kind
+	Src    Address
+	Dst    Address
+	Proto  Protocol
+	MsgID  uint64 // message id, stable across retransmissions
+	Frag   int    // fragment index, 0-based
+	NFrags int    // total fragments of the message
+	Offset int    // payload offset of this fragment
+	Length int    // payload bytes in this fragment
+	Total  int    // total message payload bytes
+	Hdr    int    // protocol header bytes (first fragment only)
+
+	// Payload carries the whole message content by reference; receivers
+	// use it only once reassembly completes.
+	Payload any
+
+	srcNIC int
+}
+
+// Message is a FLIP-level send request.
+type Message struct {
+	Src     Address
+	Dst     Address
+	Proto   Protocol
+	MsgID   uint64
+	Hdr     int // protocol header bytes on the wire (first fragment)
+	Size    int // payload bytes
+	Payload any
+	// Multicast sends to the group address on the broadcast medium
+	// instead of locating a single destination.
+	Multicast bool
+}
+
+// Handler receives packets for a protocol. It runs in driver context at
+// interrupt level, after the per-packet FLIP receive cost has been charged.
+type Handler func(pkt *Packet)
+
+const locateRetries = 5
+
+// Stack is the per-kernel FLIP instance.
+type Stack struct {
+	sim  *sim.Sim
+	m    *model.CostModel
+	p    *proc.Processor
+	nic  *ether.NIC
+	name string
+
+	local    map[Address]bool
+	groups   map[Address]bool
+	routes   map[Address]int // address -> NIC id
+	pending  map[Address][]Message
+	locating map[Address]int // retry count
+	handlers map[Protocol]Handler
+
+	msgSeq uint64
+
+	// Stats
+	SentPackets int64
+	RecvPackets int64
+	SentBytes   int64
+}
+
+// NewStack creates the FLIP instance for processor p, attaching a NIC on
+// the given Ethernet segment.
+func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error) {
+	st := &Stack{
+		sim:      p.Sim(),
+		m:        p.Model(),
+		p:        p,
+		name:     p.Name(),
+		local:    make(map[Address]bool),
+		groups:   make(map[Address]bool),
+		routes:   make(map[Address]int),
+		pending:  make(map[Address][]Message),
+		locating: make(map[Address]int),
+		handlers: make(map[Protocol]Handler),
+	}
+	nic, err := net.AddNIC(segment, st.onFrame)
+	if err != nil {
+		return nil, fmt.Errorf("flip: attach nic: %w", err)
+	}
+	st.nic = nic
+	return st, nil
+}
+
+// NICID returns the station address of the stack's NIC.
+func (st *Stack) NICID() int { return st.nic.ID() }
+
+// NIC exposes the stack's network interface (failure injection,
+// instrumentation).
+func (st *Stack) NIC() *ether.NIC { return st.nic }
+
+// Processor returns the owning processor.
+func (st *Stack) Processor() *proc.Processor { return st.p }
+
+// Register announces a local point-to-point address.
+func (st *Stack) Register(a Address) { st.local[a] = true }
+
+// Unregister withdraws a local address.
+func (st *Stack) Unregister(a Address) { delete(st.local, a) }
+
+// JoinGroup subscribes this kernel to a multicast group address.
+func (st *Stack) JoinGroup(a Address) { st.groups[a] = true }
+
+// LeaveGroup unsubscribes from a group address.
+func (st *Stack) LeaveGroup(a Address) { delete(st.groups, a) }
+
+// Handle installs the receive handler for a protocol.
+func (st *Stack) Handle(pr Protocol, h Handler) { st.handlers[pr] = h }
+
+// NextMsgID allocates a message id, stable across retransmissions when the
+// caller reuses it.
+func (st *Stack) NextMsgID() uint64 {
+	st.msgSeq++
+	return st.msgSeq
+}
+
+// SendFromThread transmits a message from thread context, charging the
+// per-packet FLIP send cost and the user-to-kernel copy to the calling
+// thread. Each fragment leaves after its processing time has elapsed.
+func (st *Stack) SendFromThread(t *proc.Thread, msg Message) {
+	frags := st.fragment(msg)
+	for _, fr := range frags {
+		t.Charge(st.m.FLIPSend)
+		t.CopyBytes(fr.Length)
+		t.Flush()
+		st.transmit(fr, msg)
+	}
+}
+
+// SendFromInterrupt transmits a message from interrupt/kernel context,
+// charging the send costs at interrupt level on the owning processor.
+func (st *Stack) SendFromInterrupt(msg Message) {
+	frags := st.fragment(msg)
+	for _, fr := range frags {
+		fr := fr
+		cost := st.m.FLIPSend + st.m.Copy(fr.Length)
+		st.p.Interrupt(cost, func() { st.transmit(fr, msg) })
+	}
+}
+
+// fragment splits a message into packets of at most one Ethernet frame.
+func (st *Stack) fragment(msg Message) []*Packet {
+	cap0 := st.m.FragmentPayload()
+	n := st.m.FragmentsFor(msg.Size)
+	frags := make([]*Packet, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		length := msg.Size - off
+		if length > cap0 {
+			length = cap0
+		}
+		pk := &Packet{
+			Kind:    kindData,
+			Src:     msg.Src,
+			Dst:     msg.Dst,
+			Proto:   msg.Proto,
+			MsgID:   msg.MsgID,
+			Frag:    i,
+			NFrags:  n,
+			Offset:  off,
+			Length:  length,
+			Total:   msg.Size,
+			Payload: msg.Payload,
+			srcNIC:  st.nic.ID(),
+		}
+		if i == 0 {
+			pk.Hdr = msg.Hdr
+		}
+		frags = append(frags, pk)
+		off += length
+	}
+	return frags
+}
+
+// wireSize is the Ethernet payload size of a packet.
+func (st *Stack) wireSize(pk *Packet) int {
+	return st.m.FLIPHeaderBytes + pk.Hdr + pk.Length
+}
+
+// transmit routes one packet: multicast goes out as a hardware broadcast;
+// unicast uses the route cache or triggers a locate.
+func (st *Stack) transmit(pk *Packet, msg Message) {
+	st.SentPackets++
+	st.SentBytes += int64(pk.Length)
+	if msg.Multicast {
+		st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.wireSize(pk), Payload: pk})
+		if st.groups[msg.Dst] {
+			// FLIP multicast also delivers to local group members; the
+			// loopback copy skips the wire but pays receive processing.
+			st.p.Interrupt(st.m.FLIPRecv, func() { st.dispatch(pk) })
+		}
+		return
+	}
+	if dst, ok := st.routes[msg.Dst]; ok {
+		st.nic.Send(ether.Frame{Dst: dst, Size: st.wireSize(pk), Payload: pk})
+		return
+	}
+	if st.local[msg.Dst] {
+		// Local delivery without touching the wire (loopback).
+		st.sim.Schedule(0, func() { st.dispatch(pk) })
+		return
+	}
+	st.enqueueForLocate(msg.Dst, msg, pk)
+}
+
+// enqueueForLocate holds a whole message until the destination address is
+// located; the fragments are regenerated on flush.
+func (st *Stack) enqueueForLocate(a Address, msg Message, _ *Packet) {
+	// Only queue the message once (first fragment triggers it).
+	q := st.pending[a]
+	for _, m := range q {
+		if m.MsgID == msg.MsgID {
+			return
+		}
+	}
+	st.pending[a] = append(q, msg)
+	if _, busy := st.locating[a]; !busy {
+		st.locating[a] = 0
+		st.sendLocate(a)
+	}
+}
+
+func (st *Stack) sendLocate(a Address) {
+	st.sim.Trace(st.p.Name(), "flip.locate", "addr=%x", uint64(a))
+	pk := &Packet{Kind: kindLocate, Dst: a, srcNIC: st.nic.ID()}
+	st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.m.FLIPHeaderBytes, Payload: pk})
+	st.sim.Schedule(st.m.RetransTimeout, func() { st.locateTimeout(a) })
+}
+
+func (st *Stack) locateTimeout(a Address) {
+	n, busy := st.locating[a]
+	if !busy {
+		return // already resolved
+	}
+	if n+1 >= locateRetries {
+		// Give up: FLIP is unreliable; drop the queued messages.
+		delete(st.locating, a)
+		delete(st.pending, a)
+		return
+	}
+	st.locating[a] = n + 1
+	st.sendLocate(a)
+}
+
+// onFrame is the NIC receive upcall: charge interrupt + FLIP receive cost,
+// then process the packet.
+func (st *Stack) onFrame(fr ether.Frame) {
+	pk, ok := fr.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	cost := st.m.IntrEntry + st.m.FLIPRecv
+	if fr.Dst == ether.Broadcast {
+		cost += st.m.MulticastExtra
+	}
+	st.p.Interrupt(cost, func() { st.receive(pk) })
+}
+
+func (st *Stack) receive(pk *Packet) {
+	switch pk.Kind {
+	case kindLocate:
+		if st.local[pk.Dst] {
+			resp := &Packet{Kind: kindHere, Dst: pk.Dst, srcNIC: st.nic.ID()}
+			st.nic.Send(ether.Frame{Dst: pk.srcNIC, Size: st.m.FLIPHeaderBytes, Payload: resp})
+		}
+	case kindHere:
+		st.routes[pk.Dst] = pk.srcNIC
+		delete(st.locating, pk.Dst)
+		msgs := st.pending[pk.Dst]
+		delete(st.pending, pk.Dst)
+		for _, m := range msgs {
+			st.SendFromInterrupt(m)
+		}
+	case kindData:
+		st.dispatch(pk)
+	}
+}
+
+func (st *Stack) dispatch(pk *Packet) {
+	if pk.Dst != 0 {
+		wantLocal := st.local[pk.Dst] || st.groups[pk.Dst]
+		if !wantLocal {
+			return // not for us (hardware broadcast filter)
+		}
+	}
+	st.RecvPackets++
+	if h := st.handlers[pk.Proto]; h != nil {
+		h(pk)
+	}
+}
+
+// Reassembler rebuilds messages from FLIP fragments. Both the kernel
+// protocols (in kernel space) and the Panda receive daemon (in user space)
+// use one. Stale partial messages are evicted after the given timeout, so
+// fragment loss only costs the upper protocol a retransmission.
+type Reassembler struct {
+	sim     *sim.Sim
+	timeout time.Duration
+	partial map[reasmKey]*reasmState
+}
+
+type reasmKey struct {
+	src   Address
+	msgID uint64
+}
+
+type reasmState struct {
+	have     map[int]bool
+	count    int
+	total    int
+	deadline sim.Time
+}
+
+// NewReassembler creates a reassembler with the given staleness timeout.
+func NewReassembler(s *sim.Sim, timeout time.Duration) *Reassembler {
+	return &Reassembler{sim: s, timeout: timeout, partial: make(map[reasmKey]*reasmState)}
+}
+
+// Add consumes a fragment. It returns true exactly once per message, when
+// the final missing fragment arrives. Duplicate fragments are ignored.
+func (r *Reassembler) Add(pk *Packet) bool {
+	if pk.NFrags <= 1 {
+		return true
+	}
+	key := reasmKey{src: pk.Src, msgID: pk.MsgID}
+	stt := r.partial[key]
+	now := r.sim.Now()
+	if stt != nil && now > stt.deadline {
+		delete(r.partial, key)
+		stt = nil
+	}
+	if stt == nil {
+		stt = &reasmState{have: make(map[int]bool, pk.NFrags), total: pk.NFrags}
+		r.partial[key] = stt
+	}
+	stt.deadline = now.Add(r.timeout)
+	if stt.have[pk.Frag] {
+		return false
+	}
+	stt.have[pk.Frag] = true
+	stt.count++
+	if stt.count == stt.total {
+		delete(r.partial, key)
+		return true
+	}
+	return false
+}
+
+// Pending reports how many partial messages are buffered.
+func (r *Reassembler) Pending() int { return len(r.partial) }

@@ -1,0 +1,299 @@
+package flip
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amoebasim/internal/ether"
+	"amoebasim/internal/model"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+type rig struct {
+	sim    *sim.Sim
+	net    *ether.Network
+	procs  []*proc.Processor
+	stacks []*Stack
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	s := sim.New()
+	m := model.Calibrated()
+	net := ether.New(s, m, 1, 1)
+	r := &rig{sim: s, net: net}
+	for i := 0; i < n; i++ {
+		p := proc.New(s, m, i, "cpu")
+		st, err := NewStack(p, net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.procs = append(r.procs, p)
+		r.stacks = append(r.stacks, st)
+	}
+	t.Cleanup(func() {
+		for _, p := range r.procs {
+			p.Shutdown()
+		}
+	})
+	return r
+}
+
+func TestUnicastWithLocate(t *testing.T) {
+	r := newRig(t, 2)
+	const addr Address = 100
+	r.stacks[1].Register(addr)
+	var got []*Packet
+	r.stacks[1].Handle(ProtoSystem, func(pk *Packet) { got = append(got, pk) })
+
+	r.stacks[0].SendFromInterrupt(Message{
+		Src: 1, Dst: addr, Proto: ProtoSystem,
+		MsgID: r.stacks[0].NextMsgID(), Size: 100, Payload: "hello",
+	})
+	r.sim.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if got[0].Payload != "hello" || got[0].Total != 100 {
+		t.Fatalf("bad packet: %+v", got[0])
+	}
+}
+
+func TestRouteCacheAvoidsSecondLocate(t *testing.T) {
+	r := newRig(t, 2)
+	const addr Address = 100
+	r.stacks[1].Register(addr)
+	count := 0
+	r.stacks[1].Handle(ProtoSystem, func(pk *Packet) { count++ })
+
+	send := func() {
+		r.stacks[0].SendFromInterrupt(Message{
+			Src: 1, Dst: addr, Proto: ProtoSystem,
+			MsgID: r.stacks[0].NextMsgID(), Size: 10,
+		})
+	}
+	send()
+	r.sim.Run()
+	framesAfterFirst := r.net.SegmentFrames(0)
+	send()
+	r.sim.Run()
+	framesAfterSecond := r.net.SegmentFrames(0)
+	if count != 2 {
+		t.Fatalf("delivered %d, want 2", count)
+	}
+	// First send: LOCATE + HERE + data = 3 frames. Second: data only.
+	if framesAfterFirst != 3 {
+		t.Fatalf("first send used %d frames, want 3", framesAfterFirst)
+	}
+	if framesAfterSecond-framesAfterFirst != 1 {
+		t.Fatalf("second send used %d frames, want 1 (route cached)",
+			framesAfterSecond-framesAfterFirst)
+	}
+}
+
+func TestFragmentationCounts(t *testing.T) {
+	m := model.Calibrated()
+	tests := []struct {
+		size int
+		want int
+	}{
+		{0, 1},
+		{100, 1},
+		{m.FragmentPayload(), 1},
+		{m.FragmentPayload() + 1, 2},
+		{2048, 2},
+		{3072, 3},
+		{4096, 3},
+		{8000, 6},
+	}
+	for _, tt := range tests {
+		if got := m.FragmentsFor(tt.size); got != tt.want {
+			t.Errorf("FragmentsFor(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestLargeMessageFragmentsOnWire(t *testing.T) {
+	r := newRig(t, 2)
+	const addr Address = 7
+	r.stacks[1].Register(addr)
+	var pkts []*Packet
+	r.stacks[1].Handle(ProtoRPC, func(pk *Packet) { pkts = append(pkts, pk) })
+	r.stacks[0].SendFromInterrupt(Message{
+		Src: 1, Dst: addr, Proto: ProtoRPC,
+		MsgID: 1, Hdr: 56, Size: 4096, Payload: "big",
+	})
+	r.sim.Run()
+	if len(pkts) != 3 {
+		t.Fatalf("received %d fragments, want 3", len(pkts))
+	}
+	total := 0
+	for i, pk := range pkts {
+		if pk.Frag != i {
+			t.Fatalf("fragment order: got %d at %d", pk.Frag, i)
+		}
+		total += pk.Length
+		if i == 0 && pk.Hdr != 56 {
+			t.Fatal("protocol header missing from first fragment")
+		}
+		if i > 0 && pk.Hdr != 0 {
+			t.Fatal("protocol header on non-first fragment")
+		}
+	}
+	if total != 4096 {
+		t.Fatalf("fragment lengths sum to %d, want 4096", total)
+	}
+}
+
+func TestMulticastOnlyJoinedGroups(t *testing.T) {
+	r := newRig(t, 3)
+	const grp Address = 999
+	r.stacks[1].JoinGroup(grp)
+	counts := make([]int, 3)
+	for i := 1; i < 3; i++ {
+		i := i
+		r.stacks[i].Handle(ProtoGroup, func(pk *Packet) { counts[i]++ })
+	}
+	r.stacks[0].SendFromInterrupt(Message{
+		Src: 1, Dst: grp, Proto: ProtoGroup, MsgID: 1, Size: 50, Multicast: true,
+	})
+	r.sim.Run()
+	if counts[1] != 1 {
+		t.Fatalf("member received %d, want 1", counts[1])
+	}
+	if counts[2] != 0 {
+		t.Fatalf("non-member received %d, want 0", counts[2])
+	}
+}
+
+func TestLoopbackLocalAddress(t *testing.T) {
+	r := newRig(t, 1)
+	const addr Address = 5
+	r.stacks[0].Register(addr)
+	got := 0
+	r.stacks[0].Handle(ProtoSystem, func(pk *Packet) { got++ })
+	r.stacks[0].SendFromInterrupt(Message{Src: addr, Dst: addr, Proto: ProtoSystem, MsgID: 1, Size: 10})
+	r.sim.Run()
+	if got != 1 {
+		t.Fatalf("loopback delivered %d, want 1", got)
+	}
+	if r.net.SegmentFrames(0) != 0 {
+		t.Fatal("loopback touched the wire")
+	}
+}
+
+func TestLocateGivesUpForUnknownAddress(t *testing.T) {
+	r := newRig(t, 2)
+	r.stacks[0].SendFromInterrupt(Message{Src: 1, Dst: 424242, Proto: ProtoSystem, MsgID: 1, Size: 10})
+	r.sim.Run()
+	// locateRetries LOCATE broadcasts, no HERE, message dropped.
+	if got := r.net.SegmentFrames(0); got != locateRetries {
+		t.Fatalf("frames = %d, want %d LOCATE attempts", got, locateRetries)
+	}
+	if len(r.stacks[0].pending) != 0 {
+		t.Fatal("pending queue not cleaned up")
+	}
+}
+
+func TestSendFromThreadChargesCaller(t *testing.T) {
+	r := newRig(t, 2)
+	const addr Address = 3
+	r.stacks[1].Register(addr)
+	r.stacks[1].Handle(ProtoSystem, func(pk *Packet) {})
+	var sendDone sim.Time
+	r.procs[0].NewThread("sender", proc.PrioNormal, func(th *proc.Thread) {
+		r.stacks[0].SendFromThread(th, Message{
+			Src: 1, Dst: addr, Proto: ProtoSystem, MsgID: 1, Size: 1000,
+		})
+		sendDone = r.sim.Now()
+	})
+	r.sim.Run()
+	m := model.Calibrated()
+	minCost := m.FLIPSend + m.Copy(1000)
+	if sendDone < sim.Time(minCost) {
+		t.Fatalf("send completed at %v, cheaper than FLIP cost %v", sendDone, minCost)
+	}
+}
+
+func TestReassemblerCompletesOnce(t *testing.T) {
+	s := sim.New()
+	re := NewReassembler(s, time.Second)
+	mk := func(frag, n int) *Packet {
+		return &Packet{Src: 1, MsgID: 9, Frag: frag, NFrags: n}
+	}
+	if re.Add(mk(0, 3)) {
+		t.Fatal("complete after 1/3")
+	}
+	if re.Add(mk(0, 3)) {
+		t.Fatal("duplicate fragment completed message")
+	}
+	if re.Add(mk(2, 3)) {
+		t.Fatal("complete after 2/3")
+	}
+	if !re.Add(mk(1, 3)) {
+		t.Fatal("not complete after 3/3")
+	}
+	if re.Pending() != 0 {
+		t.Fatal("state not cleaned up")
+	}
+}
+
+func TestReassemblerSingleFragmentImmediate(t *testing.T) {
+	s := sim.New()
+	re := NewReassembler(s, time.Second)
+	if !re.Add(&Packet{Src: 1, MsgID: 1, Frag: 0, NFrags: 1}) {
+		t.Fatal("single-fragment message not immediately complete")
+	}
+}
+
+func TestReassemblerStaleEviction(t *testing.T) {
+	s := sim.New()
+	re := NewReassembler(s, 100*time.Millisecond)
+	re.Add(&Packet{Src: 1, MsgID: 1, Frag: 0, NFrags: 2})
+	// Let the partial message go stale.
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	// A fresh retransmission starting with the *same* fragment must
+	// restart assembly rather than complete from stale state.
+	if re.Add(&Packet{Src: 1, MsgID: 1, Frag: 1, NFrags: 2}) {
+		t.Fatal("stale fragment counted toward fresh message")
+	}
+	if !re.Add(&Packet{Src: 1, MsgID: 1, Frag: 0, NFrags: 2}) {
+		t.Fatal("fresh retransmission did not complete")
+	}
+}
+
+// Property: for any fragment arrival order with duplicates, a message
+// completes exactly once and only after every distinct fragment arrived.
+func TestQuickReassemblerExactlyOnce(t *testing.T) {
+	f := func(seed uint64, nRaw, dupRaw uint8) bool {
+		n := int(nRaw%7) + 2 // 2..8 fragments
+		s := sim.New()
+		re := NewReassembler(s, time.Hour)
+		rng := sim.NewRand(seed)
+		perm := rng.Perm(n)
+		completions := 0
+		for i, frag := range perm {
+			// Duplicate an already-fed fragment mid-stream sometimes;
+			// duplicates must never complete the message.
+			if i > 0 && dupRaw%3 == 0 {
+				if re.Add(&Packet{Src: 2, MsgID: 77, Frag: perm[rng.Intn(i)], NFrags: n}) {
+					return false
+				}
+			}
+			done := re.Add(&Packet{Src: 2, MsgID: 77, Frag: frag, NFrags: n})
+			if done {
+				completions++
+				if i != n-1 {
+					return false // completed before all distinct fragments
+				}
+			}
+		}
+		return completions == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

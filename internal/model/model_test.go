@@ -1,0 +1,93 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWireTimeBasics(t *testing.T) {
+	m := Calibrated()
+	// A 10 Mbit/s wire moves one byte in 800 ns.
+	if got := m.WireTime(1000 - m.FrameOverheadBytes); got != 800*time.Microsecond {
+		t.Fatalf("WireTime = %v, want 800µs", got)
+	}
+	// Minimum frame size applies.
+	if m.WireTime(1) != m.WireTime(m.MinFrameBytes) {
+		t.Fatal("minimum frame size not enforced")
+	}
+	if m.WireTime(m.MinFrameBytes+1) <= m.WireTime(m.MinFrameBytes) {
+		t.Fatal("wire time not monotone")
+	}
+}
+
+func TestFragmentsFor(t *testing.T) {
+	m := Calibrated()
+	p := m.FragmentPayload()
+	tests := []struct {
+		n, want int
+	}{
+		{0, 1}, {1, 1}, {p, 1}, {p + 1, 2}, {2 * p, 2}, {2*p + 1, 3},
+	}
+	for _, tt := range tests {
+		if got := m.FragmentsFor(tt.n); got != tt.want {
+			t.Errorf("FragmentsFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestQuickFragmentsCoverPayload(t *testing.T) {
+	m := Calibrated()
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)
+		frags := m.FragmentsFor(n)
+		if frags < 1 {
+			return false
+		}
+		// All fragments but the last are full; coverage must be exact.
+		return (frags-1)*m.FragmentPayload() < n+1 && frags*m.FragmentPayload() >= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyScalesLinearly(t *testing.T) {
+	m := Calibrated()
+	if m.Copy(0) != 0 {
+		t.Fatal("Copy(0) != 0")
+	}
+	if m.Copy(2000) != 2*m.Copy(1000) {
+		t.Fatal("Copy not linear")
+	}
+}
+
+// TestPaperGivenConstants pins the constants the paper states explicitly:
+// changing them silently would invalidate the reproduction.
+func TestPaperGivenConstants(t *testing.T) {
+	m := Calibrated()
+	if m.CtxSwitch != 70*time.Microsecond {
+		t.Error("context switch must be 70µs (two = the paper's 140µs)")
+	}
+	if m.IntrDispatchCold != 110*time.Microsecond || m.IntrDispatchWarm != 60*time.Microsecond {
+		t.Error("interrupt dispatch must be 110µs cold / 60µs warm")
+	}
+	if m.WindowTrap != 6*time.Microsecond || m.RegisterWindows != 6 {
+		t.Error("register windows: 6 windows, 6µs traps")
+	}
+	if m.FragLayer != 20*time.Microsecond {
+		t.Error("fragmentation layer must cost 20µs per message")
+	}
+	if m.RPCHeaderUser != 64 || m.RPCHeaderKernel != 56 {
+		t.Error("RPC headers must be 64/56 bytes")
+	}
+	if m.GroupHeaderUser != 40 || m.GroupHeaderKernel != 52 {
+		t.Error("group headers must be 40/52 bytes")
+	}
+	if m.WireBitsPerSec != 10_000_000 {
+		t.Error("Ethernet must be 10 Mbit/s")
+	}
+	if m.MTU != 1500 {
+		t.Error("MTU must be 1500")
+	}
+}

@@ -1,0 +1,435 @@
+package orca_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/orca"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+)
+
+// counterType is a replicated shared counter.
+func counterType() *orca.ObjType {
+	return orca.NewType("counter",
+		&orca.OpDef{
+			Name: "inc",
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				c := s.(*int)
+				*c++
+				t.Charge(time.Microsecond)
+				return *c, 4
+			},
+		},
+		&orca.OpDef{
+			Name: "add", AllowNB: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				c := s.(*int)
+				*c += args.(int)
+				return nil, 0
+			},
+		},
+		&orca.OpDef{
+			Name: "value", ReadOnly: true,
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				return *s.(*int), 4
+			},
+		},
+	)
+}
+
+// bufType is the paper's guarded bounded buffer (RL/SOR boundary
+// exchange): BufPut blocks while full, BufGet blocks while empty.
+func bufType(capacity int) *orca.ObjType {
+	return orca.NewType("buffer",
+		&orca.OpDef{
+			Name: "put",
+			Guard: func(s orca.State) bool {
+				return len(*s.(*[]any)) < capacity
+			},
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				q := s.(*[]any)
+				*q = append(*q, args)
+				return nil, 0
+			},
+		},
+		&orca.OpDef{
+			Name: "get",
+			Guard: func(s orca.State) bool {
+				return len(*s.(*[]any)) > 0
+			},
+			Apply: func(t *proc.Thread, s orca.State, args any) (any, int) {
+				q := s.(*[]any)
+				v := (*q)[0]
+				*q = (*q)[1:]
+				return v, 8
+			},
+		},
+	)
+}
+
+func newProgram(t *testing.T, procs int, mode panda.Mode, group bool) (*cluster.Cluster, *orca.Program) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Procs: procs, Mode: mode, Group: group, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c, orca.NewProgram(c.Transports, c.Procs[:procs])
+}
+
+func TestReplicatedCounterConverges(t *testing.T) {
+	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const procs = 4
+			c, pg := newProgram(t, procs, mode, true)
+			h := pg.DeclareReplicated("cnt", counterType(), func() orca.State {
+				v := 0
+				return &v
+			})
+			const perProc = 10
+			for i := 0; i < procs; i++ {
+				rt := pg.Runtime(i)
+				rt.Go("worker", func(th *proc.Thread) {
+					for j := 0; j < perProc; j++ {
+						if _, _, err := rt.Invoke(th, h, "inc", nil, 0); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				})
+			}
+			c.Run()
+			for i := 0; i < procs; i++ {
+				got := *pg.Runtime(i).PeekState(h).(*int)
+				if got != procs*perProc {
+					t.Fatalf("replica %d = %d, want %d", i, got, procs*perProc)
+				}
+			}
+		})
+	}
+}
+
+func TestReplicatedReadIsLocal(t *testing.T) {
+	c, pg := newProgram(t, 2, panda.UserSpace, true)
+	h := pg.DeclareReplicated("cnt", counterType(), func() orca.State {
+		v := 42
+		return &v
+	})
+	rt := pg.Runtime(1)
+	framesBefore := c.Net.SegmentFrames(0)
+	var got any
+	rt.Go("reader", func(th *proc.Thread) {
+		got, _, _ = rt.Invoke(th, h, "value", nil, 0)
+	})
+	c.Run()
+	if got != 42 {
+		t.Fatalf("value = %v", got)
+	}
+	if c.Net.SegmentFrames(0) != framesBefore {
+		t.Fatal("read on replicated object touched the network")
+	}
+}
+
+func TestOwnedObjectRemoteInvocation(t *testing.T) {
+	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c, pg := newProgram(t, 3, mode, false)
+			h := pg.DeclareOwned("cnt", counterType(), 0, func() orca.State {
+				v := 0
+				return &v
+			})
+			results := make([]int, 3)
+			for i := 1; i < 3; i++ {
+				i := i
+				rt := pg.Runtime(i)
+				rt.Go("worker", func(th *proc.Thread) {
+					for j := 0; j < 5; j++ {
+						res, _, err := rt.Invoke(th, h, "inc", nil, 0)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						results[i] = res.(int)
+					}
+				})
+			}
+			c.Run()
+			if got := *pg.Runtime(0).PeekState(h).(*int); got != 10 {
+				t.Fatalf("owner state = %d, want 10", got)
+			}
+		})
+	}
+}
+
+func TestGuardedBufferBothModes(t *testing.T) {
+	// The paper's RL/SOR pattern: producer BufPut / consumer BufGet with
+	// guards; remote guarded gets block in continuations.
+	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c, pg := newProgram(t, 2, mode, false)
+			h := pg.DeclareOwned("buf", bufType(2), 0, func() orca.State {
+				var q []any
+				return &q
+			})
+			const n = 8
+			var got []int
+			consumer := pg.Runtime(1)
+			consumer.Go("consumer", func(th *proc.Thread) {
+				for i := 0; i < n; i++ {
+					v, _, err := consumer.Invoke(th, h, "get", nil, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got = append(got, v.(int))
+				}
+			})
+			producer := pg.Runtime(0)
+			producer.Go("producer", func(th *proc.Thread) {
+				for i := 0; i < n; i++ {
+					th.Compute(500 * time.Microsecond) // stagger production
+					if _, _, err := producer.Invoke(th, h, "put", i, 8); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+			c.Run()
+			if len(got) != n {
+				t.Fatalf("consumed %d/%d", len(got), n)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("order broken: got %v", got)
+				}
+			}
+		})
+	}
+}
+
+func TestGuardedBufferBlockingDirection(t *testing.T) {
+	// put blocks when the buffer is full.
+	c, pg := newProgram(t, 2, panda.UserSpace, false)
+	h := pg.DeclareOwned("buf", bufType(1), 0, func() orca.State {
+		var q []any
+		return &q
+	})
+	producer := pg.Runtime(1)
+	var put2Done bool
+	producer.Go("producer", func(th *proc.Thread) {
+		if _, _, err := producer.Invoke(th, h, "put", 1, 8); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := producer.Invoke(th, h, "put", 2, 8); err != nil {
+			t.Error(err)
+			return
+		}
+		put2Done = true
+	})
+	consumer := pg.Runtime(0)
+	consumer.Go("consumer", func(th *proc.Thread) {
+		th.Compute(100 * time.Millisecond)
+		if put2Done {
+			t.Error("second put completed while buffer was full")
+		}
+		if v, _, err := consumer.Invoke(th, h, "get", nil, 0); err != nil || v != 1 {
+			t.Errorf("get = %v, %v", v, err)
+		}
+	})
+	c.Run()
+	if !put2Done {
+		t.Fatal("second put never completed")
+	}
+}
+
+func TestNonblockingWritesPreserveProgramOrder(t *testing.T) {
+	c, pg := newProgram(t, 3, panda.UserSpace, true)
+	pg.EnableNonblockingWrites()
+	h := pg.DeclareReplicated("cnt", counterType(), func() orca.State {
+		v := 0
+		return &v
+	})
+	rt := pg.Runtime(1)
+	var readBack any
+	rt.Go("writer", func(th *proc.Thread) {
+		for i := 0; i < 20; i++ {
+			if _, _, err := rt.Invoke(th, h, "add", 1, 8); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// A read must observe all 20 of this process's writes.
+		v, _, err := rt.Invoke(th, h, "value", nil, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		readBack = v
+	})
+	c.Run()
+	if readBack != 20 {
+		t.Fatalf("read after NB writes = %v, want 20", readBack)
+	}
+	for i := 0; i < 3; i++ {
+		if got := *pg.Runtime(i).PeekState(h).(*int); got != 20 {
+			t.Fatalf("replica %d = %d", i, got)
+		}
+	}
+}
+
+func TestObjectStats(t *testing.T) {
+	c, pg := newProgram(t, 2, panda.UserSpace, true)
+	h := pg.DeclareReplicated("cnt", counterType(), func() orca.State {
+		v := 0
+		return &v
+	})
+	rt := pg.Runtime(0)
+	rt.Go("w", func(th *proc.Thread) {
+		_, _, _ = rt.Invoke(th, h, "inc", nil, 0)
+		_, _, _ = rt.Invoke(th, h, "value", nil, 0)
+		_, _, _ = rt.Invoke(th, h, "value", nil, 0)
+	})
+	c.Run()
+	reads, writes, bcasts, _, _ := rt.ObjectStats(h)
+	if reads != 2 || bcasts != 1 || writes != 1 {
+		t.Fatalf("stats reads=%d writes=%d bcasts=%d", reads, writes, bcasts)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	c, pg := newProgram(t, 1, panda.UserSpace, false)
+	h := pg.DeclareOwned("cnt", counterType(), 0, func() orca.State {
+		v := 0
+		return &v
+	})
+	rt := pg.Runtime(0)
+	rt.Go("w", func(th *proc.Thread) {
+		if _, _, err := rt.Invoke(th, h, "nonsense", nil, 0); err == nil {
+			t.Error("unknown op should fail")
+		}
+		if _, _, err := rt.Invoke(th, orca.Handle{ID: 999}, "inc", nil, 0); err == nil {
+			t.Error("unknown object should fail")
+		}
+	})
+	c.Run()
+}
+
+// TestQuickSequentialConsistency: for random interleavings of register
+// writes from several processors, every replica ends with the same value
+// and all replicas observe the same write order.
+func TestQuickSequentialConsistency(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		const procs = 3
+		perProc := int(opsRaw%5) + 2
+		c, err := cluster.New(cluster.Config{Procs: procs, Mode: panda.UserSpace, Group: true, Seed: seed})
+		if err != nil {
+			return false
+		}
+		defer c.Shutdown()
+		pg := orca.NewProgram(c.Transports, c.Procs[:procs])
+
+		logs := make([][]int, procs)
+		typ := orca.NewType("reg",
+			&orca.OpDef{
+				Name: "write",
+				Apply: func(th *proc.Thread, s orca.State, args any) (any, int) {
+					pair := args.([2]int)
+					replica := s.(*replState)
+					replica.value = pair[1]
+					logs[replica.id] = append(logs[replica.id], pair[1])
+					return nil, 0
+				},
+			},
+		)
+		var h orca.Handle
+		{
+			id := 0
+			h = pg.Declare("reg", typ, orca.Replicated, 0, func() orca.State {
+				st := &replState{id: id}
+				id++
+				return st
+			})
+		}
+		ok := true
+		for i := 0; i < procs; i++ {
+			rt := pg.Runtime(i)
+			i := i
+			rt.Go("w", func(th *proc.Thread) {
+				for j := 0; j < perProc; j++ {
+					if _, _, err := rt.Invoke(th, h, "write", [2]int{i, i*1000 + j}, 8); err != nil {
+						ok = false
+						return
+					}
+				}
+			})
+		}
+		c.Run()
+		if !ok {
+			return false
+		}
+		for i := 1; i < procs; i++ {
+			if len(logs[i]) != len(logs[0]) {
+				return false
+			}
+			for j := range logs[0] {
+				if logs[i][j] != logs[0][j] {
+					return false
+				}
+			}
+		}
+		return len(logs[0]) == procs*perProc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type replState struct {
+	id    int
+	value int
+}
+
+// TestContinuationReplyThread verifies the §5 mechanism difference: with
+// the user-space transport the mutating worker thread sends the reply for
+// a guarded remote operation itself, while the kernel-space transport must
+// relay through the blocked server daemon (extra context switch).
+func TestContinuationReplyThread(t *testing.T) {
+	run := func(mode panda.Mode) (coldPlusCtx int64) {
+		c, pg := newProgram(t, 2, mode, false)
+		h := pg.DeclareOwned("buf", bufType(4), 0, func() orca.State {
+			var q []any
+			return &q
+		})
+		consumer := pg.Runtime(1)
+		consumer.Go("consumer", func(th *proc.Thread) {
+			if _, _, err := consumer.Invoke(th, h, "get", nil, 0); err != nil {
+				t.Error(err)
+			}
+		})
+		producer := pg.Runtime(0)
+		producer.Go("producer", func(th *proc.Thread) {
+			th.Compute(20 * time.Millisecond) // let the get block first
+			if _, _, err := producer.Invoke(th, h, "put", 7, 8); err != nil {
+				t.Error(err)
+			}
+		})
+		c.Run()
+		st := c.Procs[0].Stats()
+		return st.CtxSwitches
+	}
+	kern := run(panda.KernelSpace)
+	user := run(panda.UserSpace)
+	if kern <= user {
+		t.Fatalf("kernel-space guarded op should cost extra context switches at the server: kernel=%d user=%d", kern, user)
+	}
+}
+
+func ExampleProgram() {
+	fmt.Println("see examples/replicated-object")
+	// Output: see examples/replicated-object
+}

@@ -1,0 +1,86 @@
+package panda_test
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/akernel"
+	"amoebasim/internal/ether"
+	"amoebasim/internal/model"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// buildUserPair assembles two user-space Panda instances with the given
+// config tweak, without the cluster package.
+func buildUserPair(t *testing.T, tweak func(*panda.UserConfig)) (*sim.Sim, []*panda.User, []*proc.Processor) {
+	t.Helper()
+	s := sim.New()
+	m := model.Calibrated()
+	net := ether.New(s, m, 1, 1)
+	var users []*panda.User
+	var procs []*proc.Processor
+	for i := 0; i < 2; i++ {
+		p := proc.New(s, m, i, "cpu")
+		k, err := akernel.New(p, net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := panda.UserConfig{}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		users = append(users, panda.NewUser(k, cfg))
+		procs = append(procs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Shutdown()
+		}
+	})
+	return s, users, procs
+}
+
+func userNullRPC(t *testing.T, tweak func(*panda.UserConfig)) time.Duration {
+	t.Helper()
+	s, users, procs := buildUserPair(t, tweak)
+	srv := users[0]
+	srv.HandleRPC(func(th *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+		srv.Reply(th, ctx, nil, 0)
+	})
+	const rounds = 20
+	var total time.Duration
+	procs[1].NewThread("client", proc.PrioNormal, func(th *proc.Thread) {
+		if _, _, err := users[1].Call(th, 0, nil, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		start := s.Now()
+		for i := 0; i < rounds; i++ {
+			if _, _, err := users[1].Call(th, 0, nil, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		total = s.Now().Sub(start)
+	})
+	s.Run()
+	if total == 0 {
+		t.Fatal("pingpong incomplete")
+	}
+	return total / rounds
+}
+
+// TestInterfaceDaemonAblation reproduces §3.2's historical note: the old
+// Panda with daemon threads at the interface layer was ≈300 µs slower per
+// RPC than the continuation-based design.
+func TestInterfaceDaemonAblation(t *testing.T) {
+	direct := userNullRPC(t, nil)
+	relayed := userNullRPC(t, func(cfg *panda.UserConfig) { cfg.InterfaceDaemon = true })
+	extra := relayed - direct
+	t.Logf("null RPC: direct upcalls %v, interface-daemon %v, extra %v", direct, relayed, extra)
+	if extra < 150*time.Microsecond || extra > 600*time.Microsecond {
+		t.Fatalf("interface daemon should cost ≈300µs per RPC, got %v", extra)
+	}
+}

@@ -1,0 +1,99 @@
+// Package panda implements the Panda communication platform that the Orca
+// runtime system is built on, in both variants the paper compares:
+//
+//   - UserSpace: Panda's own protocols — a 2-way stop-and-wait RPC with
+//     piggybacked acknowledgements, and a sequencer-based totally-ordered
+//     group protocol — running as a user-space library directly on the
+//     kernel's low-level FLIP interface.
+//   - KernelSpace: thin wrapper routines over Amoeba's in-kernel RPC and
+//     group protocols, working around their restrictions (the
+//     same-thread get_request/put_reply rule) at the cost of extra
+//     context switches.
+//
+// Both variants implement the same Transport interface, so the Orca RTS
+// and the benchmarks are implementation-agnostic.
+package panda
+
+import (
+	"amoebasim/internal/proc"
+)
+
+// Mode selects a Panda implementation.
+type Mode int
+
+// The two Panda implementations compared in the paper.
+const (
+	KernelSpace Mode = iota + 1
+	UserSpace
+)
+
+func (m Mode) String() string {
+	switch m {
+	case KernelSpace:
+		return "kernel-space"
+	case UserSpace:
+		return "user-space"
+	default:
+		return "unknown"
+	}
+}
+
+// RPCContext identifies one in-progress server-side RPC between the
+// request upcall and the reply. With the user-space implementation the
+// reply may be sent from any thread (asynchronous pan_rpc_reply); the
+// kernel-space implementation emulates that by signaling the daemon thread
+// that accepted the request.
+type RPCContext struct {
+	// From is the caller's processor id.
+	From int
+
+	impl any
+}
+
+// RPCHandler is the implicit-receipt upcall for incoming RPC requests. It
+// runs in a daemon thread (t) and must run to completion quickly; long
+// waits must be converted into continuations, with Reply called later.
+// Every request must eventually be answered via Transport.Reply.
+type RPCHandler func(t *proc.Thread, ctx *RPCContext, req any, size int)
+
+// GroupHandler is the upcall for totally-ordered group messages. It runs
+// to completion in the receiving daemon thread.
+type GroupHandler func(t *proc.Thread, sender int, seqno uint64, payload any, size int)
+
+// Transport is the Panda interface used by the Orca runtime system:
+// point-to-point RPC plus totally-ordered group communication among all
+// processors of the run.
+type Transport interface {
+	// Mode reports which implementation this is.
+	Mode() Mode
+
+	// Call performs an RPC to the Panda instance on processor dest,
+	// blocking the calling thread until the reply arrives.
+	Call(t *proc.Thread, dest int, req any, size int) (any, int, error)
+
+	// HandleRPC registers the request upcall (one per instance).
+	HandleRPC(h RPCHandler)
+
+	// Reply answers a request previously delivered to the RPC handler.
+	// User-space: sent directly from the calling thread. Kernel-space:
+	// relayed through the daemon thread bound to the request.
+	Reply(t *proc.Thread, ctx *RPCContext, payload any, size int)
+
+	// GroupSend broadcasts a message with total ordering, blocking the
+	// caller until its own message is delivered back in order.
+	GroupSend(t *proc.Thread, payload any, size int) error
+
+	// HandleGroup registers the ordered-delivery upcall.
+	HandleGroup(h GroupHandler)
+
+	// ID reports this instance's processor id.
+	ID() int
+}
+
+// NonblockingSender is the §6 "future work" extension, implemented by the
+// user-space transport only: a broadcast that does not wait for the
+// sequencer round trip. Total ordering of delivery is preserved; the
+// sender continues immediately.
+type NonblockingSender interface {
+	GroupSendNB(t *proc.Thread, payload any, size int) error
+}

@@ -1,0 +1,454 @@
+package panda
+
+import (
+	"errors"
+
+	"amoebasim/internal/akernel"
+	"amoebasim/internal/flip"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// ErrGroupSendFailed is returned when group-send retransmissions are
+// exhausted.
+var ErrGroupSendFailed = errors.New("panda: group send failed after retries")
+
+const (
+	grpMaxRetries = 16
+	// nbWindow bounds outstanding nonblocking broadcasts per sender (the
+	// §6 extension); senders exceeding it block until deliveries drain.
+	nbWindow = 32
+)
+
+type gkey struct {
+	from  int
+	tmpID uint64
+}
+
+type gsend struct {
+	t       *proc.Thread // nil for nonblocking sends
+	tmpID   uint64
+	msgID   uint64
+	wire    *uwire
+	big     bool
+	timer   *sim.Event
+	retries int
+	err     error
+	done    bool
+}
+
+// userGroup is Panda's user-space totally-ordered group protocol: a
+// sequencer thread orders messages (PB method: point-to-point to the
+// sequencer which re-multicasts; BB method for large messages: the sender
+// multicasts the data and the sequencer multicasts a short accept). The
+// member side runs in the receive daemon.
+type userGroup struct {
+	u       *User
+	handler GroupHandler
+
+	// Member state.
+	nextDeliver uint64
+	holdback    map[uint64]*uwire
+	bbData      map[gkey]*uwire
+	bbAccept    map[gkey]*uwire
+	sends       map[uint64]*gsend
+	tmpSeq      uint64
+	retrArmed   bool
+
+	// Nonblocking-send flow control.
+	outstandingNB int
+	nbWaiters     []*proc.Thread
+
+	// Sequencer state (only on the sequencer's instance).
+	seqReasm   *flip.Reassembler
+	seqno      uint64
+	history    map[uint64]*uwire
+	seen       map[gkey]uint64
+	acked      map[int]uint64
+	lastStatus map[int]uint64 // ack seen at the previous status probe
+	watchdog   *sim.Event
+}
+
+func (g *userGroup) init(u *User) {
+	g.u = u
+	g.nextDeliver = 1
+	g.holdback = make(map[uint64]*uwire)
+	g.bbData = make(map[gkey]*uwire)
+	g.bbAccept = make(map[gkey]*uwire)
+	g.sends = make(map[uint64]*gsend)
+}
+
+func (g *userGroup) initSequencer() {
+	g.seqReasm = flip.NewReassembler(g.u.sim, g.u.m.RetransTimeout)
+	g.history = make(map[uint64]*uwire)
+	g.seen = make(map[gkey]uint64)
+	g.acked = make(map[int]uint64)
+	g.lastStatus = make(map[int]uint64)
+}
+
+// GroupSend implements Transport.GroupSend: broadcast with total order,
+// blocking until the sender's own message is delivered back.
+func (u *User) GroupSend(t *proc.Thread, payload any, size int) error {
+	return u.grp.send(t, payload, size, true)
+}
+
+// GroupSendNB is the §6 extension: a totally-ordered broadcast that does
+// not wait for the sequencer round trip.
+func (u *User) GroupSendNB(t *proc.Thread, payload any, size int) error {
+	return u.grp.send(t, payload, size, false)
+}
+
+func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) error {
+	u := g.u
+	if !u.groupEnabled() {
+		return errors.New("panda: group communication not configured")
+	}
+	if !blocking {
+		for g.outstandingNB >= nbWindow {
+			g.nbWaiters = append(g.nbWaiters, t)
+			t.Block()
+		}
+		g.outstandingNB++
+	}
+	g.tmpSeq++
+	big := size > u.m.BBThreshold
+	kind := ugREQ
+	if big {
+		kind = ugBB
+	}
+	w := &uwire{
+		kind: kind, from: u.id, tmpID: g.tmpSeq,
+		ackSeq: g.nextDeliver - 1, payload: payload, size: size,
+	}
+	ss := &gsend{tmpID: g.tmpSeq, msgID: u.k.RawNextMsgID(), wire: w, big: big}
+	if blocking {
+		ss.t = t
+	}
+	g.sends[ss.tmpID] = ss
+
+	t.Call(pandaDepth)
+	t.Charge(u.m.ProtoGroup + u.m.FragLayer)
+	if big {
+		g.bbData[gkey{from: u.id, tmpID: ss.tmpID}] = w
+		u.k.RawSend(t, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, size, w, true)
+	} else {
+		u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), ss.msgID, u.m.GroupHeaderUser, size, w, false)
+	}
+	t.Return(pandaDepth)
+	ss.timer = u.sim.Schedule(u.m.RetransTimeout, func() { g.sendTimeout(ss) })
+
+	if !blocking {
+		return nil
+	}
+	t.Block()
+	return ss.err
+}
+
+func (g *userGroup) sendTimeout(ss *gsend) {
+	if ss.done {
+		return
+	}
+	ss.retries++
+	if ss.retries > grpMaxRetries {
+		ss.err = ErrGroupSendFailed
+		ss.done = true
+		delete(g.sends, ss.tmpID)
+		if ss.t != nil {
+			ss.t.Unblock()
+		} else {
+			g.nbDone(nil)
+		}
+		return
+	}
+	u := g.u
+	u.helper.post(func(ht *proc.Thread) {
+		if ss.done {
+			return
+		}
+		ht.Call(pandaDepth)
+		ht.Charge(u.m.ProtoGroup + u.m.FragLayer)
+		if ss.big {
+			u.k.RawSend(ht, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, true)
+		} else {
+			u.k.RawSend(ht, akernel.RawAddress(u.cfg.Sequencer), ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, false)
+		}
+		ht.Return(pandaDepth)
+	})
+	ss.timer = u.sim.Schedule(u.m.RetransTimeout, func() { g.sendTimeout(ss) })
+}
+
+// nbDone retires one nonblocking send and admits a blocked sender. t may
+// be nil when called from a timer give-up path.
+func (g *userGroup) nbDone(t *proc.Thread) {
+	g.outstandingNB--
+	if len(g.nbWaiters) == 0 {
+		return
+	}
+	w := g.nbWaiters[0]
+	g.nbWaiters = g.nbWaiters[0:copy(g.nbWaiters, g.nbWaiters[1:])]
+	if t != nil {
+		t.Flush()
+	}
+	w.Unblock()
+}
+
+// ---- Member side (receive daemon context) ----
+
+func (g *userGroup) memberHandle(t *proc.Thread, w *uwire) {
+	u := g.u
+	t.Charge(u.m.ProtoGroup)
+	switch w.kind {
+	case ugDATA:
+		g.onData(t, w)
+	case ugACCEPT:
+		key := gkey{from: w.from, tmpID: w.tmpID}
+		g.bbAccept[key] = w
+		g.tryCompleteBB(t, key)
+	case ugBB:
+		key := gkey{from: w.from, tmpID: w.tmpID}
+		g.bbData[key] = w
+		g.tryCompleteBB(t, key)
+	case ugSYNC:
+		if u.isMember() {
+			w := &uwire{kind: ugSTATUS, from: u.id, ackSeq: g.nextDeliver - 1}
+			u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), u.k.RawNextMsgID(),
+				u.m.GroupHeaderUser, 0, w, false)
+		}
+	}
+}
+
+func (g *userGroup) tryCompleteBB(t *proc.Thread, key gkey) {
+	acc := g.bbAccept[key]
+	data := g.bbData[key]
+	if acc == nil || data == nil {
+		return
+	}
+	g.onData(t, &uwire{
+		kind: ugDATA, from: data.from, seq: acc.seq, tmpID: data.tmpID,
+		payload: data.payload, size: data.size,
+	})
+}
+
+func (g *userGroup) onData(t *proc.Thread, w *uwire) {
+	switch {
+	case w.seq < g.nextDeliver:
+		return // duplicate
+	case w.seq > g.nextDeliver:
+		g.holdback[w.seq] = w
+		g.requestRetrans(t, w.seq)
+		return
+	}
+	g.deliver(t, w)
+	for {
+		next := g.holdback[g.nextDeliver]
+		if next == nil {
+			break
+		}
+		delete(g.holdback, g.nextDeliver)
+		g.deliver(t, next)
+	}
+}
+
+func (g *userGroup) deliver(t *proc.Thread, w *uwire) {
+	u := g.u
+	u.sim.Trace(u.p.Name(), "pgrp.dlv", "seqno=%d sender=%d", w.seq, w.from)
+	g.nextDeliver = w.seq + 1
+	key := gkey{from: w.from, tmpID: w.tmpID}
+	delete(g.bbData, key)
+	delete(g.bbAccept, key)
+	if u.isMember() && g.handler != nil {
+		g.handler(t, w.from, w.seq, w.payload, w.size)
+	}
+	if w.from != u.id {
+		return
+	}
+	ss := g.sends[w.tmpID]
+	if ss == nil || ss.done {
+		return
+	}
+	ss.done = true
+	u.sim.Cancel(ss.timer)
+	delete(g.sends, w.tmpID)
+	if ss.t != nil {
+		// Wake the blocked sender: a system call through the kernel (the
+		// paper's 40 µs of crossing + underflow traps at the sender).
+		t.Syscall()
+		t.Flush()
+		ss.t.Unblock()
+	} else {
+		g.nbDone(t)
+	}
+}
+
+func (g *userGroup) requestRetrans(t *proc.Thread, sawSeqno uint64) {
+	if g.retrArmed {
+		return
+	}
+	g.retrArmed = true
+	u := g.u
+	hi := sawSeqno
+	for s := range g.holdback {
+		if s > hi {
+			hi = s
+		}
+	}
+	w := &uwire{kind: ugRETR, from: u.id, lo: g.nextDeliver, hi: hi}
+	u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), u.k.RawNextMsgID(),
+		u.m.GroupHeaderUser, 0, w, false)
+	u.sim.Schedule(u.m.RetransTimeout, func() {
+		g.retrArmed = false
+		if len(g.holdback) == 0 {
+			return
+		}
+		hi := g.nextDeliver
+		for s := range g.holdback {
+			if s > hi {
+				hi = s
+			}
+		}
+		u.helper.post(func(ht *proc.Thread) { g.requestRetrans(ht, hi) })
+	})
+}
+
+// ---- Sequencer side (dedicated sequencer thread) ----
+
+// sequencerLoop blocks directly on sequencer traffic so an arriving
+// request dispatches this thread straight out of the interrupt handler
+// (the 110 µs thread switch of §4.3, or 60 µs warm on a dedicated
+// sequencer machine). It issues two system calls per message: one to
+// fetch it and one to multicast it with its sequence number.
+func (g *userGroup) sequencerLoop(t *proc.Thread) {
+	u := g.u
+	for {
+		pk := u.k.RawReceiveMatch(t, isSequencerTraffic)
+		t.Call(pandaDepth)
+		if g.seqReasm.Add(pk) {
+			if w, ok := pk.Payload.(*uwire); ok {
+				g.seqHandle(t, w)
+			}
+		}
+		t.Return(pandaDepth)
+	}
+}
+
+func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
+	u := g.u
+	t.Charge(u.m.ProtoGroup)
+	switch w.kind {
+	case ugREQ:
+		g.updateAck(w.from, w.ackSeq)
+		key := gkey{from: w.from, tmpID: w.tmpID}
+		if seqno, dup := g.seen[key]; dup {
+			if h := g.history[seqno]; h != nil {
+				u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, h.size, h, true)
+			}
+			return
+		}
+		g.seqno++
+		d := &uwire{kind: ugDATA, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
+		u.sim.Trace(u.p.Name(), "pgrp.seq", "seqno=%d sender=%d size=%d (PB)", g.seqno, w.from, w.size)
+		g.seen[key] = g.seqno
+		g.history[g.seqno] = d
+		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, true)
+		g.armWatchdog()
+	case ugBB:
+		g.updateAck(w.from, w.ackSeq)
+		key := gkey{from: w.from, tmpID: w.tmpID}
+		if seqno, dup := g.seen[key]; dup {
+			if h := g.history[seqno]; h != nil {
+				acc := &uwire{kind: ugACCEPT, from: h.from, seq: h.seq, tmpID: h.tmpID}
+				u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
+			}
+			return
+		}
+		g.seqno++
+		d := &uwire{kind: ugDATA, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
+		g.seen[key] = g.seqno
+		g.history[g.seqno] = d
+		acc := &uwire{kind: ugACCEPT, from: w.from, seq: g.seqno, tmpID: w.tmpID}
+		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
+		if u.isMember() {
+			// Hand the full message to the local member (the data
+			// multicast was consumed by this sequencer thread).
+			u.k.RawSend(t, akernel.RawAddress(u.id), u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, false)
+		}
+		g.armWatchdog()
+	case ugRETR:
+		for s := w.lo; s <= w.hi; s++ {
+			h := g.history[s]
+			if h == nil {
+				continue
+			}
+			u.k.RawSend(t, akernel.RawAddress(w.from), u.k.RawNextMsgID(), u.m.GroupHeaderUser, h.size, h, false)
+		}
+	case ugSTATUS:
+		g.updateAck(w.from, w.ackSeq)
+		// Resend the suffix only to members that made no progress since
+		// the previous probe (genuine tail loss, not mere lag).
+		stalled := g.lastStatus[w.from] == w.ackSeq
+		g.lastStatus[w.from] = w.ackSeq
+		if stalled && w.ackSeq < g.seqno {
+			for s := w.ackSeq + 1; s <= g.seqno; s++ {
+				h := g.history[s]
+				if h == nil {
+					continue
+				}
+				u.k.RawSend(t, akernel.RawAddress(w.from), u.k.RawNextMsgID(), u.m.GroupHeaderUser, h.size, h, false)
+			}
+		}
+	}
+}
+
+func (g *userGroup) updateAck(memberID int, upTo uint64) {
+	if upTo > g.acked[memberID] {
+		g.acked[memberID] = upTo
+	}
+	g.trimHistory()
+}
+
+func (g *userGroup) minAck() uint64 {
+	min := g.seqno
+	for _, id := range g.u.cfg.Members {
+		if id == g.u.id {
+			continue // local delivery is loss-free (loopback)
+		}
+		if a := g.acked[id]; a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+func (g *userGroup) trimHistory() {
+	if len(g.history) == 0 {
+		return
+	}
+	min := g.minAck()
+	for s, h := range g.history {
+		if s <= min {
+			delete(g.history, s)
+			delete(g.seen, gkey{from: h.from, tmpID: h.tmpID})
+		}
+	}
+}
+
+// armWatchdog keeps probing members while some have not acknowledged all
+// sequenced messages (history overflow prevention and tail-loss recovery,
+// as in the kernel protocol).
+func (g *userGroup) armWatchdog() {
+	if g.watchdog != nil || g.minAck() >= g.seqno {
+		return
+	}
+	u := g.u
+	g.watchdog = u.sim.Schedule(u.m.RetransTimeout, func() {
+		g.watchdog = nil
+		if g.minAck() >= g.seqno {
+			return
+		}
+		u.helper.post(func(ht *proc.Thread) {
+			w := &uwire{kind: ugSYNC}
+			u.k.RawSend(ht, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, w, true)
+		})
+		g.armWatchdog()
+	})
+}

@@ -1,0 +1,188 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+// TestQuickSchedulerWorkConservation: for random mixes of computes,
+// interrupts and wakes, every thread receives exactly the CPU time it
+// asked for, and the scheduler's internal invariants (no double enqueue,
+// no stale compute events — enforced by panics) hold.
+func TestQuickSchedulerWorkConservation(t *testing.T) {
+	f := func(seed uint64, nRaw, opsRaw uint8) bool {
+		nThreads := int(nRaw%4) + 2
+		nIntr := int(opsRaw%8) + 1
+		s := sim.New()
+		p := New(s, model.Calibrated(), 0, "cpu")
+		defer p.Shutdown()
+		rng := sim.NewRand(seed)
+
+		type result struct {
+			want time.Duration
+			done bool
+		}
+		results := make([]result, nThreads)
+		for i := 0; i < nThreads; i++ {
+			i := i
+			prio := PrioNormal
+			if rng.Intn(3) == 0 {
+				prio = PrioDaemon
+			}
+			chunks := rng.Intn(4) + 1
+			var want time.Duration
+			durs := make([]time.Duration, chunks)
+			for c := range durs {
+				durs[c] = time.Duration(rng.Intn(5000)+100) * time.Microsecond
+				want += durs[c]
+			}
+			results[i].want = want
+			p.NewThread("w", prio, func(th *Thread) {
+				for _, d := range durs {
+					th.Compute(d)
+				}
+				results[i].done = true
+			})
+		}
+		// Random interrupt bursts while the threads run.
+		for k := 0; k < nIntr; k++ {
+			at := time.Duration(rng.Intn(20000)) * time.Microsecond
+			cost := time.Duration(rng.Intn(300)) * time.Microsecond
+			s.Schedule(at, func() { p.Interrupt(cost, nil) })
+		}
+		s.Run()
+		var total time.Duration
+		for i := range results {
+			if !results[i].done {
+				return false
+			}
+			total += results[i].want
+		}
+		// All compute time must be accounted (work conservation).
+		return p.Stats().ComputeTime == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSemaphoreCounts: ups and downs balance for arbitrary schedules.
+func TestQuickSemaphoreCounts(t *testing.T) {
+	f := func(seed uint64, upsRaw uint8) bool {
+		ups := int(upsRaw%20) + 1
+		s := sim.New()
+		p := New(s, model.Calibrated(), 0, "cpu")
+		defer p.Shutdown()
+		rng := sim.NewRand(seed)
+		var sem Semaphore
+		consumed := 0
+		p.NewThread("consumer", PrioNormal, func(th *Thread) {
+			for i := 0; i < ups; i++ {
+				sem.Down(th)
+				consumed++
+			}
+		})
+		for i := 0; i < ups; i++ {
+			at := time.Duration(rng.Intn(50000)) * time.Microsecond
+			s.Schedule(at, sem.UpFromDriver)
+		}
+		s.Run()
+		return consumed == ups && sem.Value() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArmedWakeBeforeBlockWithPendingCharge: an Unblock that lands while
+// the thread is still flushing pending charges must not be lost.
+func TestArmedWakeBeforeBlockWithPendingCharge(t *testing.T) {
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu")
+	defer p.Shutdown()
+	woke := false
+	var th *Thread
+	th = p.NewThread("w", PrioNormal, func(t *Thread) {
+		t.Charge(5 * time.Millisecond) // flush inside Block takes a while
+		t.Block()
+		woke = true
+	})
+	// Unblock arrives while the flush-compute is still running.
+	s.Schedule(2*time.Millisecond, func() {
+		p.Interrupt(0, func() { th.Unblock() })
+	})
+	s.Run()
+	if !woke {
+		t.Fatal("wake was lost during pending-charge flush")
+	}
+}
+
+// TestUnblockFinishedThreadPanics documents the API contract.
+func TestUnblockFinishedThreadPanics(t *testing.T) {
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu")
+	defer p.Shutdown()
+	th := p.NewThread("w", PrioNormal, func(t *Thread) {})
+	s.Run()
+	if !th.Finished() {
+		t.Fatal("thread should have finished")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unblock of finished thread must panic")
+		}
+	}()
+	th.Unblock()
+}
+
+// TestInterruptFromThreadContext: a thread-context Interrupt (loopback
+// send) must defer its burst until the thread parks and still stretch a
+// following compute correctly.
+func TestInterruptFromThreadContext(t *testing.T) {
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu")
+	defer p.Shutdown()
+	handlerAt := sim.Time(0)
+	var end sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		// Raise a software interrupt from thread context, then compute.
+		p.Interrupt(time.Millisecond, func() { handlerAt = s.Now() })
+		th.Compute(10 * time.Millisecond)
+		end = s.Now()
+	})
+	s.Run()
+	if handlerAt == 0 {
+		t.Fatal("handler never ran")
+	}
+	// The thread's 10ms compute must be stretched by the 1ms burst.
+	m := model.Calibrated()
+	want := sim.Time(m.CtxSwitch + 11*time.Millisecond)
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+// TestPriorityOrderWithinQueue: daemons run before normal threads when
+// both are ready.
+func TestPriorityOrderWithinQueue(t *testing.T) {
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu")
+	defer p.Shutdown()
+	var order []string
+	p.NewThread("normal", PrioNormal, func(th *Thread) {
+		order = append(order, "normal")
+		th.Compute(time.Millisecond)
+	})
+	p.NewThread("daemon", PrioDaemon, func(th *Thread) {
+		order = append(order, "daemon")
+		th.Compute(time.Millisecond)
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "daemon" {
+		t.Fatalf("order = %v, want daemon first", order)
+	}
+}

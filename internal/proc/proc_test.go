@@ -1,0 +1,488 @@
+package proc
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+func newProc(t *testing.T) (*sim.Sim, *Processor) {
+	t.Helper()
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu0")
+	t.Cleanup(p.Shutdown)
+	return s, p
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	s, p := newProc(t)
+	var end sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Compute(5 * time.Millisecond)
+		end = s.Now()
+	})
+	s.Run()
+	// First dispatch costs one context switch, then 5 ms of compute.
+	want := sim.Time(p.model.CtxSwitch + 5*time.Millisecond)
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestChargeFoldsIntoCompute(t *testing.T) {
+	s, p := newProc(t)
+	var end sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Charge(100 * time.Microsecond)
+		th.Charge(200 * time.Microsecond)
+		th.Compute(time.Millisecond)
+		end = s.Now()
+	})
+	s.Run()
+	want := sim.Time(p.model.CtxSwitch + 1300*time.Microsecond)
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestFlushElapsesPending(t *testing.T) {
+	s, p := newProc(t)
+	var mark sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Charge(time.Millisecond)
+		th.Flush()
+		mark = s.Now()
+		if th.Pending() != 0 {
+			t.Error("pending not flushed")
+		}
+	})
+	s.Run()
+	if mark != sim.Time(p.model.CtxSwitch+time.Millisecond) {
+		t.Fatalf("mark = %v", mark)
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	s, p := newProc(t)
+	var blocked *Thread
+	var wakeTime sim.Time
+	blocked = p.NewThread("sleeper", PrioNormal, func(th *Thread) {
+		th.Block()
+		wakeTime = s.Now()
+	})
+	s.Schedule(10*time.Millisecond, func() { blocked.Unblock() })
+	s.Run()
+	if wakeTime == 0 {
+		t.Fatal("thread never woke")
+	}
+	// Wake at 10ms plus a dispatch cost.
+	if wakeTime < sim.Time(10*time.Millisecond) {
+		t.Fatalf("woke too early: %v", wakeTime)
+	}
+	if !blocked.Finished() {
+		t.Fatal("thread not finished")
+	}
+}
+
+func TestSleep(t *testing.T) {
+	s, p := newProc(t)
+	var woke sim.Time
+	p.NewThread("z", PrioNormal, func(th *Thread) {
+		th.Sleep(25 * time.Millisecond)
+		woke = s.Now()
+	})
+	s.Run()
+	if woke < sim.Time(25*time.Millisecond) || woke > sim.Time(26*time.Millisecond) {
+		t.Fatalf("woke = %v, want ~25ms", woke)
+	}
+}
+
+func TestTwoThreadsInterleaveWithSwitchCost(t *testing.T) {
+	s, p := newProc(t)
+	var order []string
+	p.NewThread("a", PrioNormal, func(th *Thread) {
+		th.Compute(time.Millisecond)
+		order = append(order, "a")
+	})
+	p.NewThread("b", PrioNormal, func(th *Thread) {
+		th.Compute(time.Millisecond)
+		order = append(order, "b")
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	// a runs fully before b (single CPU), so total ≥ 2 switches + 2 ms.
+	if got, want := s.Now(), sim.Time(2*p.model.CtxSwitch+2*time.Millisecond); got != want {
+		t.Fatalf("end = %v, want %v", got, want)
+	}
+	if p.Stats().CtxSwitches != 2 {
+		t.Fatalf("CtxSwitches = %d, want 2", p.Stats().CtxSwitches)
+	}
+}
+
+func TestInterruptStretchesCompute(t *testing.T) {
+	s, p := newProc(t)
+	var end sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Compute(10 * time.Millisecond)
+		end = s.Now()
+	})
+	handlerRan := sim.Time(0)
+	s.Schedule(2*time.Millisecond, func() {
+		p.Interrupt(time.Millisecond, func() { handlerRan = s.Now() })
+	})
+	s.Run()
+	if handlerRan != sim.Time(3*time.Millisecond) {
+		t.Fatalf("handler at %v, want 3ms", handlerRan)
+	}
+	want := sim.Time(p.model.CtxSwitch + 11*time.Millisecond)
+	if end != want {
+		t.Fatalf("compute ended at %v, want %v (stretched by 1ms)", end, want)
+	}
+	if p.Stats().Preemptions != 1 {
+		t.Fatalf("Preemptions = %d", p.Stats().Preemptions)
+	}
+}
+
+func TestNestedInterruptItemsRunInBurst(t *testing.T) {
+	s, p := newProc(t)
+	var times []sim.Time
+	s.Schedule(time.Millisecond, func() {
+		p.Interrupt(100*time.Microsecond, func() {
+			times = append(times, s.Now())
+			p.Interrupt(50*time.Microsecond, func() {
+				times = append(times, s.Now())
+			})
+		})
+	})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("handlers ran %d times", len(times))
+	}
+	if times[0] != sim.Time(1100*time.Microsecond) || times[1] != sim.Time(1150*time.Microsecond) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestDaemonPreemptsComputingWorker(t *testing.T) {
+	s, p := newProc(t)
+	var daemonRan, workerDone sim.Time
+	var daemon *Thread
+	daemon = p.NewThread("daemon", PrioDaemon, func(th *Thread) {
+		th.Block() // wait for interrupt to wake us
+		daemonRan = s.Now()
+		th.Compute(time.Millisecond)
+	})
+	p.NewThread("worker", PrioNormal, func(th *Thread) {
+		th.Compute(20 * time.Millisecond)
+		workerDone = s.Now()
+	})
+	s.Schedule(5*time.Millisecond, func() {
+		p.Interrupt(100*time.Microsecond, func() { daemon.Unblock() })
+	})
+	s.Run()
+	if daemonRan == 0 || workerDone == 0 {
+		t.Fatal("threads did not finish")
+	}
+	if daemonRan > sim.Time(6*time.Millisecond) {
+		t.Fatalf("daemon not dispatched promptly: %v", daemonRan)
+	}
+	if workerDone < sim.Time(21*time.Millisecond) {
+		t.Fatalf("worker finished too early (%v); should have been preempted", workerDone)
+	}
+}
+
+func TestWarmVsColdDispatch(t *testing.T) {
+	s, p := newProc(t)
+	var wake1, wake2 sim.Time
+	var th1 *Thread
+	th1 = p.NewThread("d1", PrioDaemon, func(th *Thread) {
+		th.Block()
+		wake1 = s.Now()
+		th.Block()
+		wake2 = s.Now()
+	})
+	// First wake: th1 is p.last (it just ran), so warm dispatch.
+	s.Schedule(10*time.Millisecond, func() {
+		p.Interrupt(0, func() { th1.Unblock() })
+	})
+	s.Schedule(30*time.Millisecond, func() {
+		p.Interrupt(0, func() { th1.Unblock() })
+	})
+	s.Run()
+	warm := p.model.IntrDispatchWarm
+	if wake1 != sim.Time(10*time.Millisecond+warm) {
+		t.Fatalf("wake1 = %v, want 10ms+%v", wake1, warm)
+	}
+	if wake2 != sim.Time(30*time.Millisecond+warm) {
+		t.Fatalf("wake2 = %v", wake2)
+	}
+	st := p.Stats()
+	if st.WarmDispatches != 2 {
+		t.Fatalf("WarmDispatches = %d, want 2 (stats: %+v)", st.WarmDispatches, st)
+	}
+}
+
+func TestColdDispatchWhenOtherThreadRanLast(t *testing.T) {
+	s, p := newProc(t)
+	var wake sim.Time
+	var daemon *Thread
+	daemon = p.NewThread("d", PrioDaemon, func(th *Thread) {
+		th.Block()
+		wake = s.Now()
+	})
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Compute(5 * time.Millisecond) // runs after daemon blocks; becomes p.last
+	})
+	s.Schedule(20*time.Millisecond, func() {
+		p.Interrupt(0, func() { daemon.Unblock() })
+	})
+	s.Run()
+	cold := p.model.IntrDispatchCold
+	if wake != sim.Time(20*time.Millisecond+cold) {
+		t.Fatalf("wake = %v, want 20ms+%v", wake, cold)
+	}
+	if p.Stats().ColdDispatches != 1 {
+		t.Fatalf("ColdDispatches = %d", p.Stats().ColdDispatches)
+	}
+}
+
+func TestRegisterWindowTraps(t *testing.T) {
+	_, p := newProc(t)
+	done := make(chan struct{})
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		defer close(done)
+		// Nest 10 deep: starting at depth 1 with 1 resident window and 6
+		// hardware windows, calls 2..6 fit and the remaining 5 overflow.
+		th.Call(10)
+		if th.Stats().OverflowTraps != 5 {
+			t.Errorf("OverflowTraps = %d, want 5", th.Stats().OverflowTraps)
+		}
+		// Return all the way: the top 6 frames are resident; returning
+		// past them underflows for the remaining 5 frames.
+		th.Return(10)
+		if th.Stats().UnderflowTraps != 5 {
+			t.Errorf("UnderflowTraps = %d, want 5", th.Stats().UnderflowTraps)
+		}
+		if th.Depth() != 1 {
+			t.Errorf("Depth = %d, want 1", th.Depth())
+		}
+	})
+	p.sim.Run()
+	<-done
+}
+
+func TestSyscallRestoresOneWindow(t *testing.T) {
+	_, p := newProc(t)
+	done := make(chan struct{})
+	p.NewThread("daemon", PrioNormal, func(th *Thread) {
+		defer close(done)
+		th.Call(5) // depth 6, resident 6
+		th.Syscall()
+		// Amoeba restored only the topmost window: returning down the
+		// stack faults in the rest, one trap per frame.
+		before := th.Stats().UnderflowTraps
+		th.Return(5)
+		traps := th.Stats().UnderflowTraps - before
+		if traps != 5 {
+			t.Errorf("underflow traps after syscall = %d, want 5", traps)
+		}
+	})
+	p.sim.Run()
+	<-done
+}
+
+func TestSyscallChargesCrossing(t *testing.T) {
+	s, p := newProc(t)
+	var end sim.Time
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Syscall()
+		th.Flush()
+		end = s.Now()
+	})
+	s.Run()
+	m := p.model
+	want := sim.Time(m.CtxSwitch + m.SyscallCross + 1*m.WindowSave)
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	s, p := newProc(t)
+	var mu Mutex
+	var critical int
+	var maxInside int
+	body := func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			mu.Lock(th)
+			critical++
+			if critical > maxInside {
+				maxInside = critical
+			}
+			th.Compute(time.Millisecond)
+			critical--
+			mu.Unlock(th)
+			th.Compute(100 * time.Microsecond)
+		}
+	}
+	p.NewThread("a", PrioNormal, body)
+	p.NewThread("b", PrioNormal, body)
+	s.Run()
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxInside)
+	}
+	if mu.Locks() != 10 {
+		t.Fatalf("Locks = %d, want 10", mu.Locks())
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	s, p := newProc(t)
+	var mu Mutex
+	cond := NewCond(&mu)
+	ready := false
+	var consumed sim.Time
+	p.NewThread("consumer", PrioNormal, func(th *Thread) {
+		mu.Lock(th)
+		for !ready {
+			cond.Wait(th)
+		}
+		consumed = s.Now()
+		mu.Unlock(th)
+	})
+	p.NewThread("producer", PrioNormal, func(th *Thread) {
+		th.Compute(10 * time.Millisecond)
+		mu.Lock(th)
+		ready = true
+		cond.Signal(th)
+		mu.Unlock(th)
+	})
+	s.Run()
+	if consumed < sim.Time(10*time.Millisecond) {
+		t.Fatalf("consumer ran before signal: %v", consumed)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s, p := newProc(t)
+	var mu Mutex
+	cond := NewCond(&mu)
+	go_ := false
+	woke := 0
+	for i := 0; i < 3; i++ {
+		p.NewThread("waiter", PrioNormal, func(th *Thread) {
+			mu.Lock(th)
+			for !go_ {
+				cond.Wait(th)
+			}
+			woke++
+			mu.Unlock(th)
+		})
+	}
+	p.NewThread("bcast", PrioNormal, func(th *Thread) {
+		th.Compute(time.Millisecond)
+		mu.Lock(th)
+		go_ = true
+		cond.Broadcast(th)
+		mu.Unlock(th)
+	})
+	s.Run()
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s, p := newProc(t)
+	var sem Semaphore
+	var got []int
+	p.NewThread("consumer", PrioNormal, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			sem.Down(th)
+			got = append(got, i)
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * 10 * time.Millisecond
+		s.Schedule(d, sem.UpFromDriver)
+	}
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("consumed %d, want 3", len(got))
+	}
+}
+
+func TestShutdownKillsBlockedThreads(t *testing.T) {
+	s := sim.New()
+	p := New(s, model.Calibrated(), 0, "cpu0")
+	th := p.NewThread("stuck", PrioNormal, func(th *Thread) {
+		th.Block() // never unblocked
+	})
+	s.Run()
+	p.Shutdown()
+	select {
+	case <-th.Done():
+	default:
+		t.Fatal("thread goroutine not terminated by Shutdown")
+	}
+}
+
+func TestComputeTimeAccounting(t *testing.T) {
+	s, p := newProc(t)
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Compute(7 * time.Millisecond)
+	})
+	s.Schedule(2*time.Millisecond, func() {
+		p.Interrupt(500*time.Microsecond, nil)
+	})
+	s.Run()
+	st := p.Stats()
+	if st.ComputeTime != 7*time.Millisecond {
+		t.Fatalf("ComputeTime = %v, want 7ms", st.ComputeTime)
+	}
+	if st.IntrTime != 500*time.Microsecond {
+		t.Fatalf("IntrTime = %v", st.IntrTime)
+	}
+}
+
+func TestInterruptWhileIdle(t *testing.T) {
+	s, p := newProc(t)
+	ran := false
+	s.Schedule(time.Millisecond, func() {
+		p.Interrupt(10*time.Microsecond, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("interrupt handler did not run on idle CPU")
+	}
+}
+
+func TestDisplacedComputeResumesWithRemaining(t *testing.T) {
+	s, p := newProc(t)
+	var daemon *Thread
+	var workerDone sim.Time
+	daemon = p.NewThread("d", PrioDaemon, func(th *Thread) {
+		th.Block()
+		th.Compute(3 * time.Millisecond)
+	})
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.Compute(10 * time.Millisecond)
+		workerDone = s.Now()
+	})
+	s.Schedule(4*time.Millisecond, func() {
+		p.Interrupt(0, func() { daemon.Unblock() })
+	})
+	s.Run()
+	// Worker needs its full 10ms of CPU despite the 3ms daemon burst in
+	// the middle, so it cannot finish before 13ms.
+	if workerDone < sim.Time(13*time.Millisecond) {
+		t.Fatalf("worker done at %v; displaced compute lost time", workerDone)
+	}
+	if workerDone > sim.Time(14*time.Millisecond) {
+		t.Fatalf("worker done at %v; too much overhead", workerDone)
+	}
+}

@@ -1,0 +1,37 @@
+package proc
+
+import "time"
+
+// Stats collects per-processor accounting used by the paper's §4 overhead
+// decompositions and by the LEQ sequencer-overload analysis.
+type Stats struct {
+	CtxSwitches    int64 // thread-to-thread context switches
+	ColdDispatches int64 // interrupt-to-thread dispatches, cold context
+	WarmDispatches int64 // interrupt-to-thread dispatches, warm context
+	DirectResumes  int64 // zero-cost direct deliveries to the last thread
+	Preemptions    int64 // computes suspended by interrupt bursts
+	Interrupts     int64 // interrupt work items
+	Traps          int64 // register-window traps (over + underflow)
+	Syscalls       int64 // user/kernel crossings
+	Locks          int64 // mutex lock operations
+	ThreadsCreated int64
+	ThreadsDone    int64
+
+	ComputeTime time.Duration // CPU time spent in thread computes
+	IntrTime    time.Duration // CPU time spent at interrupt level
+	SwitchTime  time.Duration // CPU time spent switching/dispatching
+}
+
+// Busy returns total accounted CPU time.
+func (s Stats) Busy() time.Duration {
+	return s.ComputeTime + s.IntrTime + s.SwitchTime
+}
+
+// ThreadStats collects per-thread accounting.
+type ThreadStats struct {
+	OverflowTraps  int64
+	UnderflowTraps int64
+	Syscalls       int64
+	Locks          int64
+	BytesCopied    int64
+}

@@ -1,0 +1,208 @@
+// Package sim provides the discrete-event simulation core used by every
+// other substrate in this repository: a virtual clock, a cancellable event
+// queue with deterministic tie-breaking, and a deterministic random number
+// generator.
+//
+// The simulation is single-threaded by construction. Events run in the
+// "driver" context (the goroutine that called Run). Simulated threads (see
+// internal/proc) are goroutines, but the driver and at most one thread
+// goroutine are ever runnable at the same time, with strict handoff, so no
+// locking is required anywhere in the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Tracer receives protocol trace events (see internal/trace). A nil tracer
+// costs one branch per event site.
+type Tracer interface {
+	Trace(at Time, source, kind, detail string)
+}
+
+// Time is an instant of simulated time, expressed as the duration since the
+// start of the simulation. The zero Time is the simulation start.
+type Time time.Duration
+
+// Duration converts a Time back to the duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(o Time) time.Duration { return time.Duration(t - o) }
+
+// Seconds reports t as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are created via Sim.Schedule and
+// friends and may be canceled before they fire.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	events  uint64 // total events executed
+	tracer  Tracer
+}
+
+// SetTracer installs a protocol event tracer (nil disables tracing).
+func (s *Sim) SetTracer(tr Tracer) { s.tracer = tr }
+
+// Tracing reports whether a tracer is installed; call before building
+// expensive detail strings.
+func (s *Sim) Tracing() bool { return s.tracer != nil }
+
+// Trace emits one protocol trace event. The format string is expanded
+// only when a tracer is installed.
+func (s *Sim) Trace(source, kind, format string, args ...any) {
+	if s.tracer == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.tracer.Trace(s.now, source, kind, detail)
+}
+
+// New returns a fresh simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// EventsRun reports how many events have executed so far.
+func (s *Sim) EventsRun() uint64 { return s.events }
+
+// Schedule arranges for fn to run d after the current time. A negative d is
+// treated as zero. It returns the event so the caller may cancel it.
+func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt arranges for fn to run at instant t. Scheduling in the past is
+// an error in the simulation logic and panics, because it would silently
+// reorder causality.
+func (s *Sim) ScheduleAt(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op. It reports whether the event was pending.
+func (s *Sim) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.pq, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	e, ok := heap.Pop(&s.pq).(*Event)
+	if !ok {
+		return false
+	}
+	e.index = -1
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.events++
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.pq) > 0 && s.pq[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Stop makes Run or RunUntil return after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of events still queued.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// eventHeap orders events by (time, insertion sequence) so simultaneous
+// events fire in a deterministic FIFO order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		panic("sim: eventHeap.Push: not an *Event")
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

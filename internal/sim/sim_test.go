@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(3*time.Microsecond, func() { got = append(got, 3) })
+	s.Schedule(1*time.Microsecond, func() { got = append(got, 1) })
+	s.Schedule(2*time.Microsecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != Time(3*time.Microsecond) {
+		t.Fatalf("Now = %v, want 3µs", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel reported event not pending")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second Cancel should report not pending")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.Schedule(time.Duration(i)*time.Microsecond, func() { got = append(got, i) }))
+	}
+	s.Cancel(evs[5])
+	s.Cancel(evs[10])
+	s.Cancel(evs[19])
+	s.Run()
+	if len(got) != 17 {
+		t.Fatalf("ran %d events, want 17", len(got))
+	}
+	for _, v := range got {
+		if v == 5 || v == 10 || v == 19 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order after cancels: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var trace []Time
+	s.Schedule(time.Microsecond, func() {
+		trace = append(trace, s.Now())
+		s.Schedule(time.Microsecond, func() {
+			trace = append(trace, s.Now())
+		})
+	})
+	s.Run()
+	if len(trace) != 2 || trace[0] != Time(time.Microsecond) || trace[1] != Time(2*time.Microsecond) {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(Time(time.Millisecond), func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(Time(5 * time.Second))
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != Time(5*time.Second) {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count after Run = %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(2 * time.Second)
+	if a.Add(time.Second) != Time(3*time.Second) {
+		t.Fatal("Add")
+	}
+	if a.Sub(Time(time.Second)) != time.Second {
+		t.Fatal("Sub")
+	}
+	if a.Seconds() != 2 {
+		t.Fatal("Seconds")
+	}
+	if a.Duration() != 2*time.Second {
+		t.Fatal("Duration")
+	}
+}
+
+// TestQuickEventOrdering: for any set of delays, events fire in
+// nondecreasing time order and ties fire in insertion order.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		s := New()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, d := range delaysRaw {
+			i := i
+			s.Schedule(time.Duration(d)*time.Microsecond, func() {
+				got = append(got, rec{at: s.Now(), idx: i})
+			})
+		}
+		s.Run()
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(1)
+	p := r.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.EventsRun() != 5 {
+		t.Fatalf("EventsRun = %d", s.EventsRun())
+	}
+}

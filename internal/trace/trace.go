@@ -1,0 +1,94 @@
+// Package trace records protocol-level events from a simulation run: who
+// sent what, when the sequencer assigned a number, when a retransmission
+// fired. It exists for debugging protocol behaviour and for the
+// `amoebasim -trace` timeline view; tracing is off (nil) by default and
+// costs one branch per event site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"amoebasim/internal/sim"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	At     sim.Time
+	Source string // e.g. "cpu1"
+	Kind   string // e.g. "rpc.req", "grp.seq"
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-14v %-6s %-12s %s", e.At, e.Source, e.Kind, e.Detail)
+}
+
+// Log is a bounded in-memory event log implementing sim.Tracer.
+type Log struct {
+	max     int
+	events  []Event
+	dropped int
+}
+
+var _ sim.Tracer = (*Log)(nil)
+
+// NewLog creates a log keeping at most max events (0 = 64k default).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Log{max: max}
+}
+
+// Trace implements sim.Tracer.
+func (l *Log) Trace(at sim.Time, source, kind, detail string) {
+	if len(l.events) >= l.max {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{At: at, Source: source, Kind: kind, Detail: detail})
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	return append([]Event(nil), l.events...)
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Dropped reports events discarded after the log filled up.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Filter returns the events whose kind has the given prefix.
+func (l *Log) Filter(kindPrefix string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if strings.HasPrefix(e.Kind, kindPrefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the log as a timeline.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range l.events {
+		c, err := fmt.Fprintln(w, e.String())
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	if l.dropped > 0 {
+		c, err := fmt.Fprintf(w, "... %d events dropped (log full)\n", l.dropped)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,98 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/trace"
+)
+
+func runTracedRPC(t *testing.T, mode panda.Mode) *trace.Log {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Procs: 2, Mode: mode, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	log := trace.NewLog(0)
+	c.Sim.SetTracer(log)
+	srv := c.Transports[0]
+	srv.HandleRPC(func(th *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+		srv.Reply(th, ctx, req, n)
+	})
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(th *proc.Thread) {
+		if _, _, err := c.Transports[1].Call(th, 0, "x", 8); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	return log
+}
+
+func TestTraceKernelRPCTimeline(t *testing.T) {
+	log := runTracedRPC(t, panda.KernelSpace)
+	if log.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, want := range []string{"rpc.req", "rpc.serve", "rpc.rep", "flip.locate"} {
+		if len(log.Filter(want)) == 0 {
+			t.Errorf("missing %s events", want)
+		}
+	}
+	// Causality: the request precedes the serve upcall precedes the reply.
+	evs := log.Events()
+	order := map[string]int{}
+	for i, e := range evs {
+		if _, seen := order[e.Kind]; !seen {
+			order[e.Kind] = i
+		}
+	}
+	if !(order["rpc.req"] < order["rpc.serve"] && order["rpc.serve"] < order["rpc.rep"]) {
+		t.Fatalf("timeline out of order: %v", order)
+	}
+}
+
+func TestTraceUserRPCTimeline(t *testing.T) {
+	log := runTracedRPC(t, panda.UserSpace)
+	for _, want := range []string{"prpc.req", "prpc.upcall", "prpc.rep"} {
+		if len(log.Filter(want)) == 0 {
+			t.Errorf("missing %s events", want)
+		}
+	}
+}
+
+func TestTraceWriteTo(t *testing.T) {
+	log := runTracedRPC(t, panda.KernelSpace)
+	var sb strings.Builder
+	if _, err := log.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rpc.req") {
+		t.Fatal("timeline output missing events")
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	log := trace.NewLog(3)
+	for i := 0; i < 10; i++ {
+		log.Trace(0, "x", "k", "d")
+	}
+	if log.Len() != 3 || log.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d", log.Len(), log.Dropped())
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Procs: 1, Mode: panda.UserSpace, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if c.Sim.Tracing() {
+		t.Fatal("tracing should be off by default")
+	}
+	c.Sim.Trace("x", "y", "should be a no-op %d", 1)
+}
