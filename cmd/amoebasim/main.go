@@ -8,10 +8,15 @@
 //	amoebasim -trace            protocol timeline of one null RPC per mode
 //	amoebasim -sweep latency    CSV latency-vs-size sweep (plottable)
 //	amoebasim -sweep speedup    CSV speedup curve for one app (-apps, -scale)
+//	amoebasim -metrics          per-layer metrics tables for both modes
+//	amoebasim -metrics-json F   machine-readable metrics appendix to file F
+//	amoebasim -trace-json F     null-RPC span timelines as JSON to file F
 //	amoebasim -all              everything
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,15 +42,18 @@ func main() {
 		appsFlag  = flag.String("apps", "", "comma-separated subset of apps for table 3 (tsp,asp,ab,rl,sor,leq)")
 		procsFlag = flag.String("procs", "", "comma-separated processor counts for table 3 (default 1,8,16,32)")
 		seed      = flag.Uint64("seed", 5, "workload seed")
+		metricsF  = flag.Bool("metrics", false, "print per-layer metrics tables for both implementations")
+		metricsJ  = flag.String("metrics-json", "", "write the metrics appendix as JSON to this file")
+		traceJ    = flag.String("trace-json", "", "write the null-RPC span timelines as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed); err != nil {
+	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ); err != nil {
 		fmt.Fprintln(os.Stderr, "amoebasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64) error {
+func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ string) error {
 	did := false
 	if sweep != "" {
 		if err := runSweep(sweep, appsFlag, scale, seed); err != nil {
@@ -56,10 +64,43 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 	if traceFlag {
 		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
 			fmt.Printf("--- null RPC timeline, %v ---\n", mode)
-			if err := printRPCTrace(mode); err != nil {
+			log, err := rpcTrace(mode)
+			if err != nil {
+				return err
+			}
+			if _, err := log.WriteTo(os.Stdout); err != nil {
 				return err
 			}
 			fmt.Println()
+		}
+		did = true
+	}
+	if traceJ != "" {
+		if err := writeTraceJSON(traceJ); err != nil {
+			return err
+		}
+		did = true
+	}
+	if metricsF || metricsJ != "" {
+		appendix := bench.ObservabilityAppendix(seed)
+		if metricsF {
+			if err := bench.PrintObservability(os.Stdout, appendix); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if metricsJ != "" {
+			f, err := os.Create(metricsJ)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteObservabilityJSON(f, appendix); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 		did = true
 	}
@@ -189,12 +230,12 @@ func runSweep(kind, appsFlag, scale string, seed uint64) error {
 
 func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// printRPCTrace runs one null RPC with tracing enabled and dumps the
-// protocol timeline.
-func printRPCTrace(mode panda.Mode) error {
+// rpcTrace runs one null RPC with tracing enabled and returns the
+// captured protocol timeline.
+func rpcTrace(mode panda.Mode) (*trace.Log, error) {
 	c, err := cluster.New(cluster.Config{Procs: 2, Mode: mode, Seed: 1})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer c.Shutdown()
 	log := trace.NewLog(0)
@@ -207,6 +248,41 @@ func printRPCTrace(mode panda.Mode) error {
 		_, _, _ = c.Transports[1].Call(t, 0, nil, 0)
 	})
 	c.Run()
-	_, err = log.WriteTo(os.Stdout)
-	return err
+	return log, nil
+}
+
+// writeTraceJSON captures the null-RPC span timeline of each
+// implementation and writes them as one JSON document.
+func writeTraceJSON(path string) error {
+	var docs struct {
+		KernelSpace json.RawMessage `json:"kernel-space"`
+		UserSpace   json.RawMessage `json:"user-space"`
+	}
+	for i, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		log, err := rpcTrace(mode)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := log.WriteJSON(&buf); err != nil {
+			return err
+		}
+		raw := json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		if i == 0 {
+			docs.KernelSpace = raw
+		} else {
+			docs.UserSpace = raw
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(docs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

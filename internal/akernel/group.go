@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"amoebasim/internal/flip"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
 )
@@ -104,6 +106,20 @@ type member struct {
 	acked      map[int]uint64
 	lastStatus map[int]uint64 // ack seen at the previous status probe
 	watchdog   *sim.Event
+
+	mx *grpMetrics // nil when metrics are disabled
+}
+
+// grpMetrics bundles the per-member metric handles (labeled by processor
+// and group id).
+type grpMetrics struct {
+	pbSends     *metrics.Counter
+	bbSends     *metrics.Counter
+	localSends  *metrics.Counter // sender is the sequencer machine
+	sendRetrans *metrics.Counter
+	deliveries  *metrics.Counter
+	retransReqs *metrics.Counter
+	seqHistory  *metrics.Gauge // sequencer history occupancy
 }
 
 type grpRecvWaiter struct {
@@ -137,11 +153,27 @@ func (k *Kernel) GroupConfigure(gid GroupID, members []int, sequencer int) error
 		bbAccept:    make(map[bbKey]*grpWire),
 		sends:       make(map[uint64]*grpSendState),
 	}
+	if reg := k.sim.Metrics(); reg != nil {
+		lp := metrics.L("proc", k.p.Name())
+		lg := metrics.L("gid", strconv.Itoa(int(gid)))
+		mb.mx = &grpMetrics{
+			pbSends:     reg.Counter("akernel.grp_pb_sends", lp, lg),
+			bbSends:     reg.Counter("akernel.grp_bb_sends", lp, lg),
+			localSends:  reg.Counter("akernel.grp_local_sends", lp, lg),
+			sendRetrans: reg.Counter("akernel.grp_send_retrans", lp, lg),
+			deliveries:  reg.Counter("akernel.grp_deliveries", lp, lg),
+			retransReqs: reg.Counter("akernel.grp_retrans_requests", lp, lg),
+		}
+	}
 	if sequencer == k.id {
 		mb.history = make(map[uint64]*grpWire)
 		mb.seen = make(map[bbKey]uint64)
 		mb.acked = make(map[int]uint64)
 		mb.lastStatus = make(map[int]uint64)
+		if mb.mx != nil {
+			mb.mx.seqHistory = k.sim.Metrics().Gauge("akernel.seq_history",
+				metrics.L("proc", k.p.Name()), metrics.L("gid", strconv.Itoa(int(gid))))
+		}
 		k.flip.Register(seqAddress(gid))
 	}
 	k.flip.Register(kernAddress(k.id))
@@ -173,6 +205,9 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID,
 			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
 		}
+		if mb.mx != nil {
+			mb.mx.localSends.Inc()
+		}
 		t.Flush()
 		k.p.Interrupt(k.m.ProtoGroup, func() { mb.seqHandleREQ(w) })
 	} else if size <= k.m.BBThreshold {
@@ -185,6 +220,9 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 			Src: RawAddress(k.id), Dst: seqAddress(gid), Proto: flip.ProtoGroup,
 			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
 			Size: size, Payload: w,
+		}
+		if mb.mx != nil {
+			mb.mx.pbSends.Inc()
 		}
 		k.flip.SendFromThread(t, ss.msg)
 	} else {
@@ -199,6 +237,9 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 			Src: RawAddress(k.id), Dst: GroupAddress(gid), Proto: flip.ProtoGroup,
 			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
 			Size: size, Payload: w, Multicast: true,
+		}
+		if mb.mx != nil {
+			mb.mx.bbSends.Inc()
 		}
 		k.flip.SendFromThread(t, ss.msg)
 	}
@@ -251,6 +292,9 @@ func (mb *member) sendTimeout(ss *grpSendState) {
 		ss.done = true
 		ss.t.Unblock()
 		return
+	}
+	if mb.mx != nil {
+		mb.mx.sendRetrans.Inc()
 	}
 	mb.k.flip.SendFromInterrupt(ss.msg)
 	ss.timer = mb.k.sim.Schedule(mb.k.m.RetransTimeout, func() { mb.sendTimeout(ss) })
@@ -335,6 +379,9 @@ func (mb *member) seqHandleREQ(w *grpWire) {
 	mb.k.sim.Trace(mb.k.p.Name(), "grp.seq", "seqno=%d sender=%d size=%d (PB)", mb.seqno, w.sender, w.size)
 	mb.seen[key] = mb.seqno
 	mb.history[mb.seqno] = d
+	if mb.mx != nil {
+		mb.mx.seqHistory.Set(int64(len(mb.history)))
+	}
 	// FLIP multicast loops back to the local member, so the sequencer
 	// machine delivers its own broadcast without special-casing.
 	mb.broadcastData(d)
@@ -358,6 +405,9 @@ func (mb *member) seqHandleBB(w *grpWire) {
 	}
 	mb.seen[key] = mb.seqno
 	mb.history[mb.seqno] = d
+	if mb.mx != nil {
+		mb.mx.seqHistory.Set(int64(len(mb.history)))
+	}
 	mb.broadcastAccept(d) // loops back; tryCompleteBB pairs it with the data
 	mb.armWatchdog()
 }
@@ -422,6 +472,9 @@ func (mb *member) trimHistory() {
 			delete(mb.history, s)
 			delete(mb.seen, bbKey{sender: h.sender, tmpID: h.tmpID})
 		}
+	}
+	if mb.mx != nil && mb.mx.seqHistory != nil {
+		mb.mx.seqHistory.Set(int64(len(mb.history)))
 	}
 }
 
@@ -519,6 +572,9 @@ func (mb *member) onData(w *grpWire) {
 
 func (mb *member) deliver(w *grpWire) {
 	mb.k.sim.Trace(mb.k.p.Name(), "grp.dlv", "seqno=%d sender=%d", w.seqno, w.sender)
+	if mb.mx != nil {
+		mb.mx.deliveries.Inc()
+	}
 	mb.nextDeliver = w.seqno + 1
 	d := &Delivery{Sender: w.sender, Seqno: w.seqno, Payload: w.payload, Size: w.size}
 	if len(mb.waiters) > 0 {
@@ -555,6 +611,9 @@ func (mb *member) requestRetrans(sawSeqno uint64) {
 		}
 	}
 	k.sim.Trace(k.p.Name(), "grp.retr", "missing %d..%d", mb.nextDeliver, upTo)
+	if mb.mx != nil {
+		mb.mx.retransReqs.Inc()
+	}
 	req := &grpWire{kind: gRETR, gid: mb.gid, from: k.id, seqno: mb.nextDeliver, upTo: upTo}
 	k.flip.SendFromInterrupt(flip.Message{
 		Src: RawAddress(k.id), Dst: seqAddress(mb.gid), Proto: flip.ProtoGroup,

@@ -13,6 +13,7 @@ package akernel
 import (
 	"amoebasim/internal/ether"
 	"amoebasim/internal/flip"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
@@ -53,6 +54,21 @@ type Kernel struct {
 	rpc *rpcModule
 	grp map[GroupID]*member
 	raw *rawModule
+
+	mx *kernMetrics // nil when metrics are disabled
+}
+
+// kernMetrics bundles the kernel's metric handles (labeled by processor);
+// group members resolve their own per-group handles in GroupConfigure.
+type kernMetrics struct {
+	rpcCalls      *metrics.Counter
+	rpcRetrans    *metrics.Counter
+	rpcServes     *metrics.Counter
+	rpcFailures   *metrics.Counter
+	acksExplicit  *metrics.Counter
+	rpcLatency    *metrics.Histogram
+	reasmTimeouts *metrics.Counter
+	rawQueueDepth *metrics.Gauge
 }
 
 // New boots a kernel on processor p, attached to segment seg of net.
@@ -68,6 +84,19 @@ func New(p *proc.Processor, net *ether.Network, seg int) (*Kernel, error) {
 		sim:  p.Sim(),
 		flip: st,
 		grp:  make(map[GroupID]*member),
+	}
+	if reg := p.Sim().Metrics(); reg != nil {
+		l := metrics.L("proc", p.Name())
+		k.mx = &kernMetrics{
+			rpcCalls:      reg.Counter("akernel.rpc_calls", l),
+			rpcRetrans:    reg.Counter("akernel.rpc_retransmissions", l),
+			rpcServes:     reg.Counter("akernel.rpc_serves", l),
+			rpcFailures:   reg.Counter("akernel.rpc_failures", l),
+			acksExplicit:  reg.Counter("akernel.acks_explicit", l),
+			rpcLatency:    reg.Histogram("akernel.rpc_latency_us", l),
+			reasmTimeouts: reg.Counter("akernel.reasm_timeouts", l),
+			rawQueueDepth: reg.Gauge("akernel.raw_queue_depth", l),
+		}
 	}
 	k.rpc = newRPCModule(k)
 	k.raw = newRawModule(k)

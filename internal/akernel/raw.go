@@ -78,6 +78,9 @@ func (k *Kernel) RawReceiveMatch(t *proc.Thread, match func(*flip.Packet) bool) 
 		if match == nil || match(q) {
 			pk = q
 			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			if k.mx != nil {
+				k.mx.rawQueueDepth.Set(int64(len(r.queue)))
+			}
 			break
 		}
 	}
@@ -113,4 +116,7 @@ func (r *rawModule) onPacket(pk *flip.Packet) {
 		return
 	}
 	r.queue = append(r.queue, pk)
+	if r.k.mx != nil {
+		r.k.mx.rawQueueDepth.Set(int64(len(r.queue)))
+	}
 }

@@ -111,6 +111,9 @@ func newRPCModule(k *Kernel) *rpcModule {
 		channels: make(map[chanKey]*serverChan),
 		replyTo:  rawBase | 0x2000_0000 | flip.Address(k.id),
 	}
+	if k.mx != nil {
+		r.reasm.SetTimeoutCounter(k.mx.reasmTimeouts)
+	}
 	k.flip.Register(r.replyTo)
 	return r
 }
@@ -139,7 +142,11 @@ func (k *Kernel) Trans(t *proc.Thread, port Port, req any, reqSize int) (any, in
 	}
 	r.calls[ch] = cs
 	t.Charge(k.m.ProtoRPC)
-	k.sim.Trace(k.p.Name(), "rpc.req", "trans seq=%d port=%d size=%d", cs.seq, port, reqSize)
+	if k.mx != nil {
+		k.mx.rpcCalls.Inc()
+	}
+	start := k.sim.Now()
+	span := k.sim.SpanBegin(k.p.Name(), "rpc.req", "trans seq=%d port=%d size=%d", cs.seq, port, reqSize)
 	k.flip.SendFromThread(t, cs.msg)
 	cs.timer = k.sim.Schedule(k.m.RetransTimeout, func() { r.clientTimeout(ch) })
 	t.Block()
@@ -147,10 +154,18 @@ func (k *Kernel) Trans(t *proc.Thread, port Port, req any, reqSize int) (any, in
 	// Woken by the interrupt handler with the reply in place (the data
 	// was copied to the posted buffer as fragments arrived).
 	delete(r.calls, ch)
+	if k.mx != nil {
+		k.mx.rpcLatency.Observe(k.sim.Now().Sub(start))
+	}
 	if cs.err != nil {
+		k.sim.SpanEnd(span, k.p.Name(), "rpc.fail", "seq=%d err=%v", cs.seq, cs.err)
+		if k.mx != nil {
+			k.mx.rpcFailures.Inc()
+		}
 		k.leaveKernel(t)
 		return nil, 0, cs.err
 	}
+	k.sim.SpanEnd(span, k.p.Name(), "rpc.done", "seq=%d size=%d", cs.seq, cs.repSize)
 	k.leaveKernel(t)
 	return cs.reply, cs.repSize, nil
 }
@@ -168,6 +183,9 @@ func (r *rpcModule) clientTimeout(ch chanKey) {
 		return
 	}
 	r.k.sim.Trace(r.k.p.Name(), "rpc.retr", "seq=%d retry=%d", cs.seq, cs.retries)
+	if r.k.mx != nil {
+		r.k.mx.rpcRetrans.Inc()
+	}
 	r.k.flip.SendFromInterrupt(cs.msg)
 	cs.timer = r.k.sim.Schedule(r.k.m.RetransTimeout, func() { r.clientTimeout(ch) })
 }
@@ -283,6 +301,9 @@ func (r *rpcModule) handleREQ(w *rpcWire) {
 		return // duplicate of an in-progress call
 	}
 	k.sim.Trace(k.p.Name(), "rpc.serve", "seq=%d from=%d size=%d", w.seq, w.ch.kernel, w.size)
+	if k.mx != nil {
+		k.mx.rpcServes.Inc()
+	}
 	sc.inFlight = w.seq
 	sc.cachedRep = nil
 	ps := r.port(w.port)
@@ -331,6 +352,9 @@ func (r *rpcModule) handleREP(w *rpcWire) {
 // acknowledgement of the reply, always sent (unlike Panda's piggybacking).
 func (r *rpcModule) sendACK(w *rpcWire) {
 	k := r.k
+	if k.mx != nil {
+		k.mx.acksExplicit.Inc()
+	}
 	ack := &rpcWire{kind: rpcACK, ch: w.ch, seq: w.seq, port: w.port}
 	k.flip.SendFromInterrupt(flip.Message{
 		Src: r.replyTo, Dst: PortAddress(w.port), Proto: flip.ProtoRPC,

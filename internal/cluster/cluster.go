@@ -9,6 +9,7 @@ import (
 
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/ether"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/panda"
 	"amoebasim/internal/proc"
@@ -45,6 +46,10 @@ type Config struct {
 	// InterfaceDaemon relays user-space upcalls through interface-layer
 	// daemon threads, as in pre-continuation Panda (ablation, §3.2).
 	InterfaceDaemon bool
+	// Metrics attaches a metrics registry to the simulation so every
+	// layer records its counters; when false the hot paths stay
+	// branch-only (no registry, no allocation).
+	Metrics bool
 	// Model overrides the machine cost model (default Calibrated).
 	Model *model.CostModel
 }
@@ -57,6 +62,9 @@ type Cluster struct {
 	Procs      []*proc.Processor
 	Kernels    []*akernel.Kernel
 	Transports []panda.Transport // indexed by worker processor id
+	// Metrics is the registry attached to the simulation, or nil when
+	// Config.Metrics was false.
+	Metrics *metrics.Registry
 	// SeqProc is the dedicated sequencer processor id, or -1.
 	SeqProc int
 
@@ -91,10 +99,16 @@ func New(cfg Config) (*Cluster, error) {
 		segs = (total + procsPerSegment - 1) / procsPerSegment
 	}
 	s := sim.New()
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.NewRegistry()
+		s.SetMetrics(reg)
+	}
 	c := &Cluster{
 		Sim:     s,
 		Model:   m,
 		Net:     ether.New(s, m, segs, cfg.Seed),
+		Metrics: reg,
 		SeqProc: -1,
 		cfg:     cfg,
 	}

@@ -8,7 +8,9 @@ package ether
 
 import (
 	"fmt"
+	"strconv"
 
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/sim"
 )
@@ -52,6 +54,10 @@ type Segment struct {
 
 	frames int64
 	bytes  int64
+
+	mxFrames *metrics.Counter // ether.segment_frames{seg=N}
+	mxBusyUS *metrics.Counter // ether.segment_busy_us{seg=N}
+	mxQueued *metrics.Counter // ether.frames_queued{seg=N}
 }
 
 // Network is the full pool interconnect: segments plus a switch.
@@ -64,6 +70,19 @@ type Network struct {
 	lossRate float64
 
 	dropped int64
+
+	mx *netMetrics // nil when metrics are disabled
+}
+
+// netMetrics bundles the network-wide metric handles; the single pointer
+// keeps hot-path sites at one branch.
+type netMetrics struct {
+	framesSent   *metrics.Counter
+	bytesSent    *metrics.Counter
+	framesRecv   *metrics.Counter
+	dropsDown    *metrics.Counter
+	dropsLoss    *metrics.Counter
+	segForwarded *metrics.Counter
 }
 
 // New creates a network with the given number of segments. NICs are added
@@ -74,8 +93,25 @@ func New(s *sim.Sim, m *model.CostModel, segments int, seed uint64) *Network {
 		segments = 1
 	}
 	n := &Network{sim: s, m: m, rng: sim.NewRand(seed)}
+	if reg := s.Metrics(); reg != nil {
+		n.mx = &netMetrics{
+			framesSent:   reg.Counter("ether.frames_sent"),
+			bytesSent:    reg.Counter("ether.bytes_sent"),
+			framesRecv:   reg.Counter("ether.frames_recv"),
+			dropsDown:    reg.Counter("ether.frames_dropped", metrics.L("cause", "nic_down")),
+			dropsLoss:    reg.Counter("ether.frames_dropped", metrics.L("cause", "loss")),
+			segForwarded: reg.Counter("ether.frames_forwarded"),
+		}
+	}
 	for i := 0; i < segments; i++ {
-		n.segments = append(n.segments, &Segment{id: i})
+		seg := &Segment{id: i}
+		if reg := s.Metrics(); reg != nil {
+			l := metrics.L("seg", strconv.Itoa(i))
+			seg.mxFrames = reg.Counter("ether.segment_frames", l)
+			seg.mxBusyUS = reg.Counter("ether.segment_busy_us", l)
+			seg.mxQueued = reg.Counter("ether.frames_queued", l)
+		}
+		n.segments = append(n.segments, seg)
 	}
 	return n
 }
@@ -137,6 +173,10 @@ func (c *NIC) Send(fr Frame) {
 	c.txFrames++
 	c.txBytes += int64(fr.Size)
 	n := c.net
+	if n.mx != nil {
+		n.mx.framesSent.Inc()
+		n.mx.bytesSent.Add(int64(fr.Size))
+	}
 	arrive := n.transmitOn(c.seg, fr)
 
 	// Local deliveries.
@@ -150,6 +190,9 @@ func (c *NIC) Send(fr Frame) {
 			}
 			seg := seg
 			n.sim.ScheduleAt(arrive, func() {
+				if n.mx != nil {
+					n.mx.segForwarded.Inc()
+				}
 				a2 := n.transmitOn(seg, fr)
 				n.deliverOnSegment(seg, fr, a2, nil)
 			})
@@ -162,6 +205,9 @@ func (c *NIC) Send(fr Frame) {
 	}
 	seg := dst.seg
 	n.sim.ScheduleAt(arrive, func() {
+		if n.mx != nil {
+			n.mx.segForwarded.Inc()
+		}
 		a2 := n.transmitOn(seg, fr)
 		n.deliverOnSegment(seg, fr, a2, nil)
 	})
@@ -171,13 +217,21 @@ func (c *NIC) Send(fr Frame) {
 // earlier than now, returning the arrival instant.
 func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
 	start := n.sim.Now()
-	if seg.busyUntil > start {
+	queued := seg.busyUntil > start
+	if queued {
 		start = seg.busyUntil
 	}
 	tx := n.m.WireTime(fr.Size + n.m.EthernetHeaderBytes)
 	seg.busyUntil = start.Add(tx)
 	seg.frames++
 	seg.bytes += int64(fr.Size)
+	if seg.mxFrames != nil {
+		seg.mxFrames.Inc()
+		seg.mxBusyUS.Add(tx.Microseconds())
+		if queued {
+			seg.mxQueued.Inc()
+		}
+	}
 	return seg.busyUntil
 }
 
@@ -193,14 +247,23 @@ func (n *Network) deliverOnSegment(seg *Segment, fr Frame, at sim.Time, exclude 
 		n.sim.ScheduleAt(at, func() {
 			if nic.down {
 				n.dropped++
+				if n.mx != nil {
+					n.mx.dropsDown.Inc()
+				}
 				return
 			}
 			if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 				n.dropped++
+				if n.mx != nil {
+					n.mx.dropsLoss.Inc()
+				}
 				return
 			}
 			nic.rxFrames++
 			nic.rxBytes += int64(fr.Size)
+			if n.mx != nil {
+				n.mx.framesRecv.Inc()
+			}
 			if nic.rx != nil {
 				nic.rx(fr)
 			}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"amoebasim/internal/ether"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
@@ -105,6 +106,19 @@ type Stack struct {
 	SentPackets int64
 	RecvPackets int64
 	SentBytes   int64
+
+	mx *stackMetrics // nil when metrics are disabled
+}
+
+// stackMetrics bundles the per-stack metric handles (labeled by processor).
+type stackMetrics struct {
+	packetsSent *metrics.Counter
+	packetsRecv *metrics.Counter
+	bytesSent   *metrics.Counter
+	messages    *metrics.Counter
+	fragments   *metrics.Counter // extra fragments beyond the first packet
+	locates     *metrics.Counter
+	locateFails *metrics.Counter
 }
 
 // NewStack creates the FLIP instance for processor p, attaching a NIC on
@@ -127,6 +141,18 @@ func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error
 		return nil, fmt.Errorf("flip: attach nic: %w", err)
 	}
 	st.nic = nic
+	if reg := p.Sim().Metrics(); reg != nil {
+		l := metrics.L("proc", p.Name())
+		st.mx = &stackMetrics{
+			packetsSent: reg.Counter("flip.packets_sent", l),
+			packetsRecv: reg.Counter("flip.packets_recv", l),
+			bytesSent:   reg.Counter("flip.bytes_sent", l),
+			messages:    reg.Counter("flip.messages_sent", l),
+			fragments:   reg.Counter("flip.extra_fragments", l),
+			locates:     reg.Counter("flip.locates_sent", l),
+			locateFails: reg.Counter("flip.locate_failures", l),
+		}
+	}
 	return st, nil
 }
 
@@ -190,6 +216,12 @@ func (st *Stack) SendFromInterrupt(msg Message) {
 func (st *Stack) fragment(msg Message) []*Packet {
 	cap0 := st.m.FragmentPayload()
 	n := st.m.FragmentsFor(msg.Size)
+	if st.mx != nil {
+		st.mx.messages.Inc()
+		if n > 1 {
+			st.mx.fragments.Add(int64(n - 1))
+		}
+	}
 	frags := make([]*Packet, 0, n)
 	off := 0
 	for i := 0; i < n; i++ {
@@ -230,6 +262,10 @@ func (st *Stack) wireSize(pk *Packet) int {
 func (st *Stack) transmit(pk *Packet, msg Message) {
 	st.SentPackets++
 	st.SentBytes += int64(pk.Length)
+	if st.mx != nil {
+		st.mx.packetsSent.Inc()
+		st.mx.bytesSent.Add(int64(pk.Length))
+	}
 	if msg.Multicast {
 		st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.wireSize(pk), Payload: pk})
 		if st.groups[msg.Dst] {
@@ -270,6 +306,9 @@ func (st *Stack) enqueueForLocate(a Address, msg Message, _ *Packet) {
 
 func (st *Stack) sendLocate(a Address) {
 	st.sim.Trace(st.p.Name(), "flip.locate", "addr=%x", uint64(a))
+	if st.mx != nil {
+		st.mx.locates.Inc()
+	}
 	pk := &Packet{Kind: kindLocate, Dst: a, srcNIC: st.nic.ID()}
 	st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.m.FLIPHeaderBytes, Payload: pk})
 	st.sim.Schedule(st.m.RetransTimeout, func() { st.locateTimeout(a) })
@@ -284,6 +323,9 @@ func (st *Stack) locateTimeout(a Address) {
 		// Give up: FLIP is unreliable; drop the queued messages.
 		delete(st.locating, a)
 		delete(st.pending, a)
+		if st.mx != nil {
+			st.mx.locateFails.Inc()
+		}
 		return
 	}
 	st.locating[a] = n + 1
@@ -332,6 +374,9 @@ func (st *Stack) dispatch(pk *Packet) {
 		}
 	}
 	st.RecvPackets++
+	if st.mx != nil {
+		st.mx.packetsRecv.Inc()
+	}
 	if h := st.handlers[pk.Proto]; h != nil {
 		h(pk)
 	}
@@ -342,10 +387,15 @@ func (st *Stack) dispatch(pk *Packet) {
 // use one. Stale partial messages are evicted after the given timeout, so
 // fragment loss only costs the upper protocol a retransmission.
 type Reassembler struct {
-	sim     *sim.Sim
-	timeout time.Duration
-	partial map[reasmKey]*reasmState
+	sim      *sim.Sim
+	timeout  time.Duration
+	partial  map[reasmKey]*reasmState
+	timeouts *metrics.Counter // stale partial-message evictions
 }
+
+// SetTimeoutCounter installs a counter incremented whenever a stale
+// partial message is evicted (a reassembly timeout). Nil disables it.
+func (r *Reassembler) SetTimeoutCounter(c *metrics.Counter) { r.timeouts = c }
 
 type reasmKey struct {
 	src   Address
@@ -376,6 +426,7 @@ func (r *Reassembler) Add(pk *Packet) bool {
 	if stt != nil && now > stt.deadline {
 		delete(r.partial, key)
 		stt = nil
+		r.timeouts.Inc()
 	}
 	if stt == nil {
 		stt = &reasmState{have: make(map[int]bool, pk.NFrags), total: pk.NFrags}

@@ -1,0 +1,506 @@
+// Package metrics is the unified observability substrate of the simulated
+// stack: a registry of labeled counters, gauges and fixed-bucket latency
+// histograms that every protocol layer (ether, flip, akernel, panda, orca,
+// proc) publishes into.
+//
+// The registry is attached to a simulation via sim.Sim.SetMetrics and is
+// nil by default. Layers resolve their handles once at construction time;
+// when metrics are disabled every hot-path site is guarded by a single
+// branch on a nil pointer (the same pattern as sim.Trace) and allocates
+// nothing. When enabled, Counter.Inc / Gauge.Set / Histogram.Observe are
+// plain field updates into preallocated storage — the simulation is
+// single-threaded, so no atomics or locks are needed.
+//
+// Snapshots are deterministic: series are exported sorted by name and
+// canonical label order, never by map iteration, so two same-seed runs
+// produce byte-identical JSON.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Label is one key=value dimension attached to a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L constructs a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// series is the identity shared by all metric kinds.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	id     string  // canonical "name{k=v,...}" identity
+}
+
+func makeSeries(name string, labels []Label) series {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Value < ls[j].Value
+	})
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(ls) > 0 {
+		sb.WriteByte('{')
+		for i, l := range ls {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Key)
+			sb.WriteByte('=')
+			sb.WriteString(l.Value)
+		}
+		sb.WriteByte('}')
+	}
+	return series{name: name, labels: ls, id: sb.String()}
+}
+
+// Name returns the metric name (without labels).
+func (s *series) Name() string { return s.name }
+
+// ID returns the canonical series identity, e.g. "flip.packets_sent{proc=cpu0}".
+func (s *series) ID() string { return s.id }
+
+// Counter is a monotonically increasing count. The nil Counter is a valid
+// no-op, so call sites need no extra guard beyond their layer's own.
+type Counter struct {
+	series
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (negative deltas are a programming error and ignored).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v += n
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, history occupancy). It
+// remembers the high-water mark, which is usually the number the analysis
+// wants. The nil Gauge is a valid no-op.
+type Gauge struct {
+	series
+	v, max int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the current level by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value reports the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max reports the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// BucketBoundsUS are the fixed histogram bucket upper bounds in
+// microseconds: a 1-2-5 ladder from 1 µs to 1 s, matching the µs-to-ms
+// scale of the paper's measurements. Observations above the last bound
+// land in an overflow bucket.
+var BucketBoundsUS = []int64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+	1000000,
+}
+
+// Histogram is a fixed-bucket latency histogram. Percentile queries return
+// the upper bound of the bucket holding the requested rank, clamped to the
+// exactly-tracked [Min, Max] range, so distributions built on bucket
+// boundaries yield exact percentiles. The nil Histogram is a valid no-op.
+type Histogram struct {
+	series
+	counts   []int64 // len(BucketBoundsUS)+1; last is overflow
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	us := int64(d / time.Microsecond)
+	for i, le := range BucketBoundsUS {
+		if us <= le {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(BucketBoundsUS)]++
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the exact total of all samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min reports the exact smallest sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the exact largest sample (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile answers a percentile query for p in [0, 100] using
+// nearest-rank on the fixed buckets: the result is the upper bound of the
+// bucket containing sample number ceil(p/100 * Count), clamped to
+// [Min, Max]. p ≤ 0 returns Min, p ≥ 100 returns Max, and an empty
+// histogram returns 0.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == len(BucketBoundsUS) {
+				return h.max
+			}
+			est := time.Duration(BucketBoundsUS[i]) * time.Microsecond
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// Registry holds every metric series of one simulation. The nil Registry
+// is valid and hands out nil handles, so disabled-metrics call sites cost
+// one branch and zero allocations.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := makeSeries(name, labels)
+	if c := r.counters[s.id]; c != nil {
+		return c
+	}
+	c := &Counter{series: s}
+	r.counters[s.id] = c
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := makeSeries(name, labels)
+	if g := r.gauges[s.id]; g != nil {
+		return g
+	}
+	g := &Gauge{series: s}
+	r.gauges[s.id] = g
+	return g
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := makeSeries(name, labels)
+	if h := r.hists[s.id]; h != nil {
+		return h
+	}
+	h := &Histogram{series: s, counts: make([]int64, len(BucketBoundsUS)+1)}
+	r.hists[s.id] = h
+	return h
+}
+
+// ---- Snapshots ----
+
+// CounterSnap is one counter series in a snapshot.
+type CounterSnap struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugeSnap is one gauge series in a snapshot.
+type GaugeSnap struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+	Max    int64   `json:"max"`
+}
+
+// BucketSnap is one non-empty histogram bucket.
+type BucketSnap struct {
+	LEUS  int64 `json:"le_us"` // upper bound in µs; -1 marks the overflow bucket
+	Count int64 `json:"count"`
+}
+
+// HistogramSnap is one histogram series in a snapshot. Times are µs.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Labels  []Label      `json:"labels,omitempty"`
+	Count   int64        `json:"count"`
+	SumUS   int64        `json:"sum_us"`
+	MinUS   int64        `json:"min_us"`
+	MaxUS   int64        `json:"max_us"`
+	P50US   int64        `json:"p50_us"`
+	P90US   int64        `json:"p90_us"`
+	P99US   int64        `json:"p99_us"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry, deterministically
+// ordered by series identity.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+func us(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// Snapshot exports the registry's current state. A nil registry exports an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	ids := make([]string, 0, len(r.counters))
+	for id := range r.counters {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := r.counters[id]
+		snap.Counters = append(snap.Counters, CounterSnap{Name: c.name, Labels: c.labels, Value: c.v})
+	}
+
+	ids = ids[:0]
+	for id := range r.gauges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		g := r.gauges[id]
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: g.name, Labels: g.labels, Value: g.v, Max: g.max})
+	}
+
+	ids = ids[:0]
+	for id := range r.hists {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := r.hists[id]
+		hs := HistogramSnap{
+			Name: h.name, Labels: h.labels,
+			Count: h.count, SumUS: us(h.sum), MinUS: us(h.min), MaxUS: us(h.max),
+			P50US: us(h.Percentile(50)), P90US: us(h.Percentile(90)), P99US: us(h.Percentile(99)),
+		}
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			le := int64(-1)
+			if i < len(BucketBoundsUS) {
+				le = BucketBoundsUS[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{LEUS: le, Count: c})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+// MarshalJSONIndent renders the snapshot as stable, human-diffable JSON.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// layerOf groups series by the conventional "layer.metric" naming.
+func layerOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func labelSuffix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WriteTable renders the snapshot as a per-layer text table (the
+// `amoebasim -metrics` output).
+func (s Snapshot) WriteTable(w io.Writer) error {
+	type row struct {
+		layer, text string
+	}
+	var rows []row
+	for _, c := range s.Counters {
+		rows = append(rows, row{layerOf(c.Name),
+			fmt.Sprintf("  %-52s %12d", c.Name+labelSuffix(c.Labels), c.Value)})
+	}
+	for _, g := range s.Gauges {
+		rows = append(rows, row{layerOf(g.Name),
+			fmt.Sprintf("  %-52s %12d  (max %d)", g.Name+labelSuffix(g.Labels), g.Value, g.Max)})
+	}
+	for _, h := range s.Histograms {
+		rows = append(rows, row{layerOf(h.Name),
+			fmt.Sprintf("  %-52s n=%-7d p50=%dµs p90=%dµs p99=%dµs max=%dµs",
+				h.Name+labelSuffix(h.Labels), h.Count, h.P50US, h.P90US, h.P99US, h.MaxUS)})
+	}
+	// Rows arrive sorted within each kind; group by layer preserving the
+	// counter/gauge/histogram ordering inside a layer.
+	layers := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if !seen[r.layer] {
+			seen[r.layer] = true
+			layers = append(layers, r.layer)
+		}
+	}
+	sort.Strings(layers)
+	for _, layer := range layers {
+		if _, err := fmt.Fprintf(w, "[%s]\n", layer); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if r.layer != layer {
+				continue
+			}
+			if _, err := fmt.Fprintln(w, r.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package orca
 import (
 	"fmt"
 
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/panda"
 	"amoebasim/internal/proc"
 )
@@ -53,6 +54,16 @@ type Runtime struct {
 	// nonblockingWrites enables the §6 extension for operations marked
 	// AllowNB (user-space transport only).
 	nonblockingWrites bool
+
+	mx *orcaMetrics // nil when metrics are disabled
+}
+
+// orcaMetrics bundles the runtime's metric handles (labeled by processor).
+type orcaMetrics struct {
+	guardBlocks  *metrics.Counter // operations suspended on a false guard
+	guardRetries *metrics.Counter // guard re-evaluations that stayed false
+	bcastWrites  *metrics.Counter // replicated-write broadcasts issued
+	remoteRPCs   *metrics.Counter // invocations shipped to a remote owner
 }
 
 // NewProgram creates Orca runtimes over the given transports (one per
@@ -66,6 +77,15 @@ func NewProgram(transports []panda.Transport, procs []*proc.Processor) *Program 
 			p:       procs[i],
 			objects: make(map[ObjectID]*instance),
 			pending: make(map[uint64]*localInv),
+		}
+		if reg := procs[i].Sim().Metrics(); reg != nil {
+			l := metrics.L("proc", procs[i].Name())
+			rt.mx = &orcaMetrics{
+				guardBlocks:  reg.Counter("orca.guard_blocks", l),
+				guardRetries: reg.Counter("orca.guard_retries", l),
+				bcastWrites:  reg.Counter("orca.bcast_writes", l),
+				remoteRPCs:   reg.Counter("orca.remote_rpcs", l),
+			}
 		}
 		tr.HandleRPC(rt.onRPC)
 		tr.HandleGroup(rt.onGroup)
@@ -179,6 +199,9 @@ func (rt *Runtime) invoke(t *proc.Thread, h Handle, opName string, args any, arg
 	default:
 		// Remote invocation on a single-copy object.
 		inst.rpcs++
+		if rt.mx != nil {
+			rt.mx.remoteRPCs.Inc()
+		}
 		w := &rpcWire{obj: h.ID, op: opName, args: args, argSize: argSize, guard: guard}
 		return rt.tr.Call(t, h.Owner, w, argSize+wireOverhead)
 	}
@@ -190,6 +213,9 @@ func (rt *Runtime) invoke(t *proc.Thread, h Handle, opName string, args any, arg
 // by a guard).
 func (rt *Runtime) invokeBroadcast(t *proc.Thread, inst *instance, op *OpDef, opName string, args any, argSize int, guard GuardFunc) (any, int, error) {
 	inst.broadcasts++
+	if rt.mx != nil {
+		rt.mx.bcastWrites.Inc()
+	}
 	rt.invSeq++
 	w := &bcastWire{
 		obj: inst.h.ID, op: opName, args: args, argSize: argSize,
@@ -250,6 +276,9 @@ func (rt *Runtime) applyLocal(t *proc.Thread, inst *instance, op *OpDef, args an
 		return res, n
 	}
 	inst.blocked++
+	if rt.mx != nil {
+		rt.mx.guardBlocks.Inc()
+	}
 	inv := &localInv{}
 	inst.conts = append(inst.conts, &continuation{
 		op: op, args: args, guard: guard,
@@ -271,6 +300,9 @@ func (rt *Runtime) runContinuations(t *proc.Thread, inst *instance) {
 		progress = false
 		for i, c := range inst.conts {
 			if c.guard != nil && !c.guard(inst.state) {
+				if rt.mx != nil {
+					rt.mx.guardRetries.Inc()
+				}
 				continue
 			}
 			inst.conts = append(inst.conts[:i], inst.conts[i+1:]...)
@@ -316,6 +348,9 @@ func (rt *Runtime) onRPC(t *proc.Thread, ctx *panda.RPCContext, req any, size in
 		return
 	}
 	inst.blocked++
+	if rt.mx != nil {
+		rt.mx.guardBlocks.Inc()
+	}
 	inst.conts = append(inst.conts, &continuation{
 		op: op, args: w.args, guard: guard,
 		done: func(dt *proc.Thread, res any, n int) {
@@ -372,6 +407,9 @@ func (rt *Runtime) onGroup(t *proc.Thread, sender int, seqno uint64, payload any
 		return
 	}
 	inst.blocked++
+	if rt.mx != nil {
+		rt.mx.guardBlocks.Inc()
+	}
 	inst.conts = append(inst.conts, &continuation{
 		op: op, args: w.args, guard: guard,
 		done: complete,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"amoebasim/internal/akernel"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/proc"
 )
@@ -36,6 +37,13 @@ type Kernel struct {
 
 	daemons   int
 	available int
+
+	// Metric handles (nil when metrics are disabled). The relayed-replies
+	// counter tracks asynchronous replies that had to be routed back
+	// through the accepting daemon — the extra context switch the paper
+	// measures on guarded Orca operations.
+	mxRelayed *metrics.Counter
+	mxDaemons *metrics.Gauge
 }
 
 var _ Transport = (*Kernel)(nil)
@@ -52,6 +60,11 @@ type KernelConfig struct {
 func NewKernel(k *akernel.Kernel, cfg KernelConfig) (*Kernel, error) {
 	p := k.Processor()
 	w := &Kernel{id: p.ID(), k: k, p: p, m: p.Model()}
+	if reg := p.Sim().Metrics(); reg != nil {
+		l := metrics.L("proc", p.Name())
+		w.mxRelayed = reg.Counter("panda.relayed_replies", l)
+		w.mxDaemons = reg.Gauge("panda.rpc_daemons", l)
+	}
 	inGroup := false
 	for _, m := range cfg.Members {
 		if m == w.id {
@@ -106,6 +119,7 @@ type kernCtx struct {
 func (w *Kernel) spawnRPCDaemon() {
 	w.daemons++
 	w.available++
+	w.mxDaemons.Set(int64(w.daemons))
 	name := fmt.Sprintf("pan-rpc-daemon-%d", w.daemons)
 	w.p.NewThread(name, proc.PrioDaemon, w.rpcDaemon)
 }
@@ -154,6 +168,7 @@ func (w *Kernel) Reply(t *proc.Thread, ctx *RPCContext, payload any, size int) {
 	}
 	kc.payload = payload
 	kc.size = size
+	w.mxRelayed.Inc()
 	// Signaling another kernel thread goes through the kernel.
 	t.Syscall()
 	t.Flush()

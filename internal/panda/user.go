@@ -3,6 +3,7 @@ package panda
 import (
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/flip"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
@@ -95,6 +96,27 @@ type User struct {
 	rpc        userRPC
 	grp        userGroup
 	rawHandler RawHandler
+
+	mx *userMetrics // nil when metrics are disabled
+}
+
+// userMetrics bundles the instance's metric handles (labeled by
+// processor).
+type userMetrics struct {
+	rpcCalls        *metrics.Counter
+	rpcRetrans      *metrics.Counter
+	rpcUpcalls      *metrics.Counter
+	rpcFailures     *metrics.Counter
+	acksPiggybacked *metrics.Counter
+	acksExplicit    *metrics.Counter
+	rpcLatency      *metrics.Histogram
+	reasmTimeouts   *metrics.Counter
+	grpPBSends      *metrics.Counter
+	grpBBSends      *metrics.Counter
+	grpSendRetrans  *metrics.Counter
+	grpDeliveries   *metrics.Counter
+	grpRetransReqs  *metrics.Counter
+	seqHistory      *metrics.Gauge // sequencer instance only
 }
 
 var _ Transport = (*User)(nil)
@@ -111,7 +133,28 @@ func NewUser(k *akernel.Kernel, cfg UserConfig) *User {
 		sim: p.Sim(),
 		cfg: cfg,
 	}
+	if reg := u.sim.Metrics(); reg != nil {
+		l := metrics.L("proc", p.Name())
+		u.mx = &userMetrics{
+			rpcCalls:        reg.Counter("panda.rpc_calls", l),
+			rpcRetrans:      reg.Counter("panda.rpc_retransmissions", l),
+			rpcUpcalls:      reg.Counter("panda.rpc_upcalls", l),
+			rpcFailures:     reg.Counter("panda.rpc_failures", l),
+			acksPiggybacked: reg.Counter("panda.acks_piggybacked", l),
+			acksExplicit:    reg.Counter("panda.acks_explicit", l),
+			rpcLatency:      reg.Histogram("panda.rpc_latency_us", l),
+			reasmTimeouts:   reg.Counter("panda.reasm_timeouts", l),
+			grpPBSends:      reg.Counter("panda.grp_pb_sends", l),
+			grpBBSends:      reg.Counter("panda.grp_bb_sends", l),
+			grpSendRetrans:  reg.Counter("panda.grp_send_retrans", l),
+			grpDeliveries:   reg.Counter("panda.grp_deliveries", l),
+			grpRetransReqs:  reg.Counter("panda.grp_retrans_requests", l),
+		}
+	}
 	u.reasm = flip.NewReassembler(u.sim, u.m.RetransTimeout)
+	if u.mx != nil {
+		u.reasm.SetTimeoutCounter(u.mx.reasmTimeouts)
+	}
 	u.rpc.init(u)
 	k.RawRegister()
 	if u.groupEnabled() {
@@ -125,6 +168,10 @@ func NewUser(k *akernel.Kernel, cfg UserConfig) *User {
 	u.daemon = p.NewThread("pan-daemon", proc.PrioDaemon, u.daemonLoop)
 	if u.groupEnabled() && cfg.Sequencer == u.id {
 		u.grp.initSequencer()
+		if u.mx != nil {
+			u.mx.seqHistory = u.sim.Metrics().Gauge("panda.seq_history", metrics.L("proc", p.Name()))
+			u.grp.seqReasm.SetTimeoutCounter(u.mx.reasmTimeouts)
+		}
 		if !u.isMember() {
 			// Dedicated sequencer machine: drop member traffic (ordered
 			// data, accepts, syncs) in the kernel so only the sequencer

@@ -126,6 +126,13 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 	}
 	g.sends[ss.tmpID] = ss
 
+	if u.mx != nil {
+		if big {
+			u.mx.grpBBSends.Inc()
+		} else {
+			u.mx.grpPBSends.Inc()
+		}
+	}
 	t.Call(pandaDepth)
 	t.Charge(u.m.ProtoGroup + u.m.FragLayer)
 	if big {
@@ -161,6 +168,9 @@ func (g *userGroup) sendTimeout(ss *gsend) {
 		return
 	}
 	u := g.u
+	if u.mx != nil {
+		u.mx.grpSendRetrans.Inc()
+	}
 	u.helper.post(func(ht *proc.Thread) {
 		if ss.done {
 			return
@@ -252,6 +262,9 @@ func (g *userGroup) onData(t *proc.Thread, w *uwire) {
 func (g *userGroup) deliver(t *proc.Thread, w *uwire) {
 	u := g.u
 	u.sim.Trace(u.p.Name(), "pgrp.dlv", "seqno=%d sender=%d", w.seq, w.from)
+	if u.mx != nil {
+		u.mx.grpDeliveries.Inc()
+	}
 	g.nextDeliver = w.seq + 1
 	key := gkey{from: w.from, tmpID: w.tmpID}
 	delete(g.bbData, key)
@@ -286,6 +299,9 @@ func (g *userGroup) requestRetrans(t *proc.Thread, sawSeqno uint64) {
 	}
 	g.retrArmed = true
 	u := g.u
+	if u.mx != nil {
+		u.mx.grpRetransReqs.Inc()
+	}
 	hi := sawSeqno
 	for s := range g.holdback {
 		if s > hi {
@@ -349,6 +365,9 @@ func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
 		u.sim.Trace(u.p.Name(), "pgrp.seq", "seqno=%d sender=%d size=%d (PB)", g.seqno, w.from, w.size)
 		g.seen[key] = g.seqno
 		g.history[g.seqno] = d
+		if u.mx != nil {
+			u.mx.seqHistory.Set(int64(len(g.history)))
+		}
 		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, true)
 		g.armWatchdog()
 	case ugBB:
@@ -365,6 +384,9 @@ func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
 		d := &uwire{kind: ugDATA, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
 		g.seen[key] = g.seqno
 		g.history[g.seqno] = d
+		if u.mx != nil {
+			u.mx.seqHistory.Set(int64(len(g.history)))
+		}
 		acc := &uwire{kind: ugACCEPT, from: w.from, seq: g.seqno, tmpID: w.tmpID}
 		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
 		if u.isMember() {
@@ -429,6 +451,9 @@ func (g *userGroup) trimHistory() {
 			delete(g.history, s)
 			delete(g.seen, gkey{from: h.from, tmpID: h.tmpID})
 		}
+	}
+	if g.u.mx != nil && g.u.mx.seqHistory != nil {
+		g.u.mx.seqHistory.Set(int64(len(g.history)))
 	}
 }
 

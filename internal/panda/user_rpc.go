@@ -110,7 +110,14 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 	cs := &ucall{t: t, seq: c.seq, wire: w, msgID: u.k.RawNextMsgID()}
 	c.inflight = cs
 
-	u.sim.Trace(u.p.Name(), "prpc.req", "seq=%d dest=%d size=%d ack=%d", c.seq, dest, size, ack)
+	if u.mx != nil {
+		u.mx.rpcCalls.Inc()
+		if ack > 0 {
+			u.mx.acksPiggybacked.Inc()
+		}
+	}
+	start := u.sim.Now()
+	span := u.sim.SpanBegin(u.p.Name(), "prpc.req", "seq=%d dest=%d size=%d ack=%d", c.seq, dest, size, ack)
 	t.Call(pandaDepth)
 	t.Charge(u.m.ProtoRPC + u.m.FragLayer)
 	u.k.RawSend(t, akernel.RawAddress(dest), cs.msgID, u.m.RPCHeaderUser, size, w, false)
@@ -120,6 +127,17 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 
 	// Woken by the receive daemon with the reply filled in.
 	c.inflight = nil
+	if u.mx != nil {
+		u.mx.rpcLatency.Observe(u.sim.Now().Sub(start))
+		if cs.err != nil {
+			u.mx.rpcFailures.Inc()
+		}
+	}
+	if cs.err != nil {
+		u.sim.SpanEnd(span, u.p.Name(), "prpc.fail", "seq=%d err=%v", cs.seq, cs.err)
+	} else {
+		u.sim.SpanEnd(span, u.p.Name(), "prpc.done", "seq=%d size=%d", cs.seq, cs.repSize)
+	}
 	if cs.err == nil {
 		if u.cfg.NoPiggyback {
 			// Ablation: acknowledge every reply explicitly, right away.
@@ -159,6 +177,9 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 		return
 	}
 	u := r.u
+	if u.mx != nil {
+		u.mx.rpcRetrans.Inc()
+	}
 	u.helper.post(func(ht *proc.Thread) {
 		if cs.done {
 			return
@@ -174,6 +195,9 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 func (r *userRPC) sendExplicitAck(t *proc.Thread, dest int, seq uint64) {
 	u := r.u
 	u.sim.Trace(u.p.Name(), "prpc.ack", "explicit ack seq=%d dest=%d", seq, dest)
+	if u.mx != nil {
+		u.mx.acksExplicit.Inc()
+	}
 	w := &uwire{kind: uACK, from: u.id, ackSeq: seq}
 	t.Call(pandaDepth)
 	t.Charge(u.m.ProtoRPC)
@@ -202,6 +226,9 @@ func (r *userRPC) handleREQ(t *proc.Thread, w *uwire) {
 	s.inFlight = w.seq
 	t.Charge(u.m.ProtoRPC)
 	u.sim.Trace(u.p.Name(), "prpc.upcall", "seq=%d from=%d size=%d", w.seq, w.from, w.size)
+	if u.mx != nil {
+		u.mx.rpcUpcalls.Inc()
+	}
 	if r.handler == nil {
 		return
 	}

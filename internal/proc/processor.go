@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/sim"
 )
@@ -54,6 +55,25 @@ type Processor struct {
 	trace []string
 
 	stats Stats
+	mx    *procMetrics // nil when metrics are disabled
+}
+
+// procMetrics mirrors the Stats counters onto the metrics registry. The
+// Stats struct remains the cheap always-on accounting (bench's
+// decomposition arithmetic depends on copies of it); the registry handles
+// are resolved once here so hot sites pay a single nil check.
+type procMetrics struct {
+	ctxSwitches    *metrics.Counter
+	coldDispatches *metrics.Counter
+	warmDispatches *metrics.Counter
+	directResumes  *metrics.Counter
+	preemptions    *metrics.Counter
+	interrupts     *metrics.Counter
+	traps          *metrics.Counter
+	syscalls       *metrics.Counter
+	locks          *metrics.Counter
+	threadsCreated *metrics.Counter
+	threadsDone    *metrics.Counter
 }
 
 type intrItem struct {
@@ -63,13 +83,30 @@ type intrItem struct {
 
 // New creates a processor attached to the given simulator and cost model.
 func New(s *sim.Sim, m *model.CostModel, id int, name string) *Processor {
-	return &Processor{
+	p := &Processor{
 		sim:   s,
 		model: m,
 		id:    id,
 		name:  name,
 		ready: make([][]*Thread, int(PrioDaemon)+1),
 	}
+	if reg := s.Metrics(); reg != nil {
+		l := metrics.L("proc", name)
+		p.mx = &procMetrics{
+			ctxSwitches:    reg.Counter("proc.ctx_switches", l),
+			coldDispatches: reg.Counter("proc.intr_dispatch_cold", l),
+			warmDispatches: reg.Counter("proc.intr_dispatch_warm", l),
+			directResumes:  reg.Counter("proc.direct_resumes", l),
+			preemptions:    reg.Counter("proc.preemptions", l),
+			interrupts:     reg.Counter("proc.interrupts", l),
+			traps:          reg.Counter("proc.window_traps", l),
+			syscalls:       reg.Counter("proc.syscalls", l),
+			locks:          reg.Counter("proc.lock_ops", l),
+			threadsCreated: reg.Counter("proc.threads_created", l),
+			threadsDone:    reg.Counter("proc.threads_done", l),
+		}
+	}
+	return p
 }
 
 // ID returns the processor's index in its cluster.
@@ -106,6 +143,9 @@ func (p *Processor) Running() *Thread { return p.running }
 func (p *Processor) Interrupt(cost time.Duration, fn func()) {
 	p.intrQ = append(p.intrQ, intrItem{cost: cost, fn: fn})
 	p.stats.Interrupts++
+	if p.mx != nil {
+		p.mx.interrupts.Inc()
+	}
 	if p.intrBusy || p.intrPending {
 		return
 	}
@@ -165,6 +205,9 @@ func (p *Processor) suspendCompute() {
 	t.state = statePreempted
 	p.tracef("suspend %s rem=%v", t.name, t.remaining)
 	p.stats.Preemptions++
+	if p.mx != nil {
+		p.mx.preemptions.Inc()
+	}
 }
 
 // endBurst decides what runs after an interrupt burst drains: the preempted
@@ -224,15 +267,27 @@ func (p *Processor) scheduleDispatch(fromInterrupt bool) {
 		// (e.g. an RPC client blocked in trans). No context switch.
 		cost = 0
 		p.stats.DirectResumes++
+		if p.mx != nil {
+			p.mx.directResumes.Inc()
+		}
 	case fromInterrupt && target == p.last:
 		cost = p.model.IntrDispatchWarm
 		p.stats.WarmDispatches++
+		if p.mx != nil {
+			p.mx.warmDispatches.Inc()
+		}
 	case fromInterrupt:
 		cost = p.model.IntrDispatchCold
 		p.stats.ColdDispatches++
+		if p.mx != nil {
+			p.mx.coldDispatches.Inc()
+		}
 	default:
 		cost = p.model.CtxSwitch
 		p.stats.CtxSwitches++
+		if p.mx != nil {
+			p.mx.ctxSwitches.Inc()
+		}
 	}
 	p.stats.SwitchTime += cost
 	p.dispatchEv = p.sim.Schedule(cost, func() {
@@ -282,6 +337,9 @@ func (p *Processor) activate(t *Thread) {
 		p.running = nil
 		t.state = stateDone
 		p.stats.ThreadsDone++
+		if p.mx != nil {
+			p.mx.threadsDone.Inc()
+		}
 		p.scheduleDispatch(false)
 	default:
 		panic(fmt.Sprintf("proc: thread %s parked with unknown reason %d", t.name, reason))

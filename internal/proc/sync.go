@@ -15,6 +15,9 @@ func (m *Mutex) Lock(t *Thread) {
 	t.Charge(lockCost)
 	t.stats.Locks++
 	t.p.stats.Locks++
+	if t.p.mx != nil {
+		t.p.mx.locks.Inc()
+	}
 	if m.owner == nil {
 		m.owner = t
 		return

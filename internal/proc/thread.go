@@ -105,6 +105,9 @@ func (p *Processor) NewThread(name string, prio Priority, body func(t *Thread)) 
 	}
 	p.threads = append(p.threads, t)
 	p.stats.ThreadsCreated++
+	if p.mx != nil {
+		p.mx.threadsCreated.Inc()
+	}
 	go t.run(body)
 	p.makeReady(t)
 	return t
@@ -260,6 +263,9 @@ func (t *Thread) Call(frames int) {
 			t.Charge(t.p.model.WindowTrap)
 			t.stats.OverflowTraps++
 			t.p.stats.Traps++
+			if t.p.mx != nil {
+				t.p.mx.traps.Inc()
+			}
 		} else {
 			t.resident++
 		}
@@ -279,6 +285,9 @@ func (t *Thread) Return(frames int) {
 			t.Charge(t.p.model.WindowTrap)
 			t.stats.UnderflowTraps++
 			t.p.stats.Traps++
+			if t.p.mx != nil {
+				t.p.mx.traps.Inc()
+			}
 			t.resident = 1
 		}
 	}
@@ -297,6 +306,9 @@ func (t *Thread) Syscall() {
 	t.resident = 1
 	t.stats.Syscalls++
 	t.p.stats.Syscalls++
+	if t.p.mx != nil {
+		t.p.mx.syscalls.Inc()
+	}
 }
 
 // CopyBytes charges the cost of copying n bytes (user/kernel boundary or

@@ -14,12 +14,45 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"amoebasim/internal/metrics"
 )
 
 // Tracer receives protocol trace events (see internal/trace). A nil tracer
 // costs one branch per event site.
 type Tracer interface {
 	Trace(at Time, source, kind, detail string)
+}
+
+// Phase classifies a structured trace event: an instantaneous point, or
+// the begin/end edge of a span.
+type Phase uint8
+
+const (
+	PhaseInstant Phase = iota
+	PhaseBegin
+	PhaseEnd
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "B"
+	case PhaseEnd:
+		return "E"
+	default:
+		return "I"
+	}
+}
+
+// SpanTracer is an optional extension of Tracer for structured span
+// events. Begin and End edges carry a correlation id allocated by the
+// simulator, so an exported trace can be reassembled into intervals
+// (request → reply, fragment burst → reassembly) without string parsing.
+// Tracers that do not implement it receive spans as ordinary events.
+type SpanTracer interface {
+	Tracer
+	TraceSpan(at Time, ph Phase, span uint64, source, kind, detail string)
 }
 
 // Time is an instant of simulated time, expressed as the duration since the
@@ -54,16 +87,32 @@ func (e *Event) At() Time { return e.at }
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
-	now     Time
-	seq     uint64
-	pq      eventHeap
-	stopped bool
-	events  uint64 // total events executed
-	tracer  Tracer
+	now      Time
+	seq      uint64
+	pq       eventHeap
+	stopped  bool
+	events   uint64 // total events executed
+	tracer   Tracer
+	spans    SpanTracer // tracer, if it also handles spans
+	spanSeq  uint64
+	registry *metrics.Registry
 }
 
 // SetTracer installs a protocol event tracer (nil disables tracing).
-func (s *Sim) SetTracer(tr Tracer) { s.tracer = tr }
+func (s *Sim) SetTracer(tr Tracer) {
+	s.tracer = tr
+	s.spans, _ = tr.(SpanTracer)
+}
+
+// SetMetrics attaches a metrics registry (nil disables metrics, the
+// default). Layers resolve their handles at construction time, so the
+// registry must be attached before the cluster is built.
+func (s *Sim) SetMetrics(r *metrics.Registry) { s.registry = r }
+
+// Metrics returns the attached registry, or nil when metrics are
+// disabled. The nil registry hands out nil handles whose operations are
+// no-ops, so call sites need only the usual one-branch guard.
+func (s *Sim) Metrics() *metrics.Registry { return s.registry }
 
 // Tracing reports whether a tracer is installed; call before building
 // expensive detail strings.
@@ -78,6 +127,41 @@ func (s *Sim) Trace(source, kind, format string, args ...any) {
 	detail := format
 	if len(args) > 0 {
 		detail = fmt.Sprintf(format, args...)
+	}
+	s.tracer.Trace(s.now, source, kind, detail)
+}
+
+// SpanBegin opens a structured span and returns its correlation id for
+// the matching SpanEnd. With no tracer installed it returns 0 and does
+// nothing; span ids therefore only advance while tracing, keeping traced
+// and untraced runs otherwise identical.
+func (s *Sim) SpanBegin(source, kind, format string, args ...any) uint64 {
+	if s.tracer == nil {
+		return 0
+	}
+	s.spanSeq++
+	id := s.spanSeq
+	s.traceSpan(PhaseBegin, id, source, kind, format, args...)
+	return id
+}
+
+// SpanEnd closes the span opened by SpanBegin. A zero id (tracing was off
+// at begin time) is ignored.
+func (s *Sim) SpanEnd(span uint64, source, kind, format string, args ...any) {
+	if s.tracer == nil || span == 0 {
+		return
+	}
+	s.traceSpan(PhaseEnd, span, source, kind, format, args...)
+}
+
+func (s *Sim) traceSpan(ph Phase, span uint64, source, kind, format string, args ...any) {
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	if s.spans != nil {
+		s.spans.TraceSpan(s.now, ph, span, source, kind, detail)
+		return
 	}
 	s.tracer.Trace(s.now, source, kind, detail)
 }
