@@ -11,6 +11,8 @@
 //	amoebasim -metrics          per-layer metrics tables for both modes
 //	amoebasim -metrics-json F   machine-readable metrics appendix to file F
 //	amoebasim -trace-json F     null-RPC span timelines as JSON to file F
+//	amoebasim -faults S         fault-injection soak under scenario S (list|all|name)
+//	amoebasim -fault-seed N     fault-schedule seed (default: derived from -seed)
 //	amoebasim -all              everything
 package main
 
@@ -26,6 +28,7 @@ import (
 	"amoebasim/internal/apps"
 	"amoebasim/internal/bench"
 	"amoebasim/internal/cluster"
+	"amoebasim/internal/faults"
 	"amoebasim/internal/panda"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/trace"
@@ -45,8 +48,17 @@ func main() {
 		metricsF  = flag.Bool("metrics", false, "print per-layer metrics tables for both implementations")
 		metricsJ  = flag.String("metrics-json", "", "write the metrics appendix as JSON to this file")
 		traceJ    = flag.String("trace-json", "", "write the null-RPC span timelines as JSON to this file")
+		faultsF   = flag.String("faults", "", "run the fault-injection soak: a scenario name, 'all', or 'list'")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-schedule seed (0: derived from -seed)")
 	)
 	flag.Parse()
+	if *faultsF != "" {
+		if err := runFaults(*faultsF, *seed, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "amoebasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ); err != nil {
 		fmt.Fprintln(os.Stderr, "amoebasim:", err)
 		os.Exit(1)
@@ -170,6 +182,40 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 	}
 	if !did {
 		flag.Usage()
+	}
+	return nil
+}
+
+// runFaults runs the fault-injection soak workload (verified echo RPCs,
+// ordered group sends, and the test-scale Orca applications) under one or
+// all shipped scenarios, in both implementations.
+func runFaults(name string, seed, faultSeed uint64) error {
+	if name == "list" {
+		for _, n := range faults.Names() {
+			fmt.Printf("%-12s %s\n", n, faults.Describe(n))
+		}
+		return nil
+	}
+	names := []string{name}
+	if name == "all" {
+		names = faults.Names()
+	}
+	for _, n := range names {
+		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+			res, err := bench.RunFaultSoakRPC(n, mode, seed, faultSeed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFaultSoak(os.Stdout, res)
+			results, err := bench.RunFaultSoakApps(n, mode, seed, faultSeed)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				fmt.Printf("app %s: correct answer, %v\n", r.App, r.Elapsed)
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }

@@ -44,6 +44,11 @@ func (k *Kernel) RawDiscard(match func(*flip.Packet) bool) { k.raw.discard = mat
 // crossing).
 func (k *Kernel) RawNextMsgID() uint64 { return k.flip.NextMsgID() }
 
+// RawInvalidateRoute drops the kernel's cached FLIP route for dst so the
+// next RawSend re-locates it. User-space protocols call it when they
+// retransmit (local bookkeeping, no crossing).
+func (k *Kernel) RawInvalidateRoute(dst flip.Address) { k.flip.InvalidateRoute(dst) }
+
 // RawSend transmits a message through FLIP from user space: one syscall,
 // a user-to-kernel copy, and the per-packet FLIP send processing, all
 // charged to the calling thread. Reuse msgID across retransmissions.
@@ -77,7 +82,10 @@ func (k *Kernel) RawReceiveMatch(t *proc.Thread, match func(*flip.Packet) bool) 
 	for i, q := range r.queue {
 		if match == nil || match(q) {
 			pk = q
-			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			last := len(r.queue) - 1
+			copy(r.queue[i:], r.queue[i+1:])
+			r.queue[last] = nil // clear the vacated slot so the packet can be GC'd
+			r.queue = r.queue[:last]
 			if k.mx != nil {
 				k.mx.rawQueueDepth.Set(int64(len(r.queue)))
 			}
@@ -110,7 +118,10 @@ func (r *rawModule) onPacket(pk *flip.Packet) {
 		if w.match != nil && !w.match(pk) {
 			continue
 		}
-		r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+		last := len(r.waiters) - 1
+		copy(r.waiters[i:], r.waiters[i+1:])
+		r.waiters[last] = nil // clear the vacated slot (it pins thread + packet)
+		r.waiters = r.waiters[:last]
 		w.pk = pk
 		w.t.Unblock()
 		return

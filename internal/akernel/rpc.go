@@ -186,8 +186,12 @@ func (r *rpcModule) clientTimeout(ch chanKey) {
 	if r.k.mx != nil {
 		r.k.mx.rpcRetrans.Inc()
 	}
+	// The request went unanswered: any cached route to the server may be
+	// stale (server restarted on another board), so force a re-locate
+	// before retransmitting.
+	r.k.flip.InvalidateRoute(cs.msg.Dst)
 	r.k.flip.SendFromInterrupt(cs.msg)
-	cs.timer = r.k.sim.Schedule(r.k.m.RetransTimeout, func() { r.clientTimeout(ch) })
+	cs.timer = r.k.sim.Schedule(r.k.m.RetransBackoff(cs.retries), func() { r.clientTimeout(ch) })
 }
 
 // GetRequest blocks the calling thread until a request arrives on port.
@@ -198,7 +202,9 @@ func (k *Kernel) GetRequest(t *proc.Thread, port Port) *Request {
 	ps := r.port(port)
 	if len(ps.queue) > 0 {
 		w := ps.queue[0]
-		ps.queue = ps.queue[0:copy(ps.queue, ps.queue[1:])]
+		n := copy(ps.queue, ps.queue[1:])
+		ps.queue[n] = nil // clear the vacated slot so the wire msg can be GC'd
+		ps.queue = ps.queue[:n]
 		req := r.acceptRequest(w, t)
 		k.leaveKernel(t)
 		return req
@@ -309,7 +315,9 @@ func (r *rpcModule) handleREQ(w *rpcWire) {
 	ps := r.port(w.port)
 	if len(ps.waiters) > 0 {
 		sw := ps.waiters[0]
-		ps.waiters = ps.waiters[0:copy(ps.waiters, ps.waiters[1:])]
+		n := copy(ps.waiters, ps.waiters[1:])
+		ps.waiters[n] = nil // clear the vacated slot (it pins thread + request)
+		ps.waiters = ps.waiters[:n]
 		sw.req = r.bindRequest(w, sw.t)
 		// One context switch at the server: dispatch the server thread.
 		sw.t.Unblock()

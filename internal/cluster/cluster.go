@@ -9,6 +9,7 @@ import (
 
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/ether"
+	"amoebasim/internal/faults"
 	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/panda"
@@ -40,6 +41,16 @@ type Config struct {
 	Seed uint64
 	// LossRate injects uniform packet loss (0 = reliable).
 	LossRate float64
+	// FaultScenario arms a shipped fault-injection scenario by name
+	// (see internal/faults.Names), instantiated for this cluster's shape.
+	FaultScenario string
+	// Faults arms an explicit fault schedule; it takes precedence over
+	// FaultScenario. Nil (with an empty FaultScenario) leaves the network
+	// ideal apart from LossRate.
+	Faults *faults.Scenario
+	// FaultSeed drives the fault schedule's randomness independently of
+	// the workload Seed; 0 derives a decorrelated seed from Seed.
+	FaultSeed uint64
 	// NoPiggyback disables the user-space RPC's piggybacked reply
 	// acknowledgements (ablation).
 	NoPiggyback bool
@@ -65,6 +76,9 @@ type Cluster struct {
 	// Metrics is the registry attached to the simulation, or nil when
 	// Config.Metrics was false.
 	Metrics *metrics.Registry
+	// Faults is the armed fault injector, or nil when no scenario was
+	// configured.
+	Faults *faults.Injector
 	// SeqProc is the dedicated sequencer processor id, or -1.
 	SeqProc int
 
@@ -152,7 +166,29 @@ func New(cfg Config) (*Cluster, error) {
 			HasGroup:  true,
 		})
 	}
+
+	// Arm fault injection last, once every NIC exists.
+	sc := cfg.Faults
+	if sc == nil && cfg.FaultScenario != "" {
+		built, err := faults.Build(cfg.FaultScenario, faults.Shape{Procs: total, Segments: segs})
+		if err != nil {
+			return nil, err
+		}
+		sc = built
+	}
+	if sc != nil {
+		c.Faults = faults.Arm(s, c.Net, sc, faultSeed(cfg))
+	}
 	return c, nil
+}
+
+// faultSeed resolves the fault RNG seed: explicit, or derived from the
+// workload seed.
+func faultSeed(cfg Config) uint64 {
+	if cfg.FaultSeed != 0 {
+		return cfg.FaultSeed
+	}
+	return faults.DeriveSeed(cfg.Seed)
 }
 
 func (c *Cluster) newTransport(i int, members []int, sequencer int) (panda.Transport, error) {

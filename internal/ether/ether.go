@@ -9,6 +9,7 @@ package ether
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
@@ -31,6 +32,32 @@ type Frame struct {
 // Receiver is the upcall invoked (in driver context) when a frame arrives
 // at a NIC. Implementations typically wrap proc.Processor.Interrupt.
 type Receiver func(fr Frame)
+
+// Fate is a fault layer's verdict on one frame delivery attempt: drop it,
+// deliver it twice (duplication), and/or hold it for an extra bounded
+// delay (reordering against later traffic). The zero Fate is a normal
+// delivery.
+type Fate struct {
+	Drop  bool
+	Dup   bool
+	Delay time.Duration
+}
+
+// FaultHook lets a fault-injection layer (internal/faults) intervene at
+// the two points the hardware can misbehave: the store-and-forward switch
+// between segments, and the final delivery to a NIC. A nil hook (the
+// default) keeps the wire ideal apart from the uniform LossRate. The hook
+// is consulted in deterministic event order, so a seeded implementation
+// reproduces byte-identically.
+type FaultHook interface {
+	// ForwardCut reports whether the switch path from segment src to dst
+	// is severed at instant at (a network partition). The local segment
+	// is never consulted: stations on one cable always hear each other.
+	ForwardCut(at sim.Time, src, dst int) bool
+	// FrameFate decides the fate of the delivery of fr to NIC dst
+	// arriving at instant at.
+	FrameFate(at sim.Time, fr Frame, dst int) Fate
+}
 
 // NIC is one network interface attached to a segment.
 type NIC struct {
@@ -68,6 +95,7 @@ type Network struct {
 	nics     []*NIC
 	rng      *sim.Rand
 	lossRate float64
+	fault    FaultHook
 
 	dropped int64
 
@@ -120,6 +148,9 @@ func New(s *sim.Sim, m *model.CostModel, segments int, seed uint64) *Network {
 // dropped. Zero (the default) is a reliable wire.
 func (n *Network) SetLossRate(rate float64) { n.lossRate = rate }
 
+// SetFaultHook installs a fault-injection hook (nil removes it).
+func (n *Network) SetFaultHook(h FaultHook) { n.fault = h }
+
 // Dropped reports how many deliveries the loss injector discarded.
 func (n *Network) Dropped() int64 { return n.dropped }
 
@@ -141,6 +172,9 @@ func (n *Network) AddNIC(segment int, rx Receiver) (*NIC, error) {
 
 // NIC returns the NIC with the given id.
 func (n *Network) NIC(id int) *NIC { return n.nics[id] }
+
+// NICs returns the number of attached NICs.
+func (n *Network) NICs() int { return len(n.nics) }
 
 // ID returns the NIC's station address.
 func (c *NIC) ID() int { return c.id }
@@ -189,7 +223,11 @@ func (c *NIC) Send(fr Frame) {
 				continue
 			}
 			seg := seg
+			src := c.seg.id
 			n.sim.ScheduleAt(arrive, func() {
+				if n.fault != nil && n.fault.ForwardCut(arrive, src, seg.id) {
+					return
+				}
 				if n.mx != nil {
 					n.mx.segForwarded.Inc()
 				}
@@ -204,7 +242,11 @@ func (c *NIC) Send(fr Frame) {
 		return
 	}
 	seg := dst.seg
+	src := c.seg.id
 	n.sim.ScheduleAt(arrive, func() {
+		if n.fault != nil && n.fault.ForwardCut(arrive, src, seg.id) {
+			return
+		}
 		if n.mx != nil {
 			n.mx.segForwarded.Inc()
 		}
@@ -244,30 +286,47 @@ func (n *Network) deliverOnSegment(seg *Segment, fr Frame, at sim.Time, exclude 
 			continue
 		}
 		nic := nic
-		n.sim.ScheduleAt(at, func() {
-			if nic.down {
+		if n.fault != nil {
+			fate := n.fault.FrameFate(at, fr, nic.id)
+			if fate.Drop {
 				n.dropped++
-				if n.mx != nil {
-					n.mx.dropsDown.Inc()
-				}
-				return
+				continue
 			}
-			if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-				n.dropped++
-				if n.mx != nil {
-					n.mx.dropsLoss.Inc()
-				}
-				return
+			if fate.Dup {
+				n.sim.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
 			}
-			nic.rxFrames++
-			nic.rxBytes += int64(fr.Size)
-			if n.mx != nil {
-				n.mx.framesRecv.Inc()
+			if fate.Delay > 0 {
+				at = at.Add(fate.Delay)
 			}
-			if nic.rx != nil {
-				nic.rx(fr)
-			}
-		})
+		}
+		n.sim.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
+	}
+}
+
+// deliverTo completes one frame delivery at a NIC: the down filter, the
+// uniform loss injector, then the receive upcall.
+func (n *Network) deliverTo(nic *NIC, fr Frame) {
+	if nic.down {
+		n.dropped++
+		if n.mx != nil {
+			n.mx.dropsDown.Inc()
+		}
+		return
+	}
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		n.dropped++
+		if n.mx != nil {
+			n.mx.dropsLoss.Inc()
+		}
+		return
+	}
+	nic.rxFrames++
+	nic.rxBytes += int64(fr.Size)
+	if n.mx != nil {
+		n.mx.framesRecv.Inc()
+	}
+	if nic.rx != nil {
+		nic.rx(fr)
 	}
 }
 

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"amoebasim/internal/sim"
+)
+
+func TestWindowHalfOpen(t *testing.T) {
+	w := Window{From: 100 * time.Millisecond, Until: 200 * time.Millisecond}
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{99 * time.Millisecond, false},
+		{100 * time.Millisecond, true}, // inclusive start
+		{150 * time.Millisecond, true},
+		{200 * time.Millisecond, false}, // exclusive end
+		{time.Second, false},
+	}
+	for _, c := range cases {
+		if got := w.Contains(sim.Time(c.at)); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPartitionSevers(t *testing.T) {
+	p := Partition{A: []int{0, 1}, B: []int{2}}
+	for _, c := range []struct {
+		src, dst int
+		want     bool
+	}{
+		{0, 2, true},
+		{2, 1, true}, // symmetric
+		{0, 1, false},
+		{2, 2, false},
+		{0, 3, false}, // segment not listed
+	} {
+		if got := p.severs(c.src, c.dst); got != c.want {
+			t.Errorf("severs(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestScenarioHorizon(t *testing.T) {
+	sc := &Scenario{
+		NICEvents: []NICEvent{{Proc: 0, At: 1400 * time.Millisecond}},
+		Losses:    []Loss{{Window: Window{Until: 600 * time.Millisecond}, Rate: 0.3}},
+	}
+	if got := sc.Horizon(); got != 1400*time.Millisecond {
+		t.Errorf("Horizon() = %v, want 1.4s", got)
+	}
+	if got := (&Scenario{}).Horizon(); got != 0 {
+		t.Errorf("empty Horizon() = %v, want 0", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	want := []string{"burst-loss", "chaos", "dup-storm", "nic-flap", "partition", "reorder"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Names() = %v, want %v", names, want)
+	}
+	sh := Shape{Procs: 4, Segments: 2}
+	for _, n := range names {
+		sc, err := Build(n, sh)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", n, err)
+		}
+		if sc.Name != n || sc.Description == "" {
+			t.Errorf("Build(%s): name=%q description=%q", n, sc.Name, sc.Description)
+		}
+		if n != "partition" && sc.Horizon() == 0 {
+			t.Errorf("Build(%s): empty schedule", n)
+		}
+	}
+	if _, err := Build("no-such", sh); err == nil || !strings.Contains(err.Error(), "no-such") {
+		t.Errorf("Build(no-such) error = %v", err)
+	}
+	// Single-segment pools have no inter-switch link: partition is a no-op
+	// but still armable.
+	sc, err := Build("partition", Shape{Procs: 2, Segments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Partitions) != 0 {
+		t.Errorf("single-segment partition scenario has %d partitions", len(sc.Partitions))
+	}
+}
+
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	if DeriveSeed(5) == 5 {
+		t.Error("DeriveSeed(5) returned its input")
+	}
+	if DeriveSeed(5) != DeriveSeed(5) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(5) == DeriveSeed(6) {
+		t.Error("adjacent workload seeds map to the same fault seed")
+	}
+}

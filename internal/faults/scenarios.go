@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Shape is the cluster geometry a scenario is instantiated for. Scenarios
+// are declared relative to it so one name works for any pool size.
+type Shape struct {
+	Procs    int // worker processors (NIC ids 0..Procs-1 at least exist)
+	Segments int // Ethernet segments behind the switch
+}
+
+// builder instantiates a named scenario for a concrete cluster shape.
+type builder struct {
+	description string
+	build       func(sh Shape) *Scenario
+}
+
+// registry holds the shipped scenarios. Every entry must keep its total
+// outage of any single protocol path under the group protocol's ~1.6 s
+// retransmission budget (16 retries at a fixed 100 ms), so applications
+// recover rather than abort.
+var registry = map[string]builder{
+	"nic-flap": {
+		description: "server and last-worker interfaces bounce down/up",
+		build: func(sh Shape) *Scenario {
+			sc := &Scenario{
+				NICEvents: []NICEvent{
+					{Proc: 0, At: 200 * time.Millisecond, Down: true},
+					{Proc: 0, At: 700 * time.Millisecond, Down: false},
+				},
+			}
+			if last := sh.Procs - 1; last > 0 {
+				sc.NICEvents = append(sc.NICEvents,
+					NICEvent{Proc: last, At: 900 * time.Millisecond, Down: true},
+					NICEvent{Proc: last, At: 1400 * time.Millisecond, Down: false},
+				)
+			}
+			return sc
+		},
+	},
+	"partition": {
+		description: "switch splits the segments into two halves for 900 ms",
+		build: func(sh Shape) *Scenario {
+			half := sh.Segments / 2
+			if half == 0 {
+				// Single segment: nothing to sever; an empty partition set
+				// keeps the scenario armable (and visibly a no-op).
+				return &Scenario{}
+			}
+			var a, b []int
+			for s := 0; s < sh.Segments; s++ {
+				if s < half {
+					a = append(a, s)
+				} else {
+					b = append(b, s)
+				}
+			}
+			return &Scenario{
+				Partitions: []Partition{{
+					Window: Window{From: 400 * time.Millisecond, Until: 1300 * time.Millisecond},
+					A:      a, B: b,
+				}},
+			}
+		},
+	},
+	"burst-loss": {
+		description: "two 500 ms windows of 30% frame loss",
+		build: func(Shape) *Scenario {
+			return &Scenario{
+				Losses: []Loss{
+					{Window: Window{From: 100 * time.Millisecond, Until: 600 * time.Millisecond}, Rate: 0.3},
+					{Window: Window{From: 900 * time.Millisecond, Until: 1400 * time.Millisecond}, Rate: 0.3},
+				},
+			}
+		},
+	},
+	"dup-storm": {
+		description: "25% of frames delivered twice for 1.5 s",
+		build: func(Shape) *Scenario {
+			return &Scenario{
+				Dups: []Duplication{
+					{Window: Window{Until: 1500 * time.Millisecond}, Rate: 0.25},
+				},
+			}
+		},
+	},
+	"reorder": {
+		description: "20% of frames held back up to 2 ms for 1.5 s",
+		build: func(Shape) *Scenario {
+			return &Scenario{
+				Reorders: []Reorder{
+					{Window: Window{Until: 1500 * time.Millisecond}, Rate: 0.2, MaxDelay: 2 * time.Millisecond},
+				},
+			}
+		},
+	},
+	"chaos": {
+		description: "flap + partition + burst loss + duplication + reordering",
+		build: func(sh Shape) *Scenario {
+			sc := &Scenario{
+				Losses: []Loss{
+					{Window: Window{From: 100 * time.Millisecond, Until: 500 * time.Millisecond}, Rate: 0.2},
+					{Window: Window{From: 1500 * time.Millisecond, Until: 1900 * time.Millisecond}, Rate: 0.2},
+				},
+				Dups: []Duplication{
+					{Window: Window{Until: 2 * time.Second}, Rate: 0.1},
+				},
+				Reorders: []Reorder{
+					{Window: Window{Until: 2 * time.Second}, Rate: 0.1, MaxDelay: 1500 * time.Microsecond},
+				},
+			}
+			if last := sh.Procs - 1; last > 0 {
+				sc.NICEvents = append(sc.NICEvents,
+					NICEvent{Proc: last, At: 300 * time.Millisecond, Down: true},
+					NICEvent{Proc: last, At: 800 * time.Millisecond, Down: false},
+				)
+			}
+			if half := sh.Segments / 2; half > 0 {
+				var a, b []int
+				for s := 0; s < sh.Segments; s++ {
+					if s < half {
+						a = append(a, s)
+					} else {
+						b = append(b, s)
+					}
+				}
+				sc.Partitions = append(sc.Partitions, Partition{
+					Window: Window{From: 900 * time.Millisecond, Until: 1400 * time.Millisecond},
+					A:      a, B: b,
+				})
+			}
+			return sc
+		},
+	},
+}
+
+// Names lists the shipped scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of a shipped scenario.
+func Describe(name string) string { return registry[name].description }
+
+// Build instantiates the named scenario for a cluster shape.
+func Build(name string, sh Shape) (*Scenario, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, Names())
+	}
+	sc := b.build(sh)
+	sc.Name = name
+	sc.Description = b.description
+	return sc, nil
+}

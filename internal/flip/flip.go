@@ -85,6 +85,15 @@ type Handler func(pkt *Packet)
 
 const locateRetries = 5
 
+// locateState tracks one in-progress locate: how often it has been
+// retried (driving the exponential backoff) and the pending timeout event
+// (cancelled when the address answers or fresh demand restarts the
+// backoff).
+type locateState struct {
+	retries int
+	timer   *sim.Event
+}
+
 // Stack is the per-kernel FLIP instance.
 type Stack struct {
 	sim  *sim.Sim
@@ -97,7 +106,7 @@ type Stack struct {
 	groups   map[Address]bool
 	routes   map[Address]int // address -> NIC id
 	pending  map[Address][]Message
-	locating map[Address]int // retry count
+	locating map[Address]*locateState
 	handlers map[Protocol]Handler
 
 	msgSeq uint64
@@ -119,6 +128,7 @@ type stackMetrics struct {
 	fragments   *metrics.Counter // extra fragments beyond the first packet
 	locates     *metrics.Counter
 	locateFails *metrics.Counter
+	routeDrops  *metrics.Counter // route-cache invalidations
 }
 
 // NewStack creates the FLIP instance for processor p, attaching a NIC on
@@ -133,7 +143,7 @@ func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error
 		groups:   make(map[Address]bool),
 		routes:   make(map[Address]int),
 		pending:  make(map[Address][]Message),
-		locating: make(map[Address]int),
+		locating: make(map[Address]*locateState),
 		handlers: make(map[Protocol]Handler),
 	}
 	nic, err := net.AddNIC(segment, st.onFrame)
@@ -151,6 +161,7 @@ func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error
 			fragments:   reg.Counter("flip.extra_fragments", l),
 			locates:     reg.Counter("flip.locates_sent", l),
 			locateFails: reg.Counter("flip.locate_failures", l),
+			routeDrops:  reg.Counter("flip.route_invalidations", l),
 		}
 	}
 	return st, nil
@@ -180,6 +191,24 @@ func (st *Stack) LeaveGroup(a Address) { delete(st.groups, a) }
 
 // Handle installs the receive handler for a protocol.
 func (st *Stack) Handle(pr Protocol, h Handler) { st.handlers[pr] = h }
+
+// InvalidateRoute drops the cached route for a, so the next unicast to it
+// re-locates the address. Upper-layer protocols call it when they
+// retransmit: an unanswered message is the only signal FLIP ever gets
+// that a cached route may point at a NIC the address has left (the
+// destination crashed and restarted elsewhere, or migrated). Without
+// invalidation the stale entry sends every retransmission into the void
+// forever.
+func (st *Stack) InvalidateRoute(a Address) {
+	if _, ok := st.routes[a]; !ok {
+		return
+	}
+	delete(st.routes, a)
+	if st.mx != nil {
+		st.mx.routeDrops.Inc()
+	}
+	st.sim.Trace(st.name, "flip.unroute", "addr=%x", uint64(a))
+}
 
 // NextMsgID allocates a message id, stable across retransmissions when the
 // caller reuses it.
@@ -294,12 +323,22 @@ func (st *Stack) enqueueForLocate(a Address, msg Message, _ *Packet) {
 	q := st.pending[a]
 	for _, m := range q {
 		if m.MsgID == msg.MsgID {
+			// An upper layer retransmitted a message that is still waiting
+			// for this locate: fresh demand. Restart the locate backoff and
+			// probe again now, instead of sitting out the current wait —
+			// otherwise a slow locate starves the retransmission budget of
+			// the protocol above.
+			if ls := st.locating[a]; ls != nil {
+				st.sim.Cancel(ls.timer)
+				ls.retries = 0
+				st.sendLocate(a)
+			}
 			return
 		}
 	}
 	st.pending[a] = append(q, msg)
-	if _, busy := st.locating[a]; !busy {
-		st.locating[a] = 0
+	if st.locating[a] == nil {
+		st.locating[a] = &locateState{}
 		st.sendLocate(a)
 	}
 }
@@ -311,15 +350,16 @@ func (st *Stack) sendLocate(a Address) {
 	}
 	pk := &Packet{Kind: kindLocate, Dst: a, srcNIC: st.nic.ID()}
 	st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.m.FLIPHeaderBytes, Payload: pk})
-	st.sim.Schedule(st.m.RetransTimeout, func() { st.locateTimeout(a) })
+	ls := st.locating[a]
+	ls.timer = st.sim.Schedule(st.m.RetransBackoff(ls.retries), func() { st.locateTimeout(a) })
 }
 
 func (st *Stack) locateTimeout(a Address) {
-	n, busy := st.locating[a]
-	if !busy {
+	ls := st.locating[a]
+	if ls == nil {
 		return // already resolved
 	}
-	if n+1 >= locateRetries {
+	if ls.retries+1 >= locateRetries {
 		// Give up: FLIP is unreliable; drop the queued messages.
 		delete(st.locating, a)
 		delete(st.pending, a)
@@ -328,7 +368,7 @@ func (st *Stack) locateTimeout(a Address) {
 		}
 		return
 	}
-	st.locating[a] = n + 1
+	ls.retries++
 	st.sendLocate(a)
 }
 
@@ -354,8 +394,20 @@ func (st *Stack) receive(pk *Packet) {
 			st.nic.Send(ether.Frame{Dst: pk.srcNIC, Size: st.m.FLIPHeaderBytes, Payload: resp})
 		}
 	case kindHere:
+		if old, ok := st.routes[pk.Dst]; ok && old != pk.srcNIC {
+			// The address answered from a different NIC than the cache
+			// says: the old entry is stale (the address moved). Count it
+			// as an invalidation; the new route replaces it below.
+			if st.mx != nil {
+				st.mx.routeDrops.Inc()
+			}
+			st.sim.Trace(st.name, "flip.reroute", "addr=%x nic %d -> %d", uint64(pk.Dst), old, pk.srcNIC)
+		}
 		st.routes[pk.Dst] = pk.srcNIC
-		delete(st.locating, pk.Dst)
+		if ls := st.locating[pk.Dst]; ls != nil {
+			st.sim.Cancel(ls.timer)
+			delete(st.locating, pk.Dst)
+		}
 		msgs := st.pending[pk.Dst]
 		delete(st.pending, pk.Dst)
 		for _, m := range msgs {
@@ -385,13 +437,23 @@ func (st *Stack) dispatch(pk *Packet) {
 // Reassembler rebuilds messages from FLIP fragments. Both the kernel
 // protocols (in kernel space) and the Panda receive daemon (in user space)
 // use one. Stale partial messages are evicted after the given timeout, so
-// fragment loss only costs the upper protocol a retransmission.
+// fragment loss only costs the upper protocol a retransmission; a global
+// occupancy cap bounds the buffer pool even when senders give up and
+// their partials would otherwise sit forever (one-sided loss).
 type Reassembler struct {
 	sim      *sim.Sim
 	timeout  time.Duration
+	limit    int
+	seq      uint64 // creation order, for deterministic eviction ties
 	partial  map[reasmKey]*reasmState
 	timeouts *metrics.Counter // stale partial-message evictions
 }
+
+// DefaultMaxPartial is the default cap on buffered partial messages per
+// reassembler, sized far above anything a healthy pool produces (each
+// sender has at most a handful of messages in flight) but small enough
+// that abandoned partials cannot accumulate into a leak.
+const DefaultMaxPartial = 64
 
 // SetTimeoutCounter installs a counter incremented whenever a stale
 // partial message is evicted (a reassembly timeout). Nil disables it.
@@ -407,11 +469,26 @@ type reasmState struct {
 	count    int
 	total    int
 	deadline sim.Time
+	seq      uint64 // creation order (eviction tie-break)
 }
 
-// NewReassembler creates a reassembler with the given staleness timeout.
+// NewReassembler creates a reassembler with the given staleness timeout
+// and the default occupancy cap.
 func NewReassembler(s *sim.Sim, timeout time.Duration) *Reassembler {
-	return &Reassembler{sim: s, timeout: timeout, partial: make(map[reasmKey]*reasmState)}
+	return &Reassembler{
+		sim:     s,
+		timeout: timeout,
+		limit:   DefaultMaxPartial,
+		partial: make(map[reasmKey]*reasmState),
+	}
+}
+
+// SetLimit overrides the occupancy cap (values < 1 are clamped to 1).
+func (r *Reassembler) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.limit = n
 }
 
 // Add consumes a fragment. It returns true exactly once per message, when
@@ -429,7 +506,11 @@ func (r *Reassembler) Add(pk *Packet) bool {
 		r.timeouts.Inc()
 	}
 	if stt == nil {
-		stt = &reasmState{have: make(map[int]bool, pk.NFrags), total: pk.NFrags}
+		if len(r.partial) >= r.limit {
+			r.reclaim(now)
+		}
+		r.seq++
+		stt = &reasmState{have: make(map[int]bool, pk.NFrags), total: pk.NFrags, seq: r.seq}
 		r.partial[key] = stt
 	}
 	stt.deadline = now.Add(r.timeout)
@@ -443,6 +524,36 @@ func (r *Reassembler) Add(pk *Packet) bool {
 		return true
 	}
 	return false
+}
+
+// reclaim makes room for a new partial when the cap is hit: every expired
+// partial is evicted (senders that gave up never send the fragment that
+// would have triggered the per-key eviction in Add), and if none were
+// stale yet the oldest partial by (deadline, creation order) goes — a
+// deterministic choice regardless of map iteration order. Every eviction
+// counts as a reassembly timeout.
+func (r *Reassembler) reclaim(now sim.Time) {
+	for key, stt := range r.partial {
+		if now > stt.deadline {
+			delete(r.partial, key)
+			r.timeouts.Inc()
+		}
+	}
+	if len(r.partial) < r.limit {
+		return
+	}
+	var victim reasmKey
+	var vs *reasmState
+	for key, stt := range r.partial {
+		if vs == nil || stt.deadline < vs.deadline ||
+			(stt.deadline == vs.deadline && stt.seq < vs.seq) {
+			victim, vs = key, stt
+		}
+	}
+	if vs != nil {
+		delete(r.partial, victim)
+		r.timeouts.Inc()
+	}
 }
 
 // Pending reports how many partial messages are buffered.

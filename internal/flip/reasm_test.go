@@ -1,0 +1,67 @@
+package flip
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/metrics"
+	"amoebasim/internal/sim"
+)
+
+// TestReassemblerOccupancyCap: abandoned partial messages (first fragment
+// only, sender gives up) must not accumulate without bound — the global
+// cap evicts the oldest, and every eviction counts as a timeout.
+func TestReassemblerOccupancyCap(t *testing.T) {
+	s := sim.New()
+	reg := metrics.NewRegistry()
+	timeouts := reg.Counter("test.reasm_timeouts")
+	r := NewReassembler(s, 100*time.Millisecond)
+	r.SetTimeoutCounter(timeouts)
+
+	const abandoned = 200
+	for i := 0; i < abandoned; i++ {
+		done := r.Add(&Packet{Src: Address(i), MsgID: uint64(i), Frag: 0, NFrags: 2})
+		if done {
+			t.Fatalf("partial message %d reported complete", i)
+		}
+		if r.Pending() > DefaultMaxPartial {
+			t.Fatalf("after %d partials: Pending() = %d, exceeds cap %d", i+1, r.Pending(), DefaultMaxPartial)
+		}
+	}
+	if r.Pending() != DefaultMaxPartial {
+		t.Fatalf("Pending() = %d, want %d", r.Pending(), DefaultMaxPartial)
+	}
+
+	// All partials share one deadline, so eviction fell back to creation
+	// order: the newest DefaultMaxPartial survive.
+	oldest := abandoned - DefaultMaxPartial
+	if done := r.Add(&Packet{Src: Address(oldest), MsgID: uint64(oldest), Frag: 1, NFrags: 2}); !done {
+		t.Errorf("surviving partial %d did not complete on its last fragment", oldest)
+	}
+	// Message 0 was evicted, so its second fragment starts a fresh partial
+	// instead of completing.
+	if done := r.Add(&Packet{Src: 0, MsgID: 0, Frag: 1, NFrags: 2}); done {
+		t.Errorf("evicted partial 0 completed — it should have been reclaimed")
+	}
+}
+
+// TestReassemblerExpiredSweep: once time passes the staleness deadline,
+// hitting the cap reclaims every expired partial, not just one victim.
+func TestReassemblerExpiredSweep(t *testing.T) {
+	s := sim.New()
+	r := NewReassembler(s, 100*time.Millisecond)
+	r.SetLimit(8)
+	for i := 0; i < 8; i++ {
+		r.Add(&Packet{Src: Address(i), MsgID: uint64(i), Frag: 0, NFrags: 2})
+	}
+	// Advance the clock past every deadline.
+	s.Schedule(200*time.Millisecond, func() {})
+	s.Run()
+	if !(s.Now() >= sim.Time(200*time.Millisecond)) {
+		t.Fatalf("clock did not advance: %v", s.Now())
+	}
+	r.Add(&Packet{Src: 100, MsgID: 100, Frag: 0, NFrags: 2})
+	if r.Pending() != 1 {
+		t.Fatalf("Pending() = %d after expired sweep, want 1", r.Pending())
+	}
+}

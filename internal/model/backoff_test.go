@@ -1,0 +1,39 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetransBackoff pins the retransmission backoff schedule: doubling
+// from RetransTimeout, capped at RetransBackoffCap times the base.
+func TestRetransBackoff(t *testing.T) {
+	m := Calibrated()
+	if m.RetransTimeout != 100*time.Millisecond || m.RetransBackoffCap != 8 {
+		t.Fatalf("calibrated base changed: timeout=%v cap=%d", m.RetransTimeout, m.RetransBackoffCap)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, // retry 0 (first timer)
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond, // hits the 8x cap
+		800 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for retry, w := range want {
+		if got := m.RetransBackoff(retry); got != w {
+			t.Errorf("RetransBackoff(%d) = %v, want %v", retry, got, w)
+		}
+	}
+	if got := m.RetransBackoff(100); got != 800*time.Millisecond {
+		t.Errorf("RetransBackoff(100) = %v, want cap", got)
+	}
+
+	// Cap <= 1 disables backoff entirely (fixed timers).
+	m.RetransBackoffCap = 0
+	for _, retry := range []int{0, 1, 5} {
+		if got := m.RetransBackoff(retry); got != m.RetransTimeout {
+			t.Errorf("no-backoff RetransBackoff(%d) = %v, want %v", retry, got, m.RetransTimeout)
+		}
+	}
+}

@@ -137,8 +137,14 @@ type CostModel struct {
 
 	// ---- Protocol tunables ----
 
-	// RetransTimeout is the protocol retransmission timeout.
+	// RetransTimeout is the protocol retransmission timeout (the first
+	// wait; see RetransBackoff for the retry schedule).
 	RetransTimeout time.Duration
+
+	// RetransBackoffCap bounds the exponential retransmission backoff as
+	// a multiple of RetransTimeout (0 disables backoff: every retry waits
+	// exactly RetransTimeout).
+	RetransBackoffCap int
 
 	// AckDelay is how long the Panda RPC client waits for a piggyback
 	// opportunity before sending an explicit reply acknowledgement.
@@ -190,8 +196,9 @@ func Calibrated() *CostModel {
 		GroupHeaderUser:   40,
 		GroupHeaderKernel: 52,
 
-		RetransTimeout: 100 * time.Millisecond,
-		AckDelay:       100 * time.Millisecond,
+		RetransTimeout:    100 * time.Millisecond,
+		RetransBackoffCap: 8,
+		AckDelay:          100 * time.Millisecond,
 		GroupHistory:   128,
 		BBThreshold:    1500,
 	}
@@ -206,6 +213,27 @@ func (m *CostModel) WireTime(frameBytes int) time.Duration {
 	}
 	bits := int64(frameBytes+m.FrameOverheadBytes) * 8
 	return time.Duration(bits * int64(time.Second) / m.WireBitsPerSec)
+}
+
+// RetransBackoff returns how long to wait before retry number retry
+// (retry 0 is the first wait, before any retransmission): RetransTimeout
+// doubled on every retry, capped at RetransBackoffCap times the base.
+// The cap keeps a string of losses from pushing recovery out forever;
+// the growth keeps loss storms from retransmitting in lockstep at a
+// fixed period.
+func (m *CostModel) RetransBackoff(retry int) time.Duration {
+	d := m.RetransTimeout
+	if m.RetransBackoffCap <= 1 {
+		return d
+	}
+	limit := time.Duration(m.RetransBackoffCap) * m.RetransTimeout
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if d >= limit {
+			return limit
+		}
+	}
+	return d
 }
 
 // Copy returns the CPU cost of copying n bytes.

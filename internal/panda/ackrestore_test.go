@@ -1,0 +1,52 @@
+package panda
+
+import (
+	"testing"
+
+	"amoebasim/internal/proc"
+)
+
+// TestPiggybackAckRestoredOnFailedCall reproduces the lost-piggyback-ack
+// bug: a successful call leaves a pending reply acknowledgement, the next
+// call to the same server consumes it as a piggyback — and then fails.
+// Without restoring the ack on the failure path the acknowledgement is
+// gone for good (the request carrying it never provably arrived), so the
+// server would retain its cached reply for the acknowledged call until
+// some unrelated later call overwrites it. With the fix the failed call
+// re-arms the pending ack so the next request piggybacks it again.
+func TestPiggybackAckRestoredOnFailedCall(t *testing.T) {
+	s, net, users := buildUsers(t, 2, 0, false)
+	srv, cli := users[0], users[1]
+	srv.HandleRPC(func(th *proc.Thread, ctx *RPCContext, req any, sz int) {
+		srv.Reply(th, ctx, req, sz)
+	})
+
+	var err1, err2 error
+	var restoredAck uint64
+	var timerArmed bool
+	cli.p.NewThread("client", proc.PrioNormal, func(th *proc.Thread) {
+		_, _, err1 = cli.Call(th, 0, "a", 10)
+		// Server vanishes; the next call piggybacks the pending ack of
+		// call 1 on a request that will never provably arrive.
+		net.NIC(0).SetDown(true)
+		_, _, err2 = cli.Call(th, 0, "b", 10)
+		ch := cli.rpc.chans[0]
+		restoredAck = ch.pendingAck
+		timerArmed = ch.ackTimer != nil
+		net.NIC(0).SetDown(false)
+	})
+	s.Run()
+
+	if err1 != nil {
+		t.Fatalf("first call failed: %v", err1)
+	}
+	if err2 == nil {
+		t.Fatalf("second call to a dead server unexpectedly succeeded")
+	}
+	if restoredAck != 1 {
+		t.Fatalf("pending ack after failed call = %d, want 1 (the consumed piggyback restored)", restoredAck)
+	}
+	if !timerArmed {
+		t.Fatalf("explicit-ack fallback timer not re-armed after the failed call")
+	}
+}

@@ -325,7 +325,9 @@ func (h *helper) loop(t *proc.Thread) {
 	for {
 		h.sem.Down(t)
 		fn := h.q[0]
-		h.q = h.q[0:copy(h.q, h.q[1:])]
+		n := copy(h.q, h.q[1:])
+		h.q[n] = nil // clear the vacated slot so the closure can be GC'd
+		h.q = h.q[:n]
 		fn(t)
 	}
 }

@@ -145,17 +145,15 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 		} else {
 			// Acknowledge the reply lazily: piggyback on the next request
 			// to this server, or send an explicit ack after AckDelay.
-			c.pendingAck = cs.seq
-			seq := cs.seq
-			c.ackTimer = u.sim.Schedule(u.m.AckDelay, func() {
-				c.ackTimer = nil
-				if c.pendingAck != seq {
-					return
-				}
-				c.pendingAck = 0
-				u.helper.post(func(ht *proc.Thread) { r.sendExplicitAck(ht, c.dest, seq) })
-			})
+			r.armLazyAck(c, cs.seq)
 		}
+	} else if ack > 0 {
+		// The request carrying the piggybacked ack never provably reached
+		// the server (the call failed); without redelivery the server
+		// would retain its cached reply for the acked call indefinitely.
+		// Restore the pending ack so the next request piggybacks it again,
+		// or the ack timer sends it explicitly once the server is back.
+		r.armLazyAck(c, ack)
 	}
 
 	c.mu.Lock(t)
@@ -163,6 +161,21 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 	c.cond.Signal(t)
 	c.mu.Unlock(t)
 	return cs.reply, cs.repSize, cs.err
+}
+
+// armLazyAck records seq as the channel's pending reply acknowledgement
+// and arms the explicit-ack fallback timer.
+func (r *userRPC) armLazyAck(c *uchan, seq uint64) {
+	u := r.u
+	c.pendingAck = seq
+	c.ackTimer = u.sim.Schedule(u.m.AckDelay, func() {
+		c.ackTimer = nil
+		if c.pendingAck != seq {
+			return
+		}
+		c.pendingAck = 0
+		u.helper.post(func(ht *proc.Thread) { r.sendExplicitAck(ht, c.dest, seq) })
+	})
 }
 
 func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
@@ -180,6 +193,9 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 	if u.mx != nil {
 		u.mx.rpcRetrans.Inc()
 	}
+	// Unanswered request: the kernel's cached route to the server may be
+	// stale, so force a re-locate before retransmitting.
+	u.k.RawInvalidateRoute(akernel.RawAddress(c.dest))
 	u.helper.post(func(ht *proc.Thread) {
 		if cs.done {
 			return
@@ -189,7 +205,7 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 		u.k.RawSend(ht, akernel.RawAddress(c.dest), cs.msgID, u.m.RPCHeaderUser, cs.wire.size, cs.wire, false)
 		ht.Return(pandaDepth)
 	})
-	cs.timer = u.sim.Schedule(u.m.RetransTimeout, func() { r.clientTimeout(c, cs) })
+	cs.timer = u.sim.Schedule(u.m.RetransBackoff(cs.retries), func() { r.clientTimeout(c, cs) })
 }
 
 func (r *userRPC) sendExplicitAck(t *proc.Thread, dest int, seq uint64) {
