@@ -152,13 +152,20 @@ func AppByName(name string) App { return apps.ByName(name) }
 func RunApp(app App, cfg ClusterConfig) (AppResult, error) { return apps.RunApp(app, cfg) }
 
 // Table1 regenerates the paper's Table 1 (nil sizes = the paper's 0-4 KB).
-func Table1(sizes []int) []Table1Row { return bench.Table1(sizes) }
+// Use workers > 1 to fan the cells out over a bounded goroutine pool;
+// results are bit-identical for any worker count.
+func Table1(sizes []int, workers int) ([]Table1Row, error) {
+	return bench.Table1Sweep(sizes, workers)
+}
 
-// Table2 regenerates the paper's Table 2.
-func Table2() Table2Result { return bench.RunTable2() }
+// Table2 regenerates the paper's Table 2, fanning its cells out over
+// workers goroutines (results are worker-count independent).
+func Table2(workers int) (Table2Result, error) { return bench.Table2Sweep(workers) }
 
 // Table3 regenerates the paper's Table 3 ("paper" or "quick" scale; nil
-// procs = the paper's 1/8/16/32).
-func Table3(scale string, procs []int, seed uint64) ([]*Table3Entry, error) {
-	return bench.RunTable3(bench.Table3Apps(scale), procs, seed)
+// procs = the paper's 1/8/16/32), fanning the app x implementation x
+// processor-count cells out over workers goroutines (results are
+// worker-count independent).
+func Table3(scale string, procs []int, seed uint64, workers int) ([]*Table3Entry, error) {
+	return bench.Table3Sweep(bench.Table3Apps(scale), procs, seed, workers)
 }

@@ -20,12 +20,34 @@ func reportMS(b *testing.B, name string, d time.Duration) {
 	b.ReportMetric(float64(d)/float64(time.Millisecond), name)
 }
 
+// mustD / mustF unwrap benchmark measurements whose misconfiguration
+// paths now return errors instead of panicking.
+func mustD(b *testing.B) func(time.Duration, error) time.Duration {
+	return func(d time.Duration, err error) time.Duration {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+}
+
+func mustF(b *testing.B) func(float64, error) float64 {
+	return func(f float64, err error) float64 {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+}
+
 // BenchmarkTable1SystemLayer regenerates Table 1's unicast and multicast
 // columns (Panda system-layer primitives, user space).
 func BenchmarkTable1SystemLayer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		uni := bench.SystemLatency(0, false)
-		mc := bench.SystemLatency(0, true)
+		uni := mustD(b)(bench.SystemLatency(0, false))
+		mc := mustD(b)(bench.SystemLatency(0, true))
 		reportMS(b, "unicast0k_sim_ms", uni)
 		reportMS(b, "multicast0k_sim_ms", mc)
 	}
@@ -34,28 +56,28 @@ func BenchmarkTable1SystemLayer(b *testing.B) {
 // BenchmarkTable1RPC regenerates Table 1's RPC columns at 0 KB and 4 KB.
 func BenchmarkTable1RPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportMS(b, "user0k_sim_ms", bench.RPCLatency(panda.UserSpace, 0))
-		reportMS(b, "kern0k_sim_ms", bench.RPCLatency(panda.KernelSpace, 0))
-		reportMS(b, "user4k_sim_ms", bench.RPCLatency(panda.UserSpace, 4096))
-		reportMS(b, "kern4k_sim_ms", bench.RPCLatency(panda.KernelSpace, 4096))
+		reportMS(b, "user0k_sim_ms", mustD(b)(bench.RPCLatency(panda.UserSpace, 0)))
+		reportMS(b, "kern0k_sim_ms", mustD(b)(bench.RPCLatency(panda.KernelSpace, 0)))
+		reportMS(b, "user4k_sim_ms", mustD(b)(bench.RPCLatency(panda.UserSpace, 4096)))
+		reportMS(b, "kern4k_sim_ms", mustD(b)(bench.RPCLatency(panda.KernelSpace, 4096)))
 	}
 }
 
 // BenchmarkTable1Group regenerates Table 1's group columns at 0 KB.
 func BenchmarkTable1Group(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reportMS(b, "user0k_sim_ms", bench.GroupLatency(panda.UserSpace, 0, false))
-		reportMS(b, "kern0k_sim_ms", bench.GroupLatency(panda.KernelSpace, 0, false))
+		reportMS(b, "user0k_sim_ms", mustD(b)(bench.GroupLatency(panda.UserSpace, 0, false)))
+		reportMS(b, "kern0k_sim_ms", mustD(b)(bench.GroupLatency(panda.KernelSpace, 0, false)))
 	}
 }
 
 // BenchmarkTable2Throughput regenerates Table 2 (KB/s, simulated).
 func BenchmarkTable2Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		b.ReportMetric(bench.RPCThroughput(panda.UserSpace)/1000, "rpc_user_sim_KBps")
-		b.ReportMetric(bench.RPCThroughput(panda.KernelSpace)/1000, "rpc_kern_sim_KBps")
-		b.ReportMetric(bench.GroupThroughput(panda.UserSpace)/1000, "grp_user_sim_KBps")
-		b.ReportMetric(bench.GroupThroughput(panda.KernelSpace)/1000, "grp_kern_sim_KBps")
+		b.ReportMetric(mustF(b)(bench.RPCThroughput(panda.UserSpace))/1000, "rpc_user_sim_KBps")
+		b.ReportMetric(mustF(b)(bench.RPCThroughput(panda.KernelSpace))/1000, "rpc_kern_sim_KBps")
+		b.ReportMetric(mustF(b)(bench.GroupThroughput(panda.UserSpace))/1000, "grp_user_sim_KBps")
+		b.ReportMetric(mustF(b)(bench.GroupThroughput(panda.KernelSpace))/1000, "grp_kern_sim_KBps")
 	}
 }
 
@@ -93,8 +115,14 @@ func BenchmarkTable3Apps(b *testing.B) {
 // the headline per-operation event counts.
 func BenchmarkDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		du := bench.DecomposeRPC(panda.UserSpace)
-		dk := bench.DecomposeRPC(panda.KernelSpace)
+		du, err := bench.DecomposeRPC(panda.UserSpace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dk, err := bench.DecomposeRPC(panda.KernelSpace)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(du.CtxSwitches+du.ColdDispatches+du.WarmDispatches, "user_rpc_switches")
 		b.ReportMetric(dk.CtxSwitches+dk.ColdDispatches+dk.WarmDispatches, "kern_rpc_switches")
 		b.ReportMetric(du.WindowTraps, "user_rpc_traps")
@@ -215,8 +243,8 @@ func BenchmarkAblationContinuations(b *testing.B) {
 // group latency win (§3.2: ~50 µs) and its effect on quick-scale LEQ.
 func BenchmarkAblationDedicatedSequencer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		member := bench.GroupLatency(panda.UserSpace, 0, false)
-		dedicated := bench.GroupLatency(panda.UserSpace, 0, true)
+		member := mustD(b)(bench.GroupLatency(panda.UserSpace, 0, false))
+		dedicated := mustD(b)(bench.GroupLatency(panda.UserSpace, 0, true))
 		reportMS(b, "member_seq_sim_ms", member)
 		reportMS(b, "dedicated_seq_sim_ms", dedicated)
 		b.ReportMetric(float64(member-dedicated)/float64(time.Microsecond), "win_sim_us")

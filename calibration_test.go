@@ -23,7 +23,10 @@ func within(t *testing.T, name string, d, lo, hi time.Duration) {
 }
 
 func TestCalibrationTable1Latencies(t *testing.T) {
-	rows := bench.Table1(nil)
+	rows, err := bench.Table1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -64,7 +67,10 @@ func TestCalibrationTable1Latencies(t *testing.T) {
 }
 
 func TestCalibrationBBMethodFlattensGroupSlope(t *testing.T) {
-	rows := bench.Table1(nil)
+	rows, err := bench.Table1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The PB method sends data over the wire twice, so the 0→1 Kb slope
 	// of the group latency is roughly twice the unicast slope; the BB
 	// method (used at 2 Kb and up) removes the second pass, producing the
@@ -81,7 +87,10 @@ func TestCalibrationBBMethodFlattensGroupSlope(t *testing.T) {
 }
 
 func TestCalibrationTable2Throughput(t *testing.T) {
-	t2 := bench.RunTable2()
+	t2, err := bench.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Paper: RPC 825 (user) / 897 (kernel); group 941 both. Bands ±25%.
 	if t2.RPCUser < 650e3 || t2.RPCUser > 1050e3 {
 		t.Errorf("RPC user throughput = %.0f KB/s, want ≈825", t2.RPCUser/1000)
@@ -106,8 +115,14 @@ func TestCalibrationTable2Throughput(t *testing.T) {
 }
 
 func TestCalibrationDecompositionShape(t *testing.T) {
-	ku := bench.DecomposeRPC(panda.UserSpace)
-	kk := bench.DecomposeRPC(panda.KernelSpace)
+	ku, err := bench.DecomposeRPC(panda.UserSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kk, err := bench.DecomposeRPC(panda.KernelSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Kernel RPC: reply delivered directly to the blocked client.
 	if kk.DirectResumes < 0.9 {
 		t.Errorf("kernel RPC should use direct delivery (got %.1f/op)", kk.DirectResumes)
@@ -138,8 +153,14 @@ func TestCalibrationDecompositionShape(t *testing.T) {
 			ku.Locks, kk.Locks)
 	}
 
-	gu := bench.DecomposeGroup(panda.UserSpace)
-	gk := bench.DecomposeGroup(panda.KernelSpace)
+	gu, err := bench.DecomposeGroup(panda.UserSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, err := bench.DecomposeGroup(panda.KernelSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if gu.Latency <= gk.Latency {
 		t.Error("user group latency should exceed kernel")
 	}
@@ -153,8 +174,14 @@ func TestCalibrationDecompositionShape(t *testing.T) {
 }
 
 func TestCalibrationDedicatedSequencerWin(t *testing.T) {
-	member := bench.GroupLatency(panda.UserSpace, 0, false)
-	dedicated := bench.GroupLatency(panda.UserSpace, 0, true)
+	member, err := bench.GroupLatency(panda.UserSpace, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated, err := bench.GroupLatency(panda.UserSpace, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	win := member - dedicated
 	// §3.2: dedicating the sequencer machine saves ≈50 µs per message.
 	within(t, "dedicated sequencer win", win, 25*time.Microsecond, 100*time.Microsecond)

@@ -13,6 +13,10 @@
 //	amoebasim -trace-json F     null-RPC span timelines as JSON to file F
 //	amoebasim -faults S         fault-injection soak under scenario S (list|all|name)
 //	amoebasim -fault-seed N     fault-schedule seed (default: derived from -seed)
+//	amoebasim -jobs N           worker-pool width for sweeps (default: NumCPU)
+//	amoebasim -bench-json F     full Table 1-3 sweep to BENCH artifact F ("auto": BENCH_<date>.json)
+//	amoebasim -baseline F       regression gate: compare the sweep against baseline F
+//	amoebasim -wall-budget D    fail the gate if the sweep's wall-clock exceeds D
 //	amoebasim -all              everything
 package main
 
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,36 +41,47 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate a paper table (1, 2 or 3)")
-		decompose = flag.Bool("decompose", false, "print the §4.2/§4.3 per-operation decomposition")
-		traceFlag = flag.Bool("trace", false, "print the protocol timeline of one null RPC per implementation")
-		sweep     = flag.String("sweep", "", "emit a CSV sweep: latency or speedup")
-		all       = flag.Bool("all", false, "regenerate everything")
-		scale     = flag.String("scale", "paper", "table 3 problem scale: paper or quick")
-		appsFlag  = flag.String("apps", "", "comma-separated subset of apps for table 3 (tsp,asp,ab,rl,sor,leq)")
-		procsFlag = flag.String("procs", "", "comma-separated processor counts for table 3 (default 1,8,16,32)")
-		seed      = flag.Uint64("seed", 5, "workload seed")
-		metricsF  = flag.Bool("metrics", false, "print per-layer metrics tables for both implementations")
-		metricsJ  = flag.String("metrics-json", "", "write the metrics appendix as JSON to this file")
-		traceJ    = flag.String("trace-json", "", "write the null-RPC span timelines as JSON to this file")
-		faultsF   = flag.String("faults", "", "run the fault-injection soak: a scenario name, 'all', or 'list'")
-		faultSeed = flag.Uint64("fault-seed", 0, "fault-schedule seed (0: derived from -seed)")
+		table      = flag.Int("table", 0, "regenerate a paper table (1, 2 or 3)")
+		decompose  = flag.Bool("decompose", false, "print the §4.2/§4.3 per-operation decomposition")
+		traceFlag  = flag.Bool("trace", false, "print the protocol timeline of one null RPC per implementation")
+		sweep      = flag.String("sweep", "", "emit a CSV sweep: latency or speedup")
+		all        = flag.Bool("all", false, "regenerate everything")
+		scale      = flag.String("scale", "paper", "table 3 problem scale: paper or quick")
+		appsFlag   = flag.String("apps", "", "comma-separated subset of apps for table 3 (tsp,asp,ab,rl,sor,leq)")
+		procsFlag  = flag.String("procs", "", "comma-separated processor counts for table 3 (default 1,8,16,32)")
+		seed       = flag.Uint64("seed", 5, "workload seed")
+		metricsF   = flag.Bool("metrics", false, "print per-layer metrics tables for both implementations")
+		metricsJ   = flag.String("metrics-json", "", "write the metrics appendix as JSON to this file")
+		traceJ     = flag.String("trace-json", "", "write the null-RPC span timelines as JSON to this file")
+		faultsF    = flag.String("faults", "", "run the fault-injection soak: a scenario name, 'all', or 'list'")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (0: derived from -seed)")
+		jobs       = flag.Int("jobs", bench.DefaultWorkers(), "worker-pool width for parallel sweeps")
+		benchJSON  = flag.String("bench-json", "", "run the full Table 1-3 sweep and write the BENCH artifact here ('auto': BENCH_<date>.json)")
+		baseline   = flag.String("baseline", "", "compare the -bench-json sweep against this committed BENCH_*.json baseline (zero drift tolerance)")
+		wallBudget = flag.Duration("wall-budget", 0, "with -baseline: fail if the sweep's host wall-clock exceeds this duration (0: no check)")
 	)
 	flag.Parse()
 	if *faultsF != "" {
-		if err := runFaults(*faultsF, *seed, *faultSeed); err != nil {
+		if err := runFaults(*faultsF, *seed, *faultSeed, *jobs); err != nil {
 			fmt.Fprintln(os.Stderr, "amoebasim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ); err != nil {
+	if *benchJSON != "" || *baseline != "" {
+		if err := runBenchSweep(*benchJSON, *baseline, *scale, *appsFlag, *procsFlag, *seed, *jobs, *wallBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "amoebasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "amoebasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ string) error {
+func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ string, jobs int) error {
 	did := false
 	if sweep != "" {
 		if err := runSweep(sweep, appsFlag, scale, seed); err != nil {
@@ -94,7 +110,10 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 		did = true
 	}
 	if metricsF || metricsJ != "" {
-		appendix := bench.ObservabilityAppendix(seed)
+		appendix, err := bench.ObservabilityAppendix(seed)
+		if err != nil {
+			return err
+		}
 		if metricsF {
 			if err := bench.PrintObservability(os.Stdout, appendix); err != nil {
 				return err
@@ -118,61 +137,53 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 	}
 	if all || table == 1 {
 		start := time.Now()
-		bench.PrintTable1(os.Stdout, bench.Table1(nil))
+		rows, err := bench.Table1Sweep(nil, jobs)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable1(os.Stdout, rows)
 		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		did = true
 	}
 	if all || table == 2 {
 		start := time.Now()
-		bench.PrintTable2(os.Stdout, bench.RunTable2())
+		t2, err := bench.Table2Sweep(jobs)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable2(os.Stdout, t2)
 		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		did = true
 	}
 	if all || decompose {
-		bench.PrintDecomposition(os.Stdout,
-			bench.DecomposeRPC(panda.KernelSpace),
-			bench.DecomposeRPC(panda.UserSpace),
-			bench.DecomposeGroup(panda.KernelSpace),
-			bench.DecomposeGroup(panda.UserSpace),
-		)
+		ds := make([]bench.Decomposition, 0, 4)
+		for _, f := range []func() (bench.Decomposition, error){
+			func() (bench.Decomposition, error) { return bench.DecomposeRPC(panda.KernelSpace) },
+			func() (bench.Decomposition, error) { return bench.DecomposeRPC(panda.UserSpace) },
+			func() (bench.Decomposition, error) { return bench.DecomposeGroup(panda.KernelSpace) },
+			func() (bench.Decomposition, error) { return bench.DecomposeGroup(panda.UserSpace) },
+		} {
+			d, err := f()
+			if err != nil {
+				return err
+			}
+			ds = append(ds, d)
+		}
+		bench.PrintDecomposition(os.Stdout, ds...)
 		fmt.Println()
 		did = true
 	}
 	if all || table == 3 {
 		start := time.Now()
-		appList := bench.Table3Apps(scale)
-		if appsFlag != "" {
-			appList = nil
-			for _, name := range strings.Split(appsFlag, ",") {
-				a := apps.ByName(strings.TrimSpace(name))
-				if a == nil {
-					return fmt.Errorf("unknown app %q", name)
-				}
-				appList = append(appList, a)
-			}
-			if scale == "quick" {
-				// Swap in the quick-scale variants by name.
-				quick := bench.Table3Apps("quick")
-				for i, a := range appList {
-					for _, q := range quick {
-						if q.Name() == a.Name() {
-							appList[i] = q
-						}
-					}
-				}
-			}
+		appList, err := resolveApps(appsFlag, scale)
+		if err != nil {
+			return err
 		}
-		var procs []int
-		if procsFlag != "" {
-			for _, f := range strings.Split(procsFlag, ",") {
-				var p int
-				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil {
-					return fmt.Errorf("bad -procs value %q", f)
-				}
-				procs = append(procs, p)
-			}
+		procs, err := parseProcs(procsFlag)
+		if err != nil {
+			return err
 		}
-		entries, err := bench.RunTable3(appList, procs, seed)
+		entries, err := bench.Table3Sweep(appList, procs, seed, jobs)
 		if err != nil {
 			return err
 		}
@@ -186,10 +197,115 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 	return nil
 }
 
+// resolveApps resolves the -apps subset (or the full list) at the given
+// scale. Every requested app must exist and, at quick scale, must have a
+// quick-scale variant — a silent fallback to the paper-scale problem
+// size would skew quick sweeps.
+func resolveApps(appsFlag, scale string) ([]apps.App, error) {
+	if appsFlag == "" {
+		return bench.Table3Apps(scale), nil
+	}
+	byName := make(map[string]apps.App)
+	for _, a := range bench.Table3Apps(scale) {
+		byName[a.Name()] = a
+	}
+	var appList []apps.App
+	for _, name := range strings.Split(appsFlag, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			if scale == "quick" && apps.ByName(name) != nil {
+				return nil, fmt.Errorf("app %q has no quick-scale variant", name)
+			}
+			return nil, fmt.Errorf("unknown app %q", name)
+		}
+		appList = append(appList, a)
+	}
+	return appList, nil
+}
+
+// parseProcs parses the -procs list strictly: every element must be a
+// whole positive integer with no trailing junk.
+func parseProcs(procsFlag string) ([]int, error) {
+	if procsFlag == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, f := range strings.Split(procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -procs value %q: not a whole number", f)
+		}
+		if p < 1 {
+			return nil, fmt.Errorf("bad -procs value %q: must be positive", f)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// runBenchSweep runs the full Table 1-3 sweep on the worker pool, writes
+// the machine-readable BENCH artifact, and applies the regression gate
+// against a committed baseline.
+func runBenchSweep(benchJSON, baseline, scale, appsFlag, procsFlag string, seed uint64, jobs int, wallBudget time.Duration) error {
+	appList, err := resolveApps(appsFlag, scale)
+	if err != nil {
+		return err
+	}
+	procs, err := parseProcs(procsFlag)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunSweep(bench.SweepConfig{
+		Scale: scale, Apps: appList, Procs: procs, Seed: seed, Workers: jobs,
+	})
+	if err != nil {
+		return err
+	}
+	bench.PrintTable1(os.Stdout, res.Table1)
+	fmt.Println()
+	bench.PrintTable2(os.Stdout, res.Table2)
+	fmt.Println()
+	bench.PrintTable3(os.Stdout, res.Table3)
+	art := bench.NewArtifact(res)
+	fmt.Printf("(%d jobs in %v on %d workers, %.1f jobs/sec)\n",
+		len(res.Jobs), res.Wall.Round(time.Millisecond), art.Wall.Workers, art.Wall.JobsPerSec)
+
+	if benchJSON != "" {
+		if benchJSON == "auto" {
+			benchJSON = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		f, err := os.Create(benchJSON)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteArtifact(f, art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", benchJSON)
+	}
+	if baseline != "" {
+		base, err := bench.LoadArtifact(baseline)
+		if err != nil {
+			return err
+		}
+		if err := bench.CompareArtifacts(base, art, wallBudget); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s: no drift\n", baseline)
+	}
+	return nil
+}
+
 // runFaults runs the fault-injection soak workload (verified echo RPCs,
 // ordered group sends, and the test-scale Orca applications) under one or
-// all shipped scenarios, in both implementations.
-func runFaults(name string, seed, faultSeed uint64) error {
+// all shipped scenarios, in both implementations, fanned out over the
+// worker pool.
+func runFaults(name string, seed, faultSeed uint64, jobs int) error {
 	if name == "list" {
 		for _, n := range faults.Names() {
 			fmt.Printf("%-12s %s\n", n, faults.Describe(n))
@@ -200,22 +316,16 @@ func runFaults(name string, seed, faultSeed uint64) error {
 	if name == "all" {
 		names = faults.Names()
 	}
-	for _, n := range names {
-		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
-			res, err := bench.RunFaultSoakRPC(n, mode, seed, faultSeed)
-			if err != nil {
-				return err
-			}
-			bench.PrintFaultSoak(os.Stdout, res)
-			results, err := bench.RunFaultSoakApps(n, mode, seed, faultSeed)
-			if err != nil {
-				return err
-			}
-			for _, r := range results {
-				fmt.Printf("app %s: correct answer, %v\n", r.App, r.Elapsed)
-			}
-			fmt.Println()
+	runs, err := bench.FaultSoakSweep(names, seed, faultSeed, jobs)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		bench.PrintFaultSoak(os.Stdout, r.RPC)
+		for _, a := range r.Apps {
+			fmt.Printf("app %s: correct answer, %v\n", a.App, a.Elapsed)
 		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -226,13 +336,23 @@ func runSweep(kind, appsFlag, scale string, seed uint64) error {
 	case "latency":
 		fmt.Println("size_bytes,unicast_ms,multicast_ms,rpc_user_ms,rpc_kernel_ms,group_user_ms,group_kernel_ms")
 		for size := 0; size <= 8192; size += 512 {
+			var vals [6]time.Duration
+			for i, f := range []func() (time.Duration, error){
+				func() (time.Duration, error) { return bench.SystemLatency(size, false) },
+				func() (time.Duration, error) { return bench.SystemLatency(size, true) },
+				func() (time.Duration, error) { return bench.RPCLatency(panda.UserSpace, size) },
+				func() (time.Duration, error) { return bench.RPCLatency(panda.KernelSpace, size) },
+				func() (time.Duration, error) { return bench.GroupLatency(panda.UserSpace, size, false) },
+				func() (time.Duration, error) { return bench.GroupLatency(panda.KernelSpace, size, false) },
+			} {
+				d, err := f()
+				if err != nil {
+					return err
+				}
+				vals[i] = d
+			}
 			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", size,
-				msF(bench.SystemLatency(size, false)),
-				msF(bench.SystemLatency(size, true)),
-				msF(bench.RPCLatency(panda.UserSpace, size)),
-				msF(bench.RPCLatency(panda.KernelSpace, size)),
-				msF(bench.GroupLatency(panda.UserSpace, size, false)),
-				msF(bench.GroupLatency(panda.KernelSpace, size, false)))
+				msF(vals[0]), msF(vals[1]), msF(vals[2]), msF(vals[3]), msF(vals[4]), msF(vals[5]))
 		}
 		return nil
 	case "speedup":
@@ -240,17 +360,11 @@ func runSweep(kind, appsFlag, scale string, seed uint64) error {
 		if name == "" {
 			name = "asp"
 		}
-		app := apps.ByName(strings.TrimSpace(name))
-		if app == nil {
-			return fmt.Errorf("unknown app %q", name)
+		appList, err := resolveApps(strings.TrimSpace(name), scale)
+		if err != nil {
+			return err
 		}
-		if scale == "quick" {
-			for _, q := range bench.Table3Apps("quick") {
-				if q.Name() == app.Name() {
-					app = q
-				}
-			}
-		}
+		app := appList[0]
 		fmt.Println("procs,kernel_s,user_s,kernel_speedup,user_speedup")
 		var base [2]float64
 		for _, p := range []int{1, 2, 4, 8, 16, 32} {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseProcsRejectsMalformedValues: -procs must be whole positive
+// integers; fmt.Sscanf used to accept trailing junk ("8x" ran with 8).
+func TestParseProcsRejectsMalformedValues(t *testing.T) {
+	good, err := parseProcs(" 1, 8 ,16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(good, []int{1, 8, 16, 32}) {
+		t.Errorf("parseProcs = %v", good)
+	}
+	if procs, err := parseProcs(""); err != nil || procs != nil {
+		t.Errorf("empty flag should mean defaults, got %v, %v", procs, err)
+	}
+	for _, bad := range []string{"8x", "1,8x", "0", "-4", "1,,8", "eight"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("parseProcs(%q) accepted a malformed value", bad)
+		}
+	}
+}
+
+// TestResolveAppsQuickScale: the quick-scale swap must be exact — an app
+// without a quick variant is an error, never a silent paper-scale run.
+func TestResolveAppsQuickScale(t *testing.T) {
+	appList, err := resolveApps("sor, leq", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(appList) != 2 || appList[0].Name() != "sor" || appList[1].Name() != "leq" {
+		t.Fatalf("resolveApps = %v", appList)
+	}
+	full, err := resolveApps("", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 6 {
+		t.Errorf("empty -apps should mean the full quick list, got %d apps", len(full))
+	}
+	if _, err := resolveApps("nosuch", "quick"); err == nil || !strings.Contains(err.Error(), "unknown app") {
+		t.Errorf("unknown app not rejected: %v", err)
+	}
+	if _, err := resolveApps("nosuch", "paper"); err == nil {
+		t.Error("unknown app not rejected at paper scale")
+	}
+}

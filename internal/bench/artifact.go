@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// ArtifactSchemaVersion identifies the BENCH_*.json layout. Bump it when
+// a field changes meaning; the regression gate refuses to compare
+// artifacts across versions.
+const ArtifactSchemaVersion = 1
+
+// Artifact is the machine-readable benchmark baseline (BENCH_*.json):
+// every Table 1-3 cell in simulated time, plus the host's wall-clock
+// accounting. The table cells are a pure function of (scale, seed,
+// sizes, procs) — the simulation is deterministic — so the regression
+// gate compares them with zero drift tolerance. The Wall section is
+// host-dependent and informational; it is never diffed, only checked
+// against an explicit budget.
+type Artifact struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at,omitempty"` // RFC 3339, informational
+	Scale         string `json:"scale"`
+	Seed          uint64 `json:"seed"`
+	Table1        []Table1Cell `json:"table1"`
+	Table2        []Table2Cell `json:"table2"`
+	Table3        []Table3Cell `json:"table3"`
+	Wall          WallStats    `json:"wall"`
+}
+
+// Table1Cell is one latency cell of Table 1.
+type Table1Cell struct {
+	SizeBytes int    `json:"size_bytes"`
+	Column    string `json:"column"` // unicast, multicast, rpc-user, ...
+	SimNS     int64  `json:"sim_ns"`
+}
+
+// Table2Cell is one throughput cell of Table 2.
+type Table2Cell struct {
+	Op          string  `json:"op"`   // rpc or group
+	Impl        string  `json:"impl"` // user-space or kernel-space
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// Table3Cell is one application execution-time cell of Table 3, with
+// the application's deterministic answer.
+type Table3Cell struct {
+	App    string `json:"app"`
+	Impl   string `json:"impl"`
+	Procs  int    `json:"procs"`
+	SimNS  int64  `json:"sim_ns"`
+	Answer int64  `json:"answer"`
+}
+
+// WallStats is the host-side cost of the sweep: total wall-clock,
+// throughput in jobs per second, and the per-job breakdown in
+// deterministic job order.
+type WallStats struct {
+	Workers    int       `json:"workers"`
+	TotalMS    float64   `json:"total_ms"`
+	JobsPerSec float64   `json:"jobs_per_sec"`
+	PerJob     []JobWall `json:"per_job"`
+}
+
+// JobWall is one job's host wall-clock cost.
+type JobWall struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// NewArtifact flattens a sweep into the baseline layout. GeneratedAt is
+// stamped with the current UTC time.
+func NewArtifact(res *SweepResult) *Artifact {
+	a := &Artifact{
+		SchemaVersion: ArtifactSchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Scale:         res.Config.Scale,
+		Seed:          res.Config.Seed,
+	}
+	for _, r := range res.Table1 {
+		cell := func(col string, d time.Duration) Table1Cell {
+			return Table1Cell{SizeBytes: r.Size, Column: col, SimNS: int64(d)}
+		}
+		a.Table1 = append(a.Table1,
+			cell("unicast", r.Unicast),
+			cell("multicast", r.Multicast),
+			cell("rpc-user", r.RPCUser),
+			cell("rpc-kernel", r.RPCKernel),
+			cell("group-user", r.GroupUser),
+			cell("group-kernel", r.GroupKernel),
+		)
+	}
+	a.Table2 = []Table2Cell{
+		{Op: "rpc", Impl: "user-space", BytesPerSec: res.Table2.RPCUser},
+		{Op: "rpc", Impl: "kernel-space", BytesPerSec: res.Table2.RPCKernel},
+		{Op: "group", Impl: "user-space", BytesPerSec: res.Table2.GroupUser},
+		{Op: "group", Impl: "kernel-space", BytesPerSec: res.Table2.GroupKernel},
+	}
+	for ei, e := range res.Table3 {
+		for _, impl := range table3Impls(res.Config.Apps[ei]) {
+			for pi, p := range e.Procs {
+				run := e.Runs[impl.label][pi]
+				a.Table3 = append(a.Table3, Table3Cell{
+					App:    e.App,
+					Impl:   impl.label,
+					Procs:  p,
+					SimNS:  int64(run.Elapsed),
+					Answer: run.Answer,
+				})
+			}
+		}
+	}
+	workers := res.Config.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	a.Wall = WallStats{
+		Workers: workers,
+		TotalMS: msFloat(res.Wall),
+	}
+	if res.Wall > 0 {
+		a.Wall.JobsPerSec = float64(len(res.Jobs)) / res.Wall.Seconds()
+	}
+	for _, j := range res.Jobs {
+		a.Wall.PerJob = append(a.Wall.PerJob, JobWall{Name: j.Name, WallMS: msFloat(j.Wall)})
+	}
+	return a
+}
+
+// WriteArtifact emits the artifact as indented JSON.
+func WriteArtifact(w io.Writer, a *Artifact) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// LoadArtifact reads a BENCH_*.json baseline from disk.
+func LoadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// CompareArtifacts is the regression gate: every deterministic table
+// cell of current must exactly equal its baseline counterpart (zero
+// drift tolerance — the simulation is deterministic, so any difference
+// is a behavior change, not noise). Wall-clock is host-dependent and is
+// only checked against wallBudget (0 disables the check). The returned
+// error lists every drifted cell.
+func CompareArtifacts(baseline, current *Artifact, wallBudget time.Duration) error {
+	var drifts []string
+	drift := func(format string, args ...any) {
+		drifts = append(drifts, fmt.Sprintf(format, args...))
+	}
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return fmt.Errorf("baseline schema v%d != current v%d: regenerate the baseline",
+			baseline.SchemaVersion, current.SchemaVersion)
+	}
+	if baseline.Scale != current.Scale || baseline.Seed != current.Seed {
+		return fmt.Errorf("config mismatch: baseline (scale=%s seed=%d) vs current (scale=%s seed=%d)",
+			baseline.Scale, baseline.Seed, current.Scale, current.Seed)
+	}
+
+	t1 := make(map[string]int64, len(baseline.Table1))
+	for _, c := range baseline.Table1 {
+		t1[fmt.Sprintf("%d/%s", c.SizeBytes, c.Column)] = c.SimNS
+	}
+	if len(baseline.Table1) != len(current.Table1) {
+		drift("table1: %d cells, baseline has %d", len(current.Table1), len(baseline.Table1))
+	}
+	for _, c := range current.Table1 {
+		key := fmt.Sprintf("%d/%s", c.SizeBytes, c.Column)
+		want, ok := t1[key]
+		if !ok {
+			drift("table1/%s: cell missing from baseline", key)
+		} else if c.SimNS != want {
+			drift("table1/%s: sim %dns, baseline %dns", key, c.SimNS, want)
+		}
+	}
+
+	t2 := make(map[string]float64, len(baseline.Table2))
+	for _, c := range baseline.Table2 {
+		t2[c.Op+"/"+c.Impl] = c.BytesPerSec
+	}
+	if len(baseline.Table2) != len(current.Table2) {
+		drift("table2: %d cells, baseline has %d", len(current.Table2), len(baseline.Table2))
+	}
+	for _, c := range current.Table2 {
+		key := c.Op + "/" + c.Impl
+		want, ok := t2[key]
+		if !ok {
+			drift("table2/%s: cell missing from baseline", key)
+		} else if c.BytesPerSec != want {
+			drift("table2/%s: %.3f B/s, baseline %.3f B/s", key, c.BytesPerSec, want)
+		}
+	}
+
+	t3 := make(map[string]Table3Cell, len(baseline.Table3))
+	for _, c := range baseline.Table3 {
+		t3[fmt.Sprintf("%s/%s/p=%d", c.App, c.Impl, c.Procs)] = c
+	}
+	if len(baseline.Table3) != len(current.Table3) {
+		drift("table3: %d cells, baseline has %d", len(current.Table3), len(baseline.Table3))
+	}
+	for _, c := range current.Table3 {
+		key := fmt.Sprintf("%s/%s/p=%d", c.App, c.Impl, c.Procs)
+		want, ok := t3[key]
+		if !ok {
+			drift("table3/%s: cell missing from baseline", key)
+			continue
+		}
+		if c.SimNS != want.SimNS {
+			drift("table3/%s: sim %dns, baseline %dns", key, c.SimNS, want.SimNS)
+		}
+		if c.Answer != want.Answer {
+			drift("table3/%s: answer %d, baseline %d", key, c.Answer, want.Answer)
+		}
+	}
+
+	if wallBudget > 0 && current.Wall.TotalMS > msFloat(wallBudget) {
+		drift("wall-clock: sweep took %.0fms, budget %v", current.Wall.TotalMS, wallBudget)
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("baseline drift (%d):\n  %s", len(drifts), strings.Join(drifts, "\n  "))
+	}
+	return nil
+}

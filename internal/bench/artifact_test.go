@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickSweep is the reduced configuration the artifact tests run: small
+// Table 1 sizes and a 2-app, 2-proc-count quick-scale Table 3, so two
+// full sweeps stay cheap.
+func quickSweep(workers int) SweepConfig {
+	apps := Table3Apps("quick")
+	return SweepConfig{
+		Scale:   "quick",
+		Apps:    apps[:2],
+		Procs:   []int{1, 4},
+		Sizes:   []int{0, 2048},
+		Seed:    5,
+		Workers: workers,
+	}
+}
+
+// TestSweepBitIdenticalAcrossWorkers is the engine's core contract:
+// -jobs 1 and -jobs N produce byte-identical Table 1/2/3 output for the
+// same seed, because every cell owns its whole cluster.
+func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	render := func(res *SweepResult) string {
+		var sb strings.Builder
+		PrintTable1(&sb, res.Table1)
+		PrintTable2(&sb, res.Table2)
+		PrintTable3(&sb, res.Table3)
+		return sb.String()
+	}
+	seq, err := RunSweep(quickSweep(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSweep(quickSweep(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(seq), render(par); a != b {
+		t.Errorf("parallel sweep output differs from sequential:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", a, b)
+	}
+	if !reflect.DeepEqual(seq.Table1, par.Table1) {
+		t.Error("Table 1 rows differ across worker counts")
+	}
+	if seq.Table2 != par.Table2 {
+		t.Errorf("Table 2 differs across worker counts: %+v vs %+v", seq.Table2, par.Table2)
+	}
+	for i := range seq.Table3 {
+		if !reflect.DeepEqual(seq.Table3[i], par.Table3[i]) {
+			t.Errorf("Table 3 entry %s differs across worker counts", seq.Table3[i].App)
+		}
+	}
+	// And the flattened artifacts must gate cleanly against each other.
+	if err := CompareArtifacts(NewArtifact(seq), NewArtifact(par), 0); err != nil {
+		t.Errorf("artifacts drift across worker counts: %v", err)
+	}
+}
+
+// TestArtifactSchema asserts the BENCH_*.json layout: required keys,
+// one cell per table data point, and a lossless write/load round trip.
+func TestArtifactSchema(t *testing.T) {
+	cfg := quickSweep(4)
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := NewArtifact(res)
+	if art.SchemaVersion != ArtifactSchemaVersion {
+		t.Errorf("schema version %d, want %d", art.SchemaVersion, ArtifactSchemaVersion)
+	}
+	if want := len(cfg.Sizes) * 6; len(art.Table1) != want {
+		t.Errorf("table1 cells = %d, want %d", len(art.Table1), want)
+	}
+	if len(art.Table2) != 4 {
+		t.Errorf("table2 cells = %d, want 4", len(art.Table2))
+	}
+	// 2 apps x 2 implementations x 2 processor counts (no LEQ in the
+	// reduced list, so no dedicated column).
+	if want := 2 * 2 * 2; len(art.Table3) != want {
+		t.Errorf("table3 cells = %d, want %d", len(art.Table3), want)
+	}
+	if len(art.Wall.PerJob) != len(res.Jobs) {
+		t.Errorf("wall per-job entries = %d, want %d", len(art.Wall.PerJob), len(res.Jobs))
+	}
+	for _, c := range art.Table1 {
+		if c.SimNS <= 0 {
+			t.Errorf("table1 %d/%s: non-positive sim time %d", c.SizeBytes, c.Column, c.SimNS)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"schema_version", "scale", "seed", "table1", "table2", "table3", "wall"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("artifact JSON missing key %q", k)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, back) {
+		t.Error("artifact did not round-trip losslessly")
+	}
+	if err := CompareArtifacts(back, art, 0); err != nil {
+		t.Errorf("self-comparison must be drift-free: %v", err)
+	}
+}
+
+// TestCompareArtifactsDetectsDrift: any changed cell fails the gate and
+// is named in the error; wall-clock only trips an explicit budget.
+func TestCompareArtifactsDetectsDrift(t *testing.T) {
+	base := &Artifact{
+		SchemaVersion: ArtifactSchemaVersion,
+		Scale:         "quick",
+		Seed:          5,
+		Table1:        []Table1Cell{{SizeBytes: 0, Column: "unicast", SimNS: 100}},
+		Table2:        []Table2Cell{{Op: "rpc", Impl: "user-space", BytesPerSec: 1000}},
+		Table3:        []Table3Cell{{App: "sor", Impl: "user-space", Procs: 4, SimNS: 200, Answer: 7}},
+		Wall:          WallStats{TotalMS: 50},
+	}
+	clone := func() *Artifact {
+		b, _ := json.Marshal(base)
+		var a Artifact
+		_ = json.Unmarshal(b, &a)
+		return &a
+	}
+
+	if err := CompareArtifacts(base, clone(), 0); err != nil {
+		t.Fatalf("identical artifacts must pass: %v", err)
+	}
+
+	cur := clone()
+	cur.Table1[0].SimNS = 101
+	cur.Table3[0].Answer = 8
+	err := CompareArtifacts(base, cur, 0)
+	if err == nil {
+		t.Fatal("drift not detected")
+	}
+	for _, want := range []string{"table1/0/unicast", "table3/sor/user-space/p=4", "answer 8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("drift report missing %q:\n%v", want, err)
+		}
+	}
+
+	slow := clone()
+	slow.Wall.TotalMS = 10_000
+	if err := CompareArtifacts(base, slow, 0); err != nil {
+		t.Errorf("wall-clock must not gate without a budget: %v", err)
+	}
+	if err := CompareArtifacts(base, slow, 5*time.Second); err == nil {
+		t.Error("wall budget overrun not detected")
+	}
+
+	wrongCfg := clone()
+	wrongCfg.Seed = 6
+	if err := CompareArtifacts(base, wrongCfg, 0); err == nil {
+		t.Error("config mismatch not detected")
+	}
+
+	wrongSchema := clone()
+	wrongSchema.SchemaVersion++
+	if err := CompareArtifacts(base, wrongSchema, 0); err == nil {
+		t.Error("schema mismatch not detected")
+	}
+
+	missing := clone()
+	missing.Table3 = nil
+	if err := CompareArtifacts(base, missing, 0); err == nil {
+		t.Error("missing cells not detected")
+	}
+}
+
+// TestCommittedBaselineHasNoDrift is the regression gate in test form:
+// the committed quick-scale BENCH baseline must exactly match a fresh
+// sweep. If a deliberate protocol or cost-model change moved the
+// numbers, regenerate the baseline with
+// `go run ./cmd/amoebasim -scale quick -bench-json BENCH_baseline.json`.
+func TestCommittedBaselineHasNoDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale sweep")
+	}
+	base, err := LoadArtifact(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	res, err := RunSweep(SweepConfig{Scale: base.Scale, Seed: base.Seed, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareArtifacts(base, NewArtifact(res), 0); err != nil {
+		t.Errorf("drift against committed baseline:\n%v", err)
+	}
+}

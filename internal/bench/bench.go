@@ -1,10 +1,13 @@
 // Package bench regenerates the paper's quantitative results: Table 1
 // (communication latencies), Table 2 (throughputs), Table 3 (application
 // execution times and speedups), and the §4.2/§4.3 overhead
-// decompositions.
+// decompositions. Sweeps fan out over a bounded worker pool (pool.go);
+// every data point owns its whole cluster, so pooled results are
+// bit-identical to sequential ones.
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,28 +25,35 @@ var PaperSizes = []int{0, 1024, 2048, 3072, 4096}
 // smooth piggyback warts).
 const defaultRounds = 10
 
-func newCluster(cfg cluster.Config) *cluster.Cluster {
+// errIncomplete reports a measurement workload that never reached its
+// final round — a protocol stall, not a misconfiguration.
+var errIncomplete = errors.New("bench: measurement did not complete")
+
+func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	c, err := cluster.New(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("bench: build cluster: %v", err))
+		return nil, fmt.Errorf("bench: build cluster: %w", err)
 	}
-	return c
+	return c, nil
 }
 
 // SystemLatency measures the Panda system-layer primitive of Table 1's
 // unicast/multicast columns: a user-to-user pingpong where replies are
 // sent directly from within the receive upcall (no context switching in
 // the measured path), one-way time reported.
-func SystemLatency(size int, multicast bool) time.Duration {
-	c := newCluster(cluster.Config{Procs: 2, Mode: panda.UserSpace, Group: multicast})
+func SystemLatency(size int, multicast bool) (time.Duration, error) {
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: panda.UserSpace, Group: multicast})
+	if err != nil {
+		return 0, err
+	}
 	defer c.Shutdown()
 	u0, ok0 := c.Transports[0].(*panda.User)
 	u1, ok1 := c.Transports[1].(*panda.User)
 	if !ok0 || !ok1 {
-		panic("bench: user transports expected")
+		return 0, errors.New("bench: user transports expected")
 	}
 	send := func(u *panda.User, t *proc.Thread, dst int) {
 		u.SystemSend(t, dst, nil, size, multicast)
@@ -76,15 +86,18 @@ func SystemLatency(size int, multicast bool) time.Duration {
 	})
 	c.Run()
 	if total == 0 {
-		panic("bench: system pingpong did not complete")
+		return 0, fmt.Errorf("system pingpong: %w", errIncomplete)
 	}
-	return total / (2 * rounds)
+	return total / (2 * rounds), nil
 }
 
 // RPCLatency measures Table 1's RPC columns: requests of the given size,
 // empty replies, one round trip reported.
-func RPCLatency(mode panda.Mode, size int) time.Duration {
-	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+func RPCLatency(mode panda.Mode, size int) (time.Duration, error) {
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	if err != nil {
+		return 0, err
+	}
 	defer c.Shutdown()
 	srv := c.Transports[0]
 	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
@@ -105,18 +118,21 @@ func RPCLatency(mode panda.Mode, size int) time.Duration {
 	})
 	c.Run()
 	if total == 0 {
-		panic("bench: rpc pingpong did not complete")
+		return 0, fmt.Errorf("rpc pingpong: %w", errIncomplete)
 	}
-	return total / defaultRounds
+	return total / defaultRounds, nil
 }
 
 // GroupLatency measures Table 1's group columns: a group of two members;
 // the sender (not the sequencer machine) waits until its own message
 // comes back from the sequencer.
-func GroupLatency(mode panda.Mode, size int, dedicated bool) time.Duration {
-	c := newCluster(cluster.Config{
+func GroupLatency(mode panda.Mode, size int, dedicated bool) (time.Duration, error) {
+	c, err := newCluster(cluster.Config{
 		Procs: 2, Mode: mode, Group: true, DedicatedSequencer: dedicated,
 	})
+	if err != nil {
+		return 0, err
+	}
 	defer c.Shutdown()
 	var total time.Duration
 	tr := c.Transports[1]
@@ -134,9 +150,9 @@ func GroupLatency(mode panda.Mode, size int, dedicated bool) time.Duration {
 	})
 	c.Run()
 	if total == 0 {
-		panic("bench: group send did not complete")
+		return 0, fmt.Errorf("group send: %w", errIncomplete)
 	}
-	return total / defaultRounds
+	return total / defaultRounds, nil
 }
 
 // Table1Row is one row of Table 1.
@@ -150,24 +166,54 @@ type Table1Row struct {
 	GroupKernel time.Duration
 }
 
-// Table1 regenerates Table 1 for the given message sizes.
-func Table1(sizes []int) []Table1Row {
+// table1Jobs fills rows (one per size, Size already set) cell by cell;
+// each cell is one pool job owning its own cluster.
+func table1Jobs(sizes []int, rows []Table1Row) []Job {
+	var jobs []Job
+	for i, s := range sizes {
+		i, s := i, s
+		cell := func(col string, dst *time.Duration, f func() (time.Duration, error)) Job {
+			return Job{
+				Name: fmt.Sprintf("table1/%dB/%s", s, col),
+				Run: func() error {
+					d, err := f()
+					if err != nil {
+						return err
+					}
+					*dst = d
+					return nil
+				},
+			}
+		}
+		jobs = append(jobs,
+			cell("unicast", &rows[i].Unicast, func() (time.Duration, error) { return SystemLatency(s, false) }),
+			cell("multicast", &rows[i].Multicast, func() (time.Duration, error) { return SystemLatency(s, true) }),
+			cell("rpc-user", &rows[i].RPCUser, func() (time.Duration, error) { return RPCLatency(panda.UserSpace, s) }),
+			cell("rpc-kernel", &rows[i].RPCKernel, func() (time.Duration, error) { return RPCLatency(panda.KernelSpace, s) }),
+			cell("group-user", &rows[i].GroupUser, func() (time.Duration, error) { return GroupLatency(panda.UserSpace, s, false) }),
+			cell("group-kernel", &rows[i].GroupKernel, func() (time.Duration, error) { return GroupLatency(panda.KernelSpace, s, false) }),
+		)
+	}
+	return jobs
+}
+
+// Table1 regenerates Table 1 for the given message sizes, sequentially.
+func Table1(sizes []int) ([]Table1Row, error) { return Table1Sweep(sizes, 1) }
+
+// Table1Sweep regenerates Table 1 with every cell fanned out across the
+// worker pool. Bit-identical to the sequential run for any worker count.
+func Table1Sweep(sizes []int, workers int) ([]Table1Row, error) {
 	if sizes == nil {
 		sizes = PaperSizes
 	}
-	rows := make([]Table1Row, 0, len(sizes))
-	for _, s := range sizes {
-		rows = append(rows, Table1Row{
-			Size:        s,
-			Unicast:     SystemLatency(s, false),
-			Multicast:   SystemLatency(s, true),
-			RPCUser:     RPCLatency(panda.UserSpace, s),
-			RPCKernel:   RPCLatency(panda.KernelSpace, s),
-			GroupUser:   GroupLatency(panda.UserSpace, s, false),
-			GroupKernel: GroupLatency(panda.KernelSpace, s, false),
-		})
+	rows := make([]Table1Row, len(sizes))
+	for i, s := range sizes {
+		rows[i].Size = s
 	}
-	return rows
+	if err := PoolErrors(RunPool(table1Jobs(sizes, rows), workers)); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Table2 holds the throughput results of Table 2 in bytes/second.
@@ -184,8 +230,11 @@ const throughputWindow = 2 * time.Second
 
 // RPCThroughput streams 8000-byte requests with empty replies and reports
 // the data rate.
-func RPCThroughput(mode panda.Mode) float64 {
-	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+func RPCThroughput(mode panda.Mode) (float64, error) {
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	if err != nil {
+		return 0, err
+	}
 	defer c.Shutdown()
 	var received int64
 	srv := c.Transports[0]
@@ -201,15 +250,18 @@ func RPCThroughput(mode panda.Mode) float64 {
 		}
 	})
 	c.RunUntil(sim.Time(throughputWindow))
-	return float64(received) / throughputWindow.Seconds()
+	return float64(received) / throughputWindow.Seconds(), nil
 }
 
 // GroupThroughput has several members send 8000-byte messages in parallel
 // (saturating the Ethernet, as in the paper) and reports the ordered
 // delivery rate at one member.
-func GroupThroughput(mode panda.Mode) float64 {
+func GroupThroughput(mode panda.Mode) (float64, error) {
 	const members = 4
-	c := newCluster(cluster.Config{Procs: members, Mode: mode, Group: true})
+	c, err := newCluster(cluster.Config{Procs: members, Mode: mode, Group: true})
+	if err != nil {
+		return 0, err
+	}
 	defer c.Shutdown()
 	var delivered int64
 	c.Transports[0].HandleGroup(func(t *proc.Thread, sender int, seqno uint64, payload any, sz int) {
@@ -226,15 +278,41 @@ func GroupThroughput(mode panda.Mode) float64 {
 		})
 	}
 	c.RunUntil(sim.Time(throughputWindow))
-	return float64(delivered) / throughputWindow.Seconds()
+	return float64(delivered) / throughputWindow.Seconds(), nil
 }
 
-// RunTable2 regenerates Table 2.
-func RunTable2() Table2 {
-	return Table2{
-		RPCUser:     RPCThroughput(panda.UserSpace),
-		RPCKernel:   RPCThroughput(panda.KernelSpace),
-		GroupUser:   GroupThroughput(panda.UserSpace),
-		GroupKernel: GroupThroughput(panda.KernelSpace),
+// table2Jobs fills t2 cell by cell; one pool job per cell.
+func table2Jobs(t2 *Table2) []Job {
+	cell := func(name string, dst *float64, f func() (float64, error)) Job {
+		return Job{
+			Name: "table2/" + name,
+			Run: func() error {
+				v, err := f()
+				if err != nil {
+					return err
+				}
+				*dst = v
+				return nil
+			},
+		}
 	}
+	return []Job{
+		cell("rpc-user", &t2.RPCUser, func() (float64, error) { return RPCThroughput(panda.UserSpace) }),
+		cell("rpc-kernel", &t2.RPCKernel, func() (float64, error) { return RPCThroughput(panda.KernelSpace) }),
+		cell("group-user", &t2.GroupUser, func() (float64, error) { return GroupThroughput(panda.UserSpace) }),
+		cell("group-kernel", &t2.GroupKernel, func() (float64, error) { return GroupThroughput(panda.KernelSpace) }),
+	}
+}
+
+// RunTable2 regenerates Table 2 sequentially.
+func RunTable2() (Table2, error) { return Table2Sweep(1) }
+
+// Table2Sweep regenerates Table 2 with its four cells fanned out across
+// the worker pool.
+func Table2Sweep(workers int) (Table2, error) {
+	var t2 Table2
+	if err := PoolErrors(RunPool(table2Jobs(&t2), workers)); err != nil {
+		return Table2{}, err
+	}
+	return t2, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"amoebasim/internal/cluster"
@@ -38,9 +39,12 @@ func sub(a, b proc.Stats) proc.Stats {
 
 // DecomposeRPC measures the per-RPC event counts for a mode (both
 // machines combined).
-func DecomposeRPC(mode panda.Mode) Decomposition {
+func DecomposeRPC(mode panda.Mode) (Decomposition, error) {
 	const rounds = 50
-	c := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode})
+	if err != nil {
+		return Decomposition{}, err
+	}
 	defer c.Shutdown()
 	srv := c.Transports[0]
 	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
@@ -63,6 +67,9 @@ func DecomposeRPC(mode panda.Mode) Decomposition {
 		after[0], after[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
 	})
 	c.Run()
+	if total == 0 {
+		return Decomposition{}, fmt.Errorf("decompose rpc: %w", errIncomplete)
+	}
 	d0 := sub(after[0], before[0])
 	d1 := sub(after[1], before[1])
 	return Decomposition{
@@ -76,14 +83,17 @@ func DecomposeRPC(mode panda.Mode) Decomposition {
 		WindowTraps:    float64(d0.Traps+d1.Traps) / rounds,
 		Syscalls:       float64(d0.Syscalls+d1.Syscalls) / rounds,
 		Locks:          float64(d0.Locks+d1.Locks) / rounds,
-	}
+	}, nil
 }
 
 // DecomposeGroup measures the per-message event counts for a mode on a
 // two-member group (sender is not the sequencer machine).
-func DecomposeGroup(mode panda.Mode) Decomposition {
+func DecomposeGroup(mode panda.Mode) (Decomposition, error) {
 	const rounds = 50
-	c := newCluster(cluster.Config{Procs: 2, Mode: mode, Group: true})
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode, Group: true})
+	if err != nil {
+		return Decomposition{}, err
+	}
 	defer c.Shutdown()
 	var before, after [2]proc.Stats
 	var total time.Duration
@@ -103,6 +113,9 @@ func DecomposeGroup(mode panda.Mode) Decomposition {
 		after[0], after[1] = c.Procs[0].Stats(), c.Procs[1].Stats()
 	})
 	c.Run()
+	if total == 0 {
+		return Decomposition{}, fmt.Errorf("decompose group: %w", errIncomplete)
+	}
 	d0 := sub(after[0], before[0])
 	d1 := sub(after[1], before[1])
 	return Decomposition{
@@ -116,5 +129,5 @@ func DecomposeGroup(mode panda.Mode) Decomposition {
 		WindowTraps:    float64(d0.Traps+d1.Traps) / rounds,
 		Syscalls:       float64(d0.Syscalls+d1.Syscalls) / rounds,
 		Locks:          float64(d0.Locks+d1.Locks) / rounds,
-	}
+	}, nil
 }

@@ -157,6 +157,52 @@ func RunFaultSoakApps(scenario string, mode panda.Mode, workSeed, faultSeed uint
 	return out, nil
 }
 
+// FaultSoakRun is one scenario x mode soak: the verified RPC workload
+// plus every test-scale Orca application.
+type FaultSoakRun struct {
+	Scenario string
+	Mode     panda.Mode
+	RPC      FaultSoakResult
+	Apps     []apps.Result
+}
+
+// FaultSoakSweep fans the scenario x mode soak matrix out over the
+// worker pool and returns the runs in deterministic (scenario-major,
+// kernel-space-first) order. Each soak owns its clusters, so results
+// are identical for any worker count.
+func FaultSoakSweep(scenarios []string, workSeed, faultSeed uint64, workers int) ([]FaultSoakRun, error) {
+	modes := []panda.Mode{panda.KernelSpace, panda.UserSpace}
+	runs := make([]FaultSoakRun, 0, len(scenarios)*len(modes))
+	for _, n := range scenarios {
+		for _, mode := range modes {
+			runs = append(runs, FaultSoakRun{Scenario: n, Mode: mode})
+		}
+	}
+	jobs := make([]Job, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		jobs[i] = Job{
+			Name: fmt.Sprintf("faults/%s/%s", r.Scenario, r.Mode),
+			Run: func() error {
+				rpc, err := RunFaultSoakRPC(r.Scenario, r.Mode, workSeed, faultSeed)
+				if err != nil {
+					return err
+				}
+				appRes, err := RunFaultSoakApps(r.Scenario, r.Mode, workSeed, faultSeed)
+				if err != nil {
+					return err
+				}
+				r.RPC, r.Apps = rpc, appRes
+				return nil
+			},
+		}
+	}
+	if err := PoolErrors(RunPool(jobs, workers)); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
 // PrintFaultSoak renders one soak result as a short report.
 func PrintFaultSoak(w io.Writer, res FaultSoakResult) {
 	fmt.Fprintf(w, "=== fault soak: %s, %s ===\n", res.Scenario, res.Mode)

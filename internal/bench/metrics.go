@@ -23,10 +23,13 @@ type ModeObservability struct {
 // cluster in the given mode and returns the per-layer metrics snapshot.
 // The simulation is deterministic, so equal seeds produce byte-identical
 // snapshots.
-func ObservabilityRun(mode panda.Mode, seed uint64) ModeObservability {
-	c := newCluster(cluster.Config{
+func ObservabilityRun(mode panda.Mode, seed uint64) (ModeObservability, error) {
+	c, err := newCluster(cluster.Config{
 		Procs: 2, Mode: mode, Group: true, Seed: seed, Metrics: true,
 	})
+	if err != nil {
+		return ModeObservability{}, err
+	}
 	defer c.Shutdown()
 	srv := c.Transports[0]
 	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
@@ -47,15 +50,20 @@ func ObservabilityRun(mode panda.Mode, seed uint64) ModeObservability {
 		}
 	})
 	c.Run()
-	return ModeObservability{Mode: mode.String(), Metrics: c.Metrics.Snapshot()}
+	return ModeObservability{Mode: mode.String(), Metrics: c.Metrics.Snapshot()}, nil
 }
 
 // ObservabilityAppendix runs the workload in both modes.
-func ObservabilityAppendix(seed uint64) []ModeObservability {
-	return []ModeObservability{
-		ObservabilityRun(panda.KernelSpace, seed),
-		ObservabilityRun(panda.UserSpace, seed),
+func ObservabilityAppendix(seed uint64) ([]ModeObservability, error) {
+	kern, err := ObservabilityRun(panda.KernelSpace, seed)
+	if err != nil {
+		return nil, err
 	}
+	user, err := ObservabilityRun(panda.UserSpace, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []ModeObservability{kern, user}, nil
 }
 
 // PrintObservability renders per-layer metric tables for each mode.

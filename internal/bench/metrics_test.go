@@ -14,11 +14,19 @@ import (
 // produce byte-identical JSON snapshots, in both modes.
 func TestObservabilityDeterministic(t *testing.T) {
 	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
-		a, err := json.Marshal(ObservabilityRun(mode, 42))
+		runA, err := ObservabilityRun(mode, 42)
+		if err != nil {
+			t.Fatalf("%v: run: %v", mode, err)
+		}
+		a, err := json.Marshal(runA)
 		if err != nil {
 			t.Fatalf("%v: marshal: %v", mode, err)
 		}
-		b, err := json.Marshal(ObservabilityRun(mode, 42))
+		runB, err := ObservabilityRun(mode, 42)
+		if err != nil {
+			t.Fatalf("%v: run: %v", mode, err)
+		}
+		b, err := json.Marshal(runB)
 		if err != nil {
 			t.Fatalf("%v: marshal: %v", mode, err)
 		}
@@ -31,7 +39,10 @@ func TestObservabilityDeterministic(t *testing.T) {
 // TestObservabilityRoundTrip checks that the JSON dump parses back into
 // an equivalent appendix.
 func TestObservabilityRoundTrip(t *testing.T) {
-	runs := ObservabilityAppendix(7)
+	runs, err := ObservabilityAppendix(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := WriteObservabilityJSON(&buf, runs); err != nil {
 		t.Fatalf("write: %v", err)
@@ -56,7 +67,10 @@ func TestObservabilityRoundTrip(t *testing.T) {
 // TestObservabilityRecordsAllLayers asserts the instrumented workload
 // actually exercises every layer of the stack.
 func TestObservabilityRecordsAllLayers(t *testing.T) {
-	run := ObservabilityRun(panda.KernelSpace, 3)
+	run, err := ObservabilityRun(panda.KernelSpace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := map[string]bool{"ether": false, "flip": false, "akernel": false, "proc": false}
 	nonzero := map[string]bool{}
 	for _, c := range run.Metrics.Counters {

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The parallel sweep engine. Every data point of Tables 1-3 (and the
+// fault-injection soaks) builds, runs and tears down its own
+// deterministic single-threaded cluster, so the points are independent:
+// a sweep is a list of Jobs fanned out over a bounded worker pool.
+// Results are written into caller-owned slots and assembled in job-list
+// order, which makes a pooled sweep bit-identical to the sequential
+// run — the pool only changes wall-clock time, never the simulated
+// numbers (asserted by TestSweepBitIdenticalAcrossWorkers).
+
+// Job is one independent unit of a sweep. Run must be self-contained:
+// it owns its whole cluster and writes its result into a slot no other
+// job touches.
+type Job struct {
+	// Name identifies the job in error messages and wall-clock
+	// accounting, e.g. "table3/leq/user-space/p=16".
+	Name string
+	// Run executes the job. A non-nil error fails the job without
+	// stopping the rest of the sweep.
+	Run func() error
+}
+
+// JobResult is the outcome of one Job: its error, if any, and how long
+// the host took to simulate it (wall-clock, not simulated time).
+type JobResult struct {
+	Name string
+	Err  error
+	Wall time.Duration
+}
+
+// DefaultWorkers is the worker-pool width used when none is given: one
+// worker per host CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// RunPool executes jobs on a bounded pool of workers goroutines
+// (workers <= 0 means DefaultWorkers) and returns one JobResult per
+// job, in job-list order regardless of completion order. Every job is
+// attempted: a failed job records its error and the sweep carries on.
+func RunPool(jobs []Job, workers int) []JobResult {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if workers <= 1 {
+		for i := range jobs {
+			results[i] = runJob(jobs[i])
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob times one job and tags its failure with the job name. A panic
+// escaping the job (a harness bug, not a misconfiguration — those
+// return errors) is converted into a job failure rather than killing
+// the whole sweep.
+func runJob(j Job) (res JobResult) {
+	res.Name = j.Name
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("job %s: panic: %v", j.Name, p)
+		} else if res.Err != nil {
+			res.Err = fmt.Errorf("job %s: %w", j.Name, res.Err)
+		}
+	}()
+	res.Err = j.Run()
+	return res
+}
+
+// PoolErrors collects every failed job's error (already tagged with the
+// job name) into one error, or nil if the whole sweep succeeded.
+func PoolErrors(results []JobResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}

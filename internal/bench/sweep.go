@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"time"
+
+	"amoebasim/internal/apps"
+)
+
+// SweepConfig describes one full benchmark sweep: every Table 1, 2 and
+// 3 cell, fanned out over one shared worker pool.
+type SweepConfig struct {
+	// Scale selects the Table 3 problem sizes: "paper" or "quick".
+	Scale string
+	// Apps overrides the Table 3 application list (nil: Table3Apps(Scale)).
+	Apps []apps.App
+	// Procs overrides the Table 3 processor counts (nil: PaperProcs).
+	Procs []int
+	// Sizes overrides the Table 1 message sizes (nil: PaperSizes).
+	Sizes []int
+	// Seed is the workload seed (0: the paper runs' default, 5).
+	Seed uint64
+	// Workers bounds the pool (<= 0: DefaultWorkers).
+	Workers int
+}
+
+// SweepResult is one full sweep: the three tables (deterministic,
+// bit-identical for any worker count) plus the host's wall-clock
+// accounting (informational).
+type SweepResult struct {
+	Config SweepConfig
+	Table1 []Table1Row
+	Table2 Table2
+	Table3 []*Table3Entry
+	// Jobs holds per-job wall-clock results in deterministic job order.
+	Jobs []JobResult
+	// Wall is the sweep's total host wall-clock time.
+	Wall time.Duration
+}
+
+// RunSweep regenerates Tables 1-3 as one pooled job list, so the pool
+// stays busy across table boundaries. Every failed job is reported (by
+// name) without stopping the remaining jobs.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if cfg.Scale == "" {
+		cfg.Scale = "paper"
+	}
+	if cfg.Apps == nil {
+		cfg.Apps = Table3Apps(cfg.Scale)
+	}
+	if cfg.Procs == nil {
+		cfg.Procs = PaperProcs
+	}
+	if cfg.Sizes == nil {
+		cfg.Sizes = PaperSizes
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 5
+	}
+
+	res := &SweepResult{
+		Config: cfg,
+		Table1: make([]Table1Row, len(cfg.Sizes)),
+		Table3: make([]*Table3Entry, len(cfg.Apps)),
+	}
+	for i, s := range cfg.Sizes {
+		res.Table1[i].Size = s
+	}
+
+	var jobs []Job
+	jobs = append(jobs, table1Jobs(cfg.Sizes, res.Table1)...)
+	jobs = append(jobs, table2Jobs(&res.Table2)...)
+	jobs = append(jobs, table3Jobs(cfg.Apps, cfg.Procs, cfg.Seed, res.Table3)...)
+
+	start := time.Now()
+	res.Jobs = RunPool(jobs, cfg.Workers)
+	res.Wall = time.Since(start)
+	if err := PoolErrors(res.Jobs); err != nil {
+		return nil, err
+	}
+	if err := crossCheckTable3(cfg.Apps, res.Table3); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -49,67 +49,113 @@ func Table3Apps(scale string) []apps.App {
 	return apps.All()
 }
 
-// RunTable3 regenerates Table 3: every application under the kernel-space
-// and user-space implementations across the processor counts, plus the
-// user-space-dedicated configuration for LEQ.
-func RunTable3(appList []apps.App, procs []int, seed uint64) ([]*Table3Entry, error) {
-	if procs == nil {
-		procs = PaperProcs
+// table3Impl is one implementation column of Table 3.
+type table3Impl struct {
+	label     string
+	mode      panda.Mode
+	dedicated bool
+}
+
+// table3Impls returns the implementations measured for an application:
+// kernel-space and user-space for all, plus the user-space-dedicated
+// configuration for LEQ (the paper's sequencer-overload case).
+func table3Impls(app apps.App) []table3Impl {
+	impls := []table3Impl{
+		{"kernel-space", panda.KernelSpace, false},
+		{"user-space", panda.UserSpace, false},
 	}
-	if seed == 0 {
-		seed = 5
+	if app.Name() == "leq" {
+		impls = append(impls, table3Impl{"user-space-dedicated", panda.UserSpace, true})
 	}
-	var out []*Table3Entry
-	for _, app := range appList {
+	return impls
+}
+
+// table3Jobs pre-builds every entry's result slots and returns one pool
+// job per app x implementation x processor-count cell.
+func table3Jobs(appList []apps.App, procs []int, seed uint64, entries []*Table3Entry) []Job {
+	var jobs []Job
+	for ai, app := range appList {
+		app := app
 		entry := &Table3Entry{
 			App:   app.Name(),
 			Runs:  make(map[string][]apps.Result),
 			Procs: procs,
 		}
-		impls := []struct {
-			label     string
-			mode      panda.Mode
-			dedicated bool
-		}{
-			{"kernel-space", panda.KernelSpace, false},
-			{"user-space", panda.UserSpace, false},
-		}
-		if app.Name() == "leq" {
-			impls = append(impls, struct {
-				label     string
-				mode      panda.Mode
-				dedicated bool
-			}{"user-space-dedicated", panda.UserSpace, true})
-		}
-		for _, impl := range impls {
-			for _, p := range procs {
-				res, err := apps.RunApp(app, cluster.Config{
-					Procs: p, Mode: impl.mode, Seed: seed,
-					DedicatedSequencer: impl.dedicated,
+		entries[ai] = entry
+		for _, impl := range table3Impls(app) {
+			impl := impl
+			slots := make([]apps.Result, len(procs))
+			entry.Runs[impl.label] = slots
+			for pi, p := range procs {
+				pi, p := pi, p
+				jobs = append(jobs, Job{
+					Name: fmt.Sprintf("table3/%s/%s/p=%d", app.Name(), impl.label, p),
+					Run: func() error {
+						res, err := apps.RunApp(app, cluster.Config{
+							Procs: p, Mode: impl.mode, Seed: seed,
+							DedicatedSequencer: impl.dedicated,
+						})
+						if err != nil {
+							return err
+						}
+						slots[pi] = res
+						return nil
+					},
 				})
-				if err != nil {
-					return nil, fmt.Errorf("table3 %s %s p=%d: %w", app.Name(), impl.label, p, err)
-				}
-				entry.Runs[impl.label] = append(entry.Runs[impl.label], res)
 			}
 		}
-		// Cross-check: all implementations must agree on the answer.
+	}
+	return jobs
+}
+
+// crossCheckTable3 verifies that all implementations of each application
+// agree on the answer, walking implementations in measurement order so
+// any mismatch report is deterministic.
+func crossCheckTable3(appList []apps.App, entries []*Table3Entry) error {
+	for ai, app := range appList {
+		entry := entries[ai]
 		var want int64
 		first := true
-		for impl, rs := range entry.Runs {
-			for _, r := range rs {
+		for _, impl := range table3Impls(app) {
+			for _, r := range entry.Runs[impl.label] {
 				if first {
 					want = r.Answer
 					first = false
 					continue
 				}
 				if r.Answer != want {
-					return nil, fmt.Errorf("table3 %s: %s procs=%d answer %d != %d",
-						app.Name(), impl, r.Procs, r.Answer, want)
+					return fmt.Errorf("table3 %s: %s procs=%d answer %d != %d",
+						entry.App, impl.label, r.Procs, r.Answer, want)
 				}
 			}
 		}
-		out = append(out, entry)
 	}
-	return out, nil
+	return nil
+}
+
+// RunTable3 regenerates Table 3 sequentially: every application under
+// the kernel-space and user-space implementations across the processor
+// counts, plus the user-space-dedicated configuration for LEQ.
+func RunTable3(appList []apps.App, procs []int, seed uint64) ([]*Table3Entry, error) {
+	return Table3Sweep(appList, procs, seed, 1)
+}
+
+// Table3Sweep regenerates Table 3 with every app x implementation x
+// processor-count cell fanned out across the worker pool. Bit-identical
+// to the sequential run for any worker count.
+func Table3Sweep(appList []apps.App, procs []int, seed uint64, workers int) ([]*Table3Entry, error) {
+	if procs == nil {
+		procs = PaperProcs
+	}
+	if seed == 0 {
+		seed = 5
+	}
+	entries := make([]*Table3Entry, len(appList))
+	if err := PoolErrors(RunPool(table3Jobs(appList, procs, seed, entries), workers)); err != nil {
+		return nil, err
+	}
+	if err := crossCheckTable3(appList, entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
 }
