@@ -38,6 +38,7 @@ import (
 	"amoebasim/internal/panda"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
+	"amoebasim/internal/workload"
 )
 
 // Core simulation types.
@@ -115,6 +116,30 @@ type (
 	Decomposition = bench.Decomposition
 )
 
+// Workload engine: load-dependent behavior beyond the paper's zero-load
+// microbenchmarks.
+type (
+	// WorkloadConfig describes one traffic-generation run (loop
+	// discipline, op mix, size distribution, offered load, population).
+	WorkloadConfig = workload.Config
+	// WorkloadResult is one run's latency percentiles, achieved
+	// throughput and occupancies.
+	WorkloadResult = workload.Result
+	// WorkloadMix is a weighted operation mix over rpc/group/read/write.
+	WorkloadMix = workload.Mix
+	// Knee is one implementation's bisected saturation point.
+	Knee = workload.Knee
+)
+
+// Traffic-generation disciplines.
+const (
+	// OpenLoop issues on a seeded arrival process regardless of
+	// completions — the discipline that exposes the saturation knee.
+	OpenLoop = workload.OpenLoop
+	// ClosedLoop runs a fixed client population with think time.
+	ClosedLoop = workload.ClosedLoop
+)
+
 // The two Panda implementations compared by the paper.
 const (
 	KernelSpace = panda.KernelSpace
@@ -168,4 +193,16 @@ func Table2(workers int) (Table2Result, error) { return bench.Table2Sweep(worker
 // worker-count independent).
 func Table3(scale string, procs []int, seed uint64, workers int) ([]*Table3Entry, error) {
 	return bench.Table3Sweep(bench.Table3Apps(scale), procs, seed, workers)
+}
+
+// RunWorkload drives one traffic-generation run on a fresh cluster and
+// reports latency percentiles, achieved vs. offered throughput, and
+// sequencer/worker occupancy. Deterministic for a fixed seed.
+func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) { return workload.Run(cfg) }
+
+// FindKnee bisects to the offered load at which cfg's implementation
+// saturates under open-loop traffic (completions fall below 90% of
+// arrivals), bracketed by [lo, hi] ops/sec with the given probe budget.
+func FindKnee(cfg WorkloadConfig, lo, hi float64, probes int) (Knee, error) {
+	return workload.FindKnee(cfg, lo, hi, probes)
 }

@@ -17,6 +17,13 @@
 //	amoebasim -bench-json F     full Table 1-3 sweep to BENCH artifact F ("auto": BENCH_<date>.json)
 //	amoebasim -baseline F       regression gate: compare the sweep against baseline F
 //	amoebasim -wall-budget D    fail the gate if the sweep's wall-clock exceeds D
+//	amoebasim -workload open    latency-vs-offered-load curves for all three modes
+//	amoebasim -load L1,L2,...   offered loads in ops/sec (default 400,1300,2400)
+//	amoebasim -clients N        client-population size (default 2x workers)
+//	amoebasim -mix M            op mix: rpc, group, orca, mixed or "op=w,..." (default group)
+//	amoebasim -dist D           message sizes: fixed:N or uniform:LO-HI (default fixed:256)
+//	amoebasim -knee             bisect to each mode's saturation point (default true)
+//	amoebasim -workload-json F  workload curves as a JSON artifact ("auto": WORKLOAD_<date>.json)
 //	amoebasim -all              everything
 package main
 
@@ -37,6 +44,7 @@ import (
 	"amoebasim/internal/panda"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/trace"
+	"amoebasim/internal/workload"
 )
 
 func main() {
@@ -59,8 +67,33 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "run the full Table 1-3 sweep and write the BENCH artifact here ('auto': BENCH_<date>.json)")
 		baseline   = flag.String("baseline", "", "compare the -bench-json sweep against this committed BENCH_*.json baseline (zero drift tolerance)")
 		wallBudget = flag.Duration("wall-budget", 0, "with -baseline: fail if the sweep's host wall-clock exceeds this duration (0: no check)")
+		workloadF  = flag.String("workload", "", "run the workload engine: open (offered-load curves) or closed (population with think time)")
+		loads      = flag.String("load", "", "comma-separated open-loop offered loads in ops/sec (default 400,1300,2400)")
+		clients    = flag.Int("clients", 0, "workload client-population size (default 2x workers)")
+		mixFlag    = flag.String("mix", "group", "workload op mix: rpc, group, orca, mixed, or an op=weight list")
+		distFlag   = flag.String("dist", "fixed:256", "workload message-size distribution: fixed:N or uniform:LO-HI")
+		arrival    = flag.String("arrival", "poisson", "workload arrival process: poisson, uniform or fixed")
+		think      = flag.Duration("think", 0, "closed-loop mean think time (default 2ms)")
+		wlProcs    = flag.Int("wl-procs", 0, "workload worker-pool size (default 4)")
+		wlWindow   = flag.Duration("wl-window", 0, "workload measurement window in simulated time (default 400ms)")
+		wlWarmup   = flag.Duration("wl-warmup", 0, "workload warmup before measurement (default window/4)")
+		knee       = flag.Bool("knee", true, "with -workload open: bisect to each mode's saturation point")
+		workloadJ  = flag.String("workload-json", "", "write the workload curves as a JSON artifact ('auto': WORKLOAD_<date>.json)")
 	)
 	flag.Parse()
+	if *workloadF != "" || *workloadJ != "" {
+		err := runWorkload(workloadArgs{
+			loop: *workloadF, loads: *loads, clients: *clients, mix: *mixFlag,
+			dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
+			window: *wlWindow, warmup: *wlWarmup, knee: *knee,
+			jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amoebasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *faultsF != "" {
 		if err := runFaults(*faultsF, *seed, *faultSeed, *jobs); err != nil {
 			fmt.Fprintln(os.Stderr, "amoebasim:", err)
@@ -297,6 +330,104 @@ func runBenchSweep(benchJSON, baseline, scale, appsFlag, procsFlag string, seed 
 			return err
 		}
 		fmt.Printf("baseline %s: no drift\n", baseline)
+	}
+	return nil
+}
+
+// workloadArgs collects the -workload flag family.
+type workloadArgs struct {
+	loop, loads, mix, dist, arrival, jsonPath string
+	clients, procs, jobs                      int
+	think, window, warmup                     time.Duration
+	knee                                      bool
+	seed                                      uint64
+}
+
+// workloadSweepConfig validates the flag family and assembles the sweep
+// configuration (factored out of runWorkload so tests can cover the
+// parsing without running a sweep).
+func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
+	if a.loop == "" {
+		a.loop = "open" // -workload-json alone implies the curve sweep
+	}
+	loop, err := workload.ParseLoop(a.loop)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	mix, err := workload.ParseMix(a.mix)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	dist, err := workload.ParseSizeDist(a.dist)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	arr, err := workload.ParseArrival(a.arrival)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	loads, err := workload.ParseLoads(a.loads)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	if loop == workload.ClosedLoop && loads == nil {
+		// Closed loop ignores offered load (the population self-limits):
+		// one point per mode instead of the default grid.
+		loads = []float64{0}
+	}
+	return bench.WorkloadSweepConfig{
+		Base: workload.Config{
+			Procs: a.procs, Loop: loop, Clients: a.clients,
+			ThinkTime: a.think, Arrival: arr, Mix: mix, Sizes: dist,
+			Warmup: a.warmup, Window: a.window, Seed: a.seed,
+		},
+		Loads:   loads,
+		Knee:    a.knee && loop == workload.OpenLoop,
+		Workers: a.jobs,
+	}, nil
+}
+
+// runWorkload drives the traffic generator over the offered-load grid in
+// all three implementation configurations, prints the
+// latency-vs-offered-load curves (with the bisected knees), and optionally
+// writes the machine-readable artifact.
+func runWorkload(a workloadArgs) error {
+	cfg, err := workloadSweepConfig(a)
+	if err != nil {
+		return err
+	}
+	res, err := bench.WorkloadSweep(cfg)
+	if err != nil {
+		return err
+	}
+	bench.PrintWorkload(os.Stdout, res)
+	fmt.Printf("(%d jobs in %v on %d workers)\n",
+		len(res.Jobs), res.Wall.Round(time.Millisecond), a.jobs)
+
+	if a.jsonPath != "" {
+		path := a.jsonPath
+		if path == "auto" {
+			path = "WORKLOAD_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		art := &bench.Artifact{
+			SchemaVersion: bench.ArtifactSchemaVersion,
+			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+			Scale:         "workload",
+			Seed:          a.seed,
+			Workload:      bench.NewWorkloadArtifact(res),
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteArtifact(f, art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
 }

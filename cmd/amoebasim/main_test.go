@@ -4,6 +4,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"amoebasim/internal/workload"
 )
 
 // TestParseProcsRejectsMalformedValues: -procs must be whole positive
@@ -48,5 +51,65 @@ func TestResolveAppsQuickScale(t *testing.T) {
 	}
 	if _, err := resolveApps("nosuch", "paper"); err == nil {
 		t.Error("unknown app not rejected at paper scale")
+	}
+}
+
+// TestWorkloadSweepConfigAssembly: the -workload flag family parses into
+// the sweep configuration; malformed values are rejected before any
+// cluster is built.
+func TestWorkloadSweepConfigAssembly(t *testing.T) {
+	cfg, err := workloadSweepConfig(workloadArgs{
+		loop: "open", loads: "400, 1300", clients: 6, mix: "mixed",
+		dist: "uniform:64-1024", arrival: "fixed", procs: 8,
+		window: 250 * time.Millisecond, knee: true, seed: 9, jobs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Base.Loop != workload.OpenLoop || cfg.Base.Clients != 6 ||
+		cfg.Base.Procs != 8 || cfg.Base.Seed != 9 ||
+		cfg.Base.Arrival != workload.FixedArrival ||
+		cfg.Base.Mix != workload.MixMixed ||
+		cfg.Base.Sizes != (workload.SizeDist{Kind: "uniform", Lo: 64, Hi: 1024}) {
+		t.Errorf("base config not assembled from flags: %+v", cfg.Base)
+	}
+	if !reflect.DeepEqual(cfg.Loads, []float64{400, 1300}) {
+		t.Errorf("loads = %v", cfg.Loads)
+	}
+	if !cfg.Knee || cfg.Workers != 2 {
+		t.Errorf("knee/workers not carried: %+v", cfg)
+	}
+
+	// -workload-json alone implies the open-loop curve sweep.
+	open, err := workloadSweepConfig(workloadArgs{mix: "group", dist: "fixed:256", knee: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Base.Loop != workload.OpenLoop || !open.Knee {
+		t.Errorf("empty -workload should default to the open-loop sweep: %+v", open)
+	}
+
+	// Closed loop collapses the default grid to one point per mode and
+	// never runs a knee search.
+	closed, err := workloadSweepConfig(workloadArgs{loop: "closed", mix: "group", dist: "fixed:256", knee: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(closed.Loads, []float64{0}) || closed.Knee {
+		t.Errorf("closed loop should run one point per mode, no knee: loads=%v knee=%v",
+			closed.Loads, closed.Knee)
+	}
+
+	for _, bad := range []workloadArgs{
+		{loop: "spiral", mix: "group", dist: "fixed:256"},
+		{loop: "open", mix: "group,nope=1", dist: "fixed:256"},
+		{loop: "open", mix: "group", dist: "fixed:-1"},
+		{loop: "open", mix: "group", dist: "fixed:256", arrival: "bursty"},
+		{loop: "open", mix: "group", dist: "fixed:256", loads: "400,zero"},
+		{loop: "open", mix: "group", dist: "fixed:256", loads: "-5"},
+	} {
+		if _, err := workloadSweepConfig(bad); err == nil {
+			t.Errorf("workloadSweepConfig(%+v) accepted a malformed value", bad)
+		}
 	}
 }

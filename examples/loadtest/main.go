@@ -1,0 +1,84 @@
+// loadtest drives a mixed RPC + totally-ordered group workload against
+// both Panda implementations, bisects to each one's saturation knee, and
+// prints latency percentile tables just below and just past the knee.
+//
+// This is the load-dependent counterpart of the paper's Tables 1-2: at
+// zero load the kernel-space and user-space latencies differ by tens of
+// percent, but under open-loop group traffic the user-space sequencer
+// (a worker that also sequences, §4.3) runs out of CPU first, so its
+// curve bends at a lower offered load. Dedicating a processor to the
+// sequencer moves the knee back — the Table 3 "User-space-dedicated"
+// effect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"amoebasim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type modeCase struct {
+	label     string
+	mode      amoebasim.Mode
+	dedicated bool
+}
+
+func run() error {
+	base := amoebasim.WorkloadConfig{
+		Procs:  4,
+		Mix:    amoebasim.WorkloadMix{RPC: 0.5, Group: 0.5},
+		Window: 300 * time.Millisecond,
+		Seed:   11,
+	}
+	modes := []modeCase{
+		{"kernel-space", amoebasim.KernelSpace, false},
+		{"user-space", amoebasim.UserSpace, false},
+		{"user-space-dedicated", amoebasim.UserSpace, true},
+	}
+
+	fmt.Printf("mixed workload (%d workers, 50%% RPC / 50%% ordered group, 256-byte messages)\n\n", base.Procs)
+	for _, m := range modes {
+		cfg := base
+		cfg.Mode = m.mode
+		cfg.DedicatedSequencer = m.dedicated
+
+		knee, err := amoebasim.FindKnee(cfg, 300, 3000, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: saturates at %.0f ops/sec\n", m.label, knee.OpsPerSec)
+		fmt.Printf("  %10s %10s %9s %9s %9s %9s\n",
+			"offered/s", "achieved/s", "p50", "p90", "p99", "max")
+
+		// Probe the curve around the knee: comfortable, near, and past it.
+		for _, frac := range []float64{0.5, 0.9, 1.2} {
+			cfg.OfferedLoad = frac * knee.OpsPerSec
+			res, err := amoebasim.RunWorkload(cfg)
+			if err != nil {
+				return err
+			}
+			sat := ""
+			if res.Saturated() {
+				sat = "  (saturated: backlog growing)"
+			}
+			fmt.Printf("  %10.0f %10.0f %9s %9s %9s %9s%s\n",
+				res.Offered, res.Achieved,
+				ms(res.Overall.P50), ms(res.Overall.P90),
+				ms(res.Overall.P99), ms(res.Overall.Max), sat)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -29,7 +29,13 @@ type Artifact struct {
 	Table1        []Table1Cell `json:"table1"`
 	Table2        []Table2Cell `json:"table2"`
 	Table3        []Table3Cell `json:"table3"`
-	Wall          WallStats    `json:"wall"`
+	// Workload is the latency-vs-offered-load section, carrying its own
+	// version so it can evolve independently. It is optional: schema-v1
+	// baselines written before the workload engine existed load and
+	// round-trip unchanged (the field is omitted when nil), and the
+	// regression gate only compares it when the baseline has one.
+	Workload *WorkloadArtifact `json:"workload,omitempty"`
+	Wall     WallStats         `json:"wall"`
 }
 
 // Table1Cell is one latency cell of Table 1.
@@ -54,6 +60,93 @@ type Table3Cell struct {
 	Procs  int    `json:"procs"`
 	SimNS  int64  `json:"sim_ns"`
 	Answer int64  `json:"answer"`
+}
+
+// WorkloadSchemaVersion identifies the layout of the workload section.
+const WorkloadSchemaVersion = 1
+
+// WorkloadArtifact is the machine-readable form of a workload sweep: the
+// shape that was driven, one cell per (implementation, offered load), and
+// the bisected saturation point per implementation. Every field except
+// the wall accounting is a pure function of the configuration and seed.
+type WorkloadArtifact struct {
+	Version  int     `json:"version"`
+	Loop     string  `json:"loop"`
+	Mix      string  `json:"mix"`
+	Dist     string  `json:"dist"`
+	Clients  int     `json:"clients"`
+	Procs    int     `json:"procs"`
+	WindowMS float64 `json:"window_ms"`
+	Seed     uint64  `json:"seed"`
+	Points   []WorkloadCell     `json:"points"`
+	Knees    []WorkloadKneeCell `json:"knees,omitempty"`
+}
+
+// WorkloadCell is one point of a latency-vs-offered-load curve.
+type WorkloadCell struct {
+	Impl        string  `json:"impl"`
+	OfferedOps  float64 `json:"offered_ops_per_sec"`
+	AchievedOps float64 `json:"achieved_ops_per_sec"`
+	Issued      int64   `json:"issued"`
+	Completed   int64   `json:"completed"`
+	P50US       int64   `json:"p50_us"`
+	P90US       int64   `json:"p90_us"`
+	P99US       int64   `json:"p99_us"`
+	P999US      int64   `json:"p999_us"`
+	MaxUS       int64   `json:"max_us"`
+	SeqOccPct   float64 `json:"seq_occ_pct"`
+	Saturated   bool    `json:"saturated"`
+}
+
+// WorkloadKneeCell is one implementation's bisected saturation point.
+type WorkloadKneeCell struct {
+	Impl        string  `json:"impl"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Unsustained float64 `json:"unsustained_ops_per_sec"`
+	Probes      int     `json:"probes"`
+}
+
+// NewWorkloadArtifact flattens a workload sweep into the artifact section.
+func NewWorkloadArtifact(res *WorkloadSweepResult) *WorkloadArtifact {
+	wa := &WorkloadArtifact{Version: WorkloadSchemaVersion}
+	for _, p := range res.Points {
+		r := p.Result
+		if r == nil {
+			continue
+		}
+		if len(wa.Points) == 0 {
+			cfg := r.Config // fully defaulted by workload.Run
+			wa.Loop = cfg.Loop.String()
+			wa.Mix = cfg.Mix.String()
+			wa.Dist = cfg.Sizes.String()
+			wa.Clients = cfg.Clients
+			wa.Procs = cfg.Procs
+			wa.WindowMS = msFloat(cfg.Window)
+			wa.Seed = res.Config.Base.Seed
+		}
+		o := r.Overall
+		wa.Points = append(wa.Points, WorkloadCell{
+			Impl:        p.ModeLabel,
+			OfferedOps:  p.Load,
+			AchievedOps: r.Achieved,
+			Issued:      r.Issued,
+			Completed:   r.Completed,
+			P50US:       int64(o.P50 / time.Microsecond),
+			P90US:       int64(o.P90 / time.Microsecond),
+			P99US:       int64(o.P99 / time.Microsecond),
+			P999US:      int64(o.P999 / time.Microsecond),
+			MaxUS:       int64(o.Max / time.Microsecond),
+			SeqOccPct:   100 * r.SeqOccupancy,
+			Saturated:   r.Saturated(),
+		})
+	}
+	for _, k := range res.Knees {
+		wa.Knees = append(wa.Knees, WorkloadKneeCell{
+			Impl: k.ModeLabel, OpsPerSec: k.OpsPerSec,
+			Unsustained: k.Unsustained, Probes: k.Probes,
+		})
+	}
+	return wa
 }
 
 // WallStats is the host-side cost of the sweep: total wall-clock,
@@ -233,6 +326,19 @@ func CompareArtifacts(baseline, current *Artifact, wallBudget time.Duration) err
 		}
 	}
 
+	// The workload section is optional: baselines written before the
+	// workload engine existed simply have none, and stay comparable.
+	if baseline.Workload != nil {
+		if current.Workload == nil {
+			drift("workload: baseline has a workload section, current run has none")
+		} else if baseline.Workload.Version != current.Workload.Version {
+			return fmt.Errorf("workload section v%d != current v%d: regenerate the baseline",
+				baseline.Workload.Version, current.Workload.Version)
+		} else {
+			compareWorkload(baseline.Workload, current.Workload, drift)
+		}
+	}
+
 	if wallBudget > 0 && current.Wall.TotalMS > msFloat(wallBudget) {
 		drift("wall-clock: sweep took %.0fms, budget %v", current.Wall.TotalMS, wallBudget)
 	}
@@ -240,4 +346,49 @@ func CompareArtifacts(baseline, current *Artifact, wallBudget time.Duration) err
 		return fmt.Errorf("baseline drift (%d):\n  %s", len(drifts), strings.Join(drifts, "\n  "))
 	}
 	return nil
+}
+
+// compareWorkload diffs two same-version workload sections cell by cell
+// with zero drift tolerance.
+func compareWorkload(baseline, current *WorkloadArtifact, drift func(string, ...any)) {
+	if baseline.Loop != current.Loop || baseline.Mix != current.Mix ||
+		baseline.Dist != current.Dist || baseline.Clients != current.Clients ||
+		baseline.Procs != current.Procs || baseline.Seed != current.Seed {
+		drift("workload: shape mismatch: baseline (%s %s %s c=%d p=%d seed=%d) vs current (%s %s %s c=%d p=%d seed=%d)",
+			baseline.Loop, baseline.Mix, baseline.Dist, baseline.Clients, baseline.Procs, baseline.Seed,
+			current.Loop, current.Mix, current.Dist, current.Clients, current.Procs, current.Seed)
+		return
+	}
+	pts := make(map[string]WorkloadCell, len(baseline.Points))
+	for _, c := range baseline.Points {
+		pts[fmt.Sprintf("%s/load=%g", c.Impl, c.OfferedOps)] = c
+	}
+	if len(baseline.Points) != len(current.Points) {
+		drift("workload: %d points, baseline has %d", len(current.Points), len(baseline.Points))
+	}
+	for _, c := range current.Points {
+		key := fmt.Sprintf("%s/load=%g", c.Impl, c.OfferedOps)
+		want, ok := pts[key]
+		if !ok {
+			drift("workload/%s: point missing from baseline", key)
+			continue
+		}
+		if c != want {
+			drift("workload/%s: %+v, baseline %+v", key, c, want)
+		}
+	}
+	knees := make(map[string]WorkloadKneeCell, len(baseline.Knees))
+	for _, k := range baseline.Knees {
+		knees[k.Impl] = k
+	}
+	if len(baseline.Knees) != len(current.Knees) {
+		drift("workload: %d knees, baseline has %d", len(current.Knees), len(baseline.Knees))
+	}
+	for _, k := range current.Knees {
+		if want, ok := knees[k.Impl]; !ok {
+			drift("workload/knee/%s: missing from baseline", k.Impl)
+		} else if k != want {
+			drift("workload/knee/%s: %+v, baseline %+v", k.Impl, k, want)
+		}
+	}
 }

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"amoebasim/internal/panda"
+	"amoebasim/internal/workload"
+)
+
+// WorkloadMode is one implementation configuration of a workload sweep.
+type WorkloadMode struct {
+	Label     string
+	Mode      panda.Mode
+	Dedicated bool
+}
+
+// WorkloadModes are the three configurations the paper's Table 3 compares,
+// in its order.
+func WorkloadModes() []WorkloadMode {
+	return []WorkloadMode{
+		{"kernel-space", panda.KernelSpace, false},
+		{"user-space", panda.UserSpace, false},
+		{"user-space-dedicated", panda.UserSpace, true},
+	}
+}
+
+// QuickLoads is the CI-scale 3-point load sweep (ops/sec): below every
+// knee, between the user-space and kernel-space knees, and past both.
+var QuickLoads = []float64{400, 1300, 2400}
+
+// WorkloadSweepConfig describes a latency-vs-offered-load sweep: the same
+// workload driven at each offered load in each implementation mode, plus
+// an optional knee search per mode.
+type WorkloadSweepConfig struct {
+	// Base is the workload shape (loop, mix, sizes, clients, window, seed).
+	// Mode, DedicatedSequencer and OfferedLoad are filled per point.
+	Base workload.Config
+	// Loads are the open-loop offered loads (ops/sec) of the curve
+	// (nil: QuickLoads).
+	Loads []float64
+	// Modes restricts the implementation configurations (nil: all three).
+	Modes []WorkloadMode
+	// Knee also bisects to each mode's saturation point.
+	Knee bool
+	// KneeLo / KneeHi bracket the knee search (defaults 200 / 2·max load).
+	KneeLo, KneeHi float64
+	// KneeProbes is the bisection budget (default 6).
+	KneeProbes int
+	// Workers bounds the pool (<= 0: DefaultWorkers).
+	Workers int
+}
+
+// WorkloadPoint is one (mode, offered load) cell of the curve.
+type WorkloadPoint struct {
+	ModeLabel string
+	Load      float64
+	Result    *workload.Result
+}
+
+// WorkloadSweepResult is one full sweep: the curve points in deterministic
+// (mode-major, load-minor) order, the knees per mode, and the host
+// wall-clock accounting. Bit-identical for any worker count.
+type WorkloadSweepResult struct {
+	Config WorkloadSweepConfig
+	Points []WorkloadPoint
+	Knees  []workload.Knee
+	Jobs   []JobResult
+	Wall   time.Duration
+}
+
+// WorkloadSweep fans the curve points (and per-mode knee searches) out
+// over the shared worker pool. Every point owns its whole cluster and
+// derives its seed from (base seed, mode, load index), so results are
+// bit-identical at any -jobs N.
+func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
+	if cfg.Loads == nil {
+		cfg.Loads = QuickLoads
+	}
+	if cfg.Modes == nil {
+		cfg.Modes = WorkloadModes()
+	}
+	if cfg.KneeProbes <= 0 {
+		cfg.KneeProbes = 6
+	}
+	maxLoad := 0.0
+	for _, l := range cfg.Loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if cfg.KneeLo <= 0 {
+		cfg.KneeLo = 200
+	}
+	if cfg.KneeHi <= cfg.KneeLo {
+		cfg.KneeHi = 2 * maxLoad
+		if cfg.KneeHi <= cfg.KneeLo {
+			cfg.KneeHi = 2 * cfg.KneeLo
+		}
+	}
+
+	res := &WorkloadSweepResult{
+		Config: cfg,
+		Points: make([]WorkloadPoint, len(cfg.Modes)*len(cfg.Loads)),
+	}
+	if cfg.Knee {
+		res.Knees = make([]workload.Knee, len(cfg.Modes))
+	}
+
+	var jobs []Job
+	for mi, m := range cfg.Modes {
+		mi, m := mi, m
+		point := cfg.Base
+		point.Mode = m.Mode
+		point.DedicatedSequencer = m.Dedicated
+		for li, load := range cfg.Loads {
+			li, load := li, load
+			c := point
+			c.OfferedLoad = load
+			c.Seed = pointSeed(cfg.Base.Seed, mi, li)
+			slot := &res.Points[mi*len(cfg.Loads)+li]
+			jobs = append(jobs, Job{
+				Name: fmt.Sprintf("workload/%s/load=%g", m.Label, load),
+				Run: func() error {
+					r, err := workload.Run(c)
+					if err != nil {
+						return err
+					}
+					*slot = WorkloadPoint{ModeLabel: m.Label, Load: load, Result: r}
+					return nil
+				},
+			})
+		}
+		if cfg.Knee {
+			slot := &res.Knees[mi]
+			c := point
+			jobs = append(jobs, Job{
+				Name: fmt.Sprintf("workload/%s/knee", m.Label),
+				Run: func() error {
+					k, err := workload.FindKnee(c, cfg.KneeLo, cfg.KneeHi, cfg.KneeProbes)
+					if err != nil {
+						return err
+					}
+					*slot = k
+					return nil
+				},
+			})
+		}
+	}
+
+	start := time.Now()
+	res.Jobs = RunPool(jobs, cfg.Workers)
+	res.Wall = time.Since(start)
+	if err := PoolErrors(res.Jobs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pointSeed decorrelates the sweep's cells: same splitmix64 finalizer the
+// cost model's other derived seeds use.
+func pointSeed(base uint64, mode, load int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(mode*1024+load+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+func usStr(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// PrintWorkload renders the latency-vs-offered-load curves and knees as a
+// per-mode table.
+func PrintWorkload(w io.Writer, res *WorkloadSweepResult) {
+	base := res.Config.Base
+	var first *workload.Result
+	for _, p := range res.Points {
+		if p.Result != nil {
+			first = p.Result
+			break
+		}
+	}
+	if first != nil {
+		base = first.Config // fully defaulted
+	}
+	fmt.Fprintf(w, "Workload: %s loop, mix=%s, dist=%s, %d clients on %d workers, window=%v\n",
+		base.Loop, base.Mix, base.Sizes, base.Clients, base.Procs, base.Window)
+	fmt.Fprintf(w, "%-22s %10s %10s %9s %9s %9s %9s %9s %6s\n",
+		"mode", "offered/s", "achieved/s", "p50", "p90", "p99", "p99.9", "max", "seq%")
+	for _, p := range res.Points {
+		r := p.Result
+		if r == nil {
+			continue
+		}
+		sat := ""
+		if r.Saturated() {
+			sat = " *"
+		}
+		offered := fmt.Sprintf("%.0f", p.Load)
+		if p.Load <= 0 {
+			offered = "-" // closed loop: the population sets the load
+		}
+		fmt.Fprintf(w, "%-22s %10s %10.1f %9s %9s %9s %9s %9s %5.0f%%%s\n",
+			p.ModeLabel, offered, r.Achieved,
+			usStr(r.Overall.P50), usStr(r.Overall.P90), usStr(r.Overall.P99),
+			usStr(r.Overall.P999), usStr(r.Overall.Max), 100*r.SeqOccupancy, sat)
+	}
+	if len(res.Knees) > 0 {
+		fmt.Fprintln(w, "(* = saturated: completions fell below 90% of arrivals)")
+		for _, k := range res.Knees {
+			if k.Unsustained > 0 {
+				fmt.Fprintf(w, "knee: %-22s saturates at %7.0f ops/sec (bracket [%.0f, %.0f], %d probes)\n",
+					k.ModeLabel, k.OpsPerSec, k.OpsPerSec, k.Unsustained, k.Probes)
+			} else {
+				fmt.Fprintf(w, "knee: %-22s sustained %7.0f ops/sec (never saturated, %d probes)\n",
+					k.ModeLabel, k.OpsPerSec, k.Probes)
+			}
+		}
+	}
+}

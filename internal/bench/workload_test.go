@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"amoebasim/internal/workload"
+)
+
+// quickWorkloadSweep is the reduced sweep the tests run: two loads that
+// straddle the user-space knee, all three modes, and a short-window
+// shallow knee search so two full sweeps stay cheap.
+func quickWorkloadSweep(workers int) WorkloadSweepConfig {
+	return WorkloadSweepConfig{
+		Base: workload.Config{
+			Procs:  4,
+			Window: 200_000_000, // 200ms
+			Seed:   7,
+		},
+		Loads:      []float64{400, 1400},
+		Knee:       true,
+		KneeLo:     300,
+		KneeHi:     1600,
+		KneeProbes: 4,
+		Workers:    workers,
+	}
+}
+
+// TestWorkloadSweepBitIdenticalAcrossWorkers extends the pool's core
+// contract to the workload engine: -jobs 1 and -jobs N produce
+// byte-identical curves and knees for the same seed, because every point
+// and probe owns its whole cluster and derives its seed deterministically.
+func TestWorkloadSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	seq, err := WorkloadSweep(quickWorkloadSweep(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := WorkloadSweep(quickWorkloadSweep(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(res *WorkloadSweepResult) string {
+		var sb strings.Builder
+		PrintWorkload(&sb, res)
+		return sb.String()
+	}
+	if a, b := render(seq), render(par); a != b {
+		t.Errorf("parallel workload sweep output differs from sequential:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", a, b)
+	}
+	aj, err := json.Marshal(NewWorkloadArtifact(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(NewWorkloadArtifact(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Errorf("workload artifacts differ across worker counts:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestWorkloadSweepShape asserts the sweep covers mode x load, the knees
+// carry the mode labels, and the flattened artifact is complete.
+func TestWorkloadSweepShape(t *testing.T) {
+	cfg := quickWorkloadSweep(4)
+	res, err := WorkloadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(WorkloadModes()) * len(cfg.Loads); len(res.Points) != want {
+		t.Fatalf("points = %d, want %d", len(res.Points), want)
+	}
+	for i, p := range res.Points {
+		if p.Result == nil {
+			t.Fatalf("point %d has no result", i)
+		}
+		if p.Result.ModeLabel != p.ModeLabel {
+			t.Errorf("point %d: result label %q != point label %q", i, p.Result.ModeLabel, p.ModeLabel)
+		}
+	}
+	if len(res.Knees) != len(WorkloadModes()) {
+		t.Fatalf("knees = %d, want %d", len(res.Knees), len(WorkloadModes()))
+	}
+	for i, k := range res.Knees {
+		if k.ModeLabel != WorkloadModes()[i].Label {
+			t.Errorf("knee %d labeled %q, want %q", i, k.ModeLabel, WorkloadModes()[i].Label)
+		}
+		if k.Probes == 0 {
+			t.Errorf("knee %q spent no probes", k.ModeLabel)
+		}
+	}
+
+	wa := NewWorkloadArtifact(res)
+	if wa.Version != WorkloadSchemaVersion {
+		t.Errorf("workload artifact version %d, want %d", wa.Version, WorkloadSchemaVersion)
+	}
+	if len(wa.Points) != len(res.Points) || len(wa.Knees) != len(res.Knees) {
+		t.Errorf("artifact has %d points / %d knees, want %d / %d",
+			len(wa.Points), len(wa.Knees), len(res.Points), len(res.Knees))
+	}
+	if wa.Seed != cfg.Base.Seed {
+		t.Errorf("artifact seed %d, want base seed %d", wa.Seed, cfg.Base.Seed)
+	}
+	if wa.Loop == "" || wa.Mix == "" || wa.Dist == "" || wa.Clients == 0 || wa.Procs == 0 {
+		t.Errorf("artifact shape fields not filled from defaulted config: %+v", wa)
+	}
+}
+
+// TestArtifactV1BaselineBackCompat: schema-v1 baselines written before
+// the workload engine existed (no "workload" key) must load, round-trip
+// without growing the key, and still gate cleanly — including against a
+// current run that does carry a workload section.
+func TestArtifactV1BaselineBackCompat(t *testing.T) {
+	v1 := []byte(`{
+	  "schema_version": 1,
+	  "scale": "quick",
+	  "seed": 5,
+	  "table1": [{"size_bytes": 0, "column": "unicast", "sim_ns": 100}],
+	  "table2": [{"op": "rpc", "impl": "user-space", "bytes_per_sec": 1000}],
+	  "table3": [{"app": "sor", "impl": "user-space", "procs": 4, "sim_ns": 200, "answer": 7}],
+	  "wall": {"workers": 1, "total_ms": 10, "jobs_per_sec": 1, "per_job": null}
+	}`)
+	var base Artifact
+	if err := json.Unmarshal(v1, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Workload != nil {
+		t.Fatal("pre-workload baseline decoded with a workload section")
+	}
+	out, err := json.Marshal(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), `"workload"`) {
+		t.Errorf("re-marshaled v1 baseline grew a workload key:\n%s", out)
+	}
+	if err := CompareArtifacts(&base, &base, 0); err != nil {
+		t.Errorf("v1 baseline self-comparison must pass: %v", err)
+	}
+
+	// A current run that has gained a workload section still passes
+	// against the old baseline: the section is only compared when the
+	// baseline carries one.
+	cur := base
+	cur.Workload = &WorkloadArtifact{
+		Version: WorkloadSchemaVersion,
+		Loop:    "open", Mix: "group", Dist: "fixed:256",
+		Clients: 8, Procs: 4, WindowMS: 400, Seed: 1,
+		Points: []WorkloadCell{{Impl: "user-space", OfferedOps: 400, AchievedOps: 398, Issued: 80, Completed: 80}},
+	}
+	if err := CompareArtifacts(&base, &cur, 0); err != nil {
+		t.Errorf("old baseline vs workload-bearing run must pass: %v", err)
+	}
+
+	// The reverse — a baseline with a section the current run dropped —
+	// is drift.
+	if err := CompareArtifacts(&cur, &base, 0); err == nil {
+		t.Error("dropped workload section not detected")
+	} else if !strings.Contains(err.Error(), "workload") {
+		t.Errorf("drift report does not name the workload section: %v", err)
+	}
+}
+
+// TestCompareWorkloadDetectsDrift: changed workload cells fail the gate
+// and are named; a section version mismatch refuses comparison outright.
+func TestCompareWorkloadDetectsDrift(t *testing.T) {
+	mk := func() *Artifact {
+		return &Artifact{
+			SchemaVersion: ArtifactSchemaVersion,
+			Scale:         "quick",
+			Seed:          5,
+			Workload: &WorkloadArtifact{
+				Version: WorkloadSchemaVersion,
+				Loop:    "open", Mix: "group", Dist: "fixed:256",
+				Clients: 8, Procs: 4, WindowMS: 400, Seed: 7,
+				Points: []WorkloadCell{
+					{Impl: "kernel-space", OfferedOps: 400, AchievedOps: 398, Issued: 80, Completed: 80, P50US: 900, P99US: 2100},
+					{Impl: "user-space", OfferedOps: 400, AchievedOps: 395, Issued: 80, Completed: 79, P50US: 1400, P99US: 3300},
+				},
+				Knees: []WorkloadKneeCell{
+					{Impl: "kernel-space", OpsPerSec: 1650, Unsustained: 1700, Probes: 8},
+					{Impl: "user-space", OpsPerSec: 1112, Unsustained: 1150, Probes: 8},
+				},
+			},
+		}
+	}
+	base := mk()
+	if err := CompareArtifacts(base, mk(), 0); err != nil {
+		t.Fatalf("identical workload sections must pass: %v", err)
+	}
+
+	cur := mk()
+	cur.Workload.Points[1].P99US = 3400
+	cur.Workload.Knees[0].OpsPerSec = 1600
+	err := CompareArtifacts(base, cur, 0)
+	if err == nil {
+		t.Fatal("workload drift not detected")
+	}
+	for _, want := range []string{"workload/user-space/load=400", "workload/knee/kernel-space"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("drift report missing %q:\n%v", want, err)
+		}
+	}
+
+	shape := mk()
+	shape.Workload.Mix = "rpc"
+	if err := CompareArtifacts(base, shape, 0); err == nil {
+		t.Error("workload shape mismatch not detected")
+	}
+
+	ver := mk()
+	ver.Workload.Version++
+	err = CompareArtifacts(base, ver, 0)
+	if err == nil || !strings.Contains(err.Error(), "regenerate") {
+		t.Errorf("workload version mismatch must refuse comparison: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/ether"
@@ -85,20 +86,39 @@ type Cluster struct {
 	cfg Config
 }
 
+// Validate checks the configuration for shapes that would build a
+// nonsensical pool: a non-positive worker count, an unknown Panda mode, a
+// dedicated sequencer outside the user-space/group configuration it exists
+// for, a negative segment override, or a loss rate outside [0, 1]. It is
+// called by New, and exported so front ends (the CLI, the workload engine)
+// can reject a configuration before paying for cluster construction.
+func (cfg Config) Validate() error {
+	if cfg.Procs < 1 {
+		return fmt.Errorf("cluster: need at least 1 processor, got %d", cfg.Procs)
+	}
+	if cfg.Mode != panda.KernelSpace && cfg.Mode != panda.UserSpace {
+		return fmt.Errorf("cluster: unknown mode %v", cfg.Mode)
+	}
+	if cfg.DedicatedSequencer && cfg.Mode != panda.UserSpace {
+		return fmt.Errorf("cluster: dedicated sequencer requires user-space mode, not %v", cfg.Mode)
+	}
+	if cfg.DedicatedSequencer && !cfg.Group {
+		return fmt.Errorf("cluster: dedicated sequencer requires group communication")
+	}
+	if cfg.Segments < 0 {
+		return fmt.Errorf("cluster: negative segment count %d", cfg.Segments)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate > 1 {
+		return fmt.Errorf("cluster: loss rate %g outside [0, 1]", cfg.LossRate)
+	}
+	return nil
+}
+
 // New builds a cluster. Workers are processors 0..Procs-1; a dedicated
 // sequencer, if requested, is the extra last processor.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Procs < 1 {
-		return nil, fmt.Errorf("cluster: need at least 1 processor, got %d", cfg.Procs)
-	}
-	if cfg.Mode != panda.KernelSpace && cfg.Mode != panda.UserSpace {
-		return nil, fmt.Errorf("cluster: unknown mode %v", cfg.Mode)
-	}
-	if cfg.DedicatedSequencer && cfg.Mode != panda.UserSpace {
-		return nil, fmt.Errorf("cluster: dedicated sequencer requires user-space mode")
-	}
-	if cfg.DedicatedSequencer && !cfg.Group {
-		return nil, fmt.Errorf("cluster: dedicated sequencer requires group communication")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := cfg.Model
 	if m == nil {
@@ -226,6 +246,52 @@ func (c *Cluster) Shutdown() {
 	for _, p := range c.Procs {
 		p.Shutdown()
 	}
+}
+
+// Workers reports the number of worker processors (the pool minus the
+// dedicated sequencer, if any).
+func (c *Cluster) Workers() int { return c.cfg.Procs }
+
+// SequencerProc reports the processor id running the group sequencer: the
+// dedicated machine when one was configured, member 0 otherwise, and -1
+// when the cluster has no group communication at all.
+func (c *Cluster) SequencerProc() int {
+	if !c.cfg.Group {
+		return -1
+	}
+	if c.SeqProc >= 0 {
+		return c.SeqProc
+	}
+	return 0
+}
+
+// PlaceClients spreads n client processes round-robin over the worker
+// processors (never the dedicated sequencer) and returns the processor id
+// hosting each client. This is the population plumbing the workload engine
+// builds on: client i of a population always lands on worker i mod Procs,
+// independent of everything else in the configuration, so placements are
+// stable across runs and modes.
+func (c *Cluster) PlaceClients(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i % c.cfg.Procs
+	}
+	return ids
+}
+
+// Occupancy reports the fraction of the window that processor id spent
+// busy (computing, at interrupt level, or context switching), given a
+// stats snapshot taken at the start of the window. This is how the
+// workload engine measures sequencer and worker CPU occupancy.
+func (c *Cluster) Occupancy(id int, atStart proc.Stats, window time.Duration) float64 {
+	if window <= 0 || id < 0 || id >= len(c.Procs) {
+		return 0
+	}
+	busy := c.Procs[id].Stats().Busy() - atStart.Busy()
+	return float64(busy) / float64(window)
 }
 
 // Stats aggregates processor statistics across the pool.

@@ -1,23 +1,91 @@
 package cluster
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"amoebasim/internal/panda"
 )
 
 func TestConfigValidation(t *testing.T) {
-	bad := []Config{
-		{Procs: 0, Mode: panda.UserSpace},
-		{Procs: 2},           // no mode
-		{Procs: 2, Mode: 99}, // bad mode
-		{Procs: 2, Mode: panda.KernelSpace, DedicatedSequencer: true, Group: true},
-		{Procs: 2, Mode: panda.UserSpace, DedicatedSequencer: true}, // no group
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" = valid
+	}{
+		{"ok user-space", Config{Procs: 2, Mode: panda.UserSpace}, ""},
+		{"ok kernel-space group", Config{Procs: 2, Mode: panda.KernelSpace, Group: true}, ""},
+		{"ok dedicated", Config{Procs: 2, Mode: panda.UserSpace, Group: true, DedicatedSequencer: true}, ""},
+		{"zero procs", Config{Procs: 0, Mode: panda.UserSpace}, "at least 1 processor"},
+		{"negative procs", Config{Procs: -4, Mode: panda.UserSpace}, "at least 1 processor"},
+		{"no mode", Config{Procs: 2}, "unknown mode"},
+		{"bad mode", Config{Procs: 2, Mode: 99}, "unknown mode"},
+		{"dedicated kernel-space", Config{Procs: 2, Mode: panda.KernelSpace, DedicatedSequencer: true, Group: true},
+			"requires user-space"},
+		{"dedicated without group", Config{Procs: 2, Mode: panda.UserSpace, DedicatedSequencer: true},
+			"requires group"},
+		{"negative segments", Config{Procs: 2, Mode: panda.UserSpace, Segments: -1}, "negative segment"},
+		{"loss rate below 0", Config{Procs: 2, Mode: panda.UserSpace, LossRate: -0.1}, "loss rate"},
+		{"loss rate above 1", Config{Procs: 2, Mode: panda.UserSpace, LossRate: 1.5}, "loss rate"},
 	}
-	for i, cfg := range bad {
-		if _, err := New(cfg); err == nil {
-			t.Errorf("config %d should be rejected: %+v", i, cfg)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+			// New must reject exactly what Validate rejects, without
+			// building a pool first.
+			if _, err := New(c.cfg); err == nil {
+				t.Fatalf("New accepted a config Validate rejects: %+v", c.cfg)
+			}
+		})
+	}
+}
+
+func TestPlaceClientsRoundRobin(t *testing.T) {
+	c, err := New(Config{Procs: 3, Mode: panda.UserSpace, Group: true, DedicatedSequencer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if got := c.PlaceClients(7); !reflect.DeepEqual(got, []int{0, 1, 2, 0, 1, 2, 0}) {
+		t.Fatalf("PlaceClients(7) = %v", got)
+	}
+	for _, id := range c.PlaceClients(16) {
+		if id == c.SeqProc {
+			t.Fatalf("client placed on the dedicated sequencer (proc %d)", id)
 		}
+	}
+	if got := c.PlaceClients(0); got != nil {
+		t.Fatalf("PlaceClients(0) = %v, want nil", got)
+	}
+	if c.SequencerProc() != c.SeqProc {
+		t.Fatalf("SequencerProc() = %d, want %d", c.SequencerProc(), c.SeqProc)
+	}
+
+	shared, err := New(Config{Procs: 2, Mode: panda.KernelSpace, Group: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Shutdown()
+	if shared.SequencerProc() != 0 {
+		t.Fatalf("shared SequencerProc() = %d, want 0", shared.SequencerProc())
+	}
+	plain, err := New(Config{Procs: 2, Mode: panda.UserSpace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Shutdown()
+	if plain.SequencerProc() != -1 {
+		t.Fatalf("group-less SequencerProc() = %d, want -1", plain.SequencerProc())
 	}
 }
 

@@ -228,13 +228,14 @@ func (h *Histogram) Max() time.Duration {
 // Percentile answers a percentile query for p in [0, 100] using
 // nearest-rank on the fixed buckets: the result is the upper bound of the
 // bucket containing sample number ceil(p/100 * Count), clamped to
-// [Min, Max]. p ≤ 0 returns Min, p ≥ 100 returns Max, and an empty
-// histogram returns 0.
+// [Min, Max]. The extremes are exact, not bucket estimates: p ≤ 0 returns
+// Min and p ≥ 100 returns Max. An empty histogram returns 0 for every p,
+// and a NaN p is treated as 0 (it is not a meaningful rank).
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if h == nil || h.count == 0 {
 		return 0
 	}
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		return h.min
 	}
 	if p >= 100 {
@@ -360,6 +361,7 @@ type HistogramSnap struct {
 	P50US   int64        `json:"p50_us"`
 	P90US   int64        `json:"p90_us"`
 	P99US   int64        `json:"p99_us"`
+	P999US  int64        `json:"p999_us"`
 	Buckets []BucketSnap `json:"buckets,omitempty"`
 }
 
@@ -410,7 +412,8 @@ func (r *Registry) Snapshot() Snapshot {
 		hs := HistogramSnap{
 			Name: h.name, Labels: h.labels,
 			Count: h.count, SumUS: us(h.sum), MinUS: us(h.min), MaxUS: us(h.max),
-			P50US: us(h.Percentile(50)), P90US: us(h.Percentile(90)), P99US: us(h.Percentile(99)),
+			P50US: us(h.Percentile(50)), P90US: us(h.Percentile(90)),
+			P99US: us(h.Percentile(99)), P999US: us(h.Percentile(99.9)),
 		}
 		for i, c := range h.counts {
 			if c == 0 {

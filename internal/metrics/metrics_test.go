@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -184,5 +185,52 @@ func TestWriteTableGroupsByLayer(t *testing.T) {
 	}
 	if strings.Index(out, "[akernel]") > strings.Index(out, "[ether]") {
 		t.Errorf("layers not sorted:\n%s", out)
+	}
+}
+
+// TestHistogramPercentileEdges pins the contract at the edges of the
+// percentile domain: an empty histogram answers 0 for every p (including
+// the extremes and NaN), and a populated one answers the exact Min/Max —
+// not a bucket bound — for p ≤ 0 / p ≥ 100 and treats NaN as p = 0.
+func TestHistogramPercentileEdges(t *testing.T) {
+	r := NewRegistry()
+
+	empty := r.Histogram("empty")
+	for _, p := range []float64{math.Inf(-1), -1, 0, 50, 100, 101, math.Inf(1), math.NaN()} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty.Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+
+	h := r.Histogram("edges")
+	// Samples chosen off the bucket boundaries so the exact extremes are
+	// distinguishable from the bucket upper bounds (5µs, 500µs).
+	h.Observe(3 * time.Microsecond)
+	h.Observe(40 * time.Microsecond)
+	h.Observe(333 * time.Microsecond)
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{math.Inf(-1), 3 * time.Microsecond},
+		{-5, 3 * time.Microsecond},
+		{0, 3 * time.Microsecond}, // exact min, not the 5µs bucket bound
+		{100, 333 * time.Microsecond}, // exact max, not the 500µs bound
+		{250, 333 * time.Microsecond},
+		{math.Inf(1), 333 * time.Microsecond},
+		{math.NaN(), 3 * time.Microsecond}, // NaN ≡ p = 0
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	one := r.Histogram("one")
+	one.Observe(7 * time.Microsecond)
+	for _, p := range []float64{0, 50, 99.9, 100} {
+		if got := one.Percentile(p); got != 7*time.Microsecond {
+			t.Errorf("single-sample Percentile(%v) = %v, want 7µs", p, got)
+		}
 	}
 }

@@ -1,0 +1,408 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/metrics"
+	"amoebasim/internal/model"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/sim"
+)
+
+// Mix is a weighted operation mix. Weights are relative (they need not sum
+// to 1); every negative weight is invalid, and at least one must be
+// positive.
+type Mix struct {
+	RPC   float64
+	Group float64
+	Read  float64
+	Write float64
+}
+
+// Named mixes accepted by ParseMix.
+var (
+	// MixRPC is pure point-to-point RPC traffic.
+	MixRPC = Mix{RPC: 1}
+	// MixGroup is pure totally-ordered group traffic — the §4.3 sequencer
+	// stress.
+	MixGroup = Mix{Group: 1}
+	// MixOrca approximates an Orca shared-object workload: mostly reads
+	// (RPCs to the object owner) with a write (ordered broadcast) tail.
+	MixOrca = Mix{Read: 0.8, Write: 0.2}
+	// MixMixed is an even split of RPC and group traffic.
+	MixMixed = Mix{RPC: 0.5, Group: 0.5}
+)
+
+func (m Mix) weights() [numOps]float64 {
+	return [numOps]float64{OpRPC: m.RPC, OpGroup: m.Group, OpRead: m.Read, OpWrite: m.Write}
+}
+
+func (m Mix) total() float64 {
+	var t float64
+	for _, w := range m.weights() {
+		t += w
+	}
+	return t
+}
+
+func (m Mix) validate() error {
+	for op, w := range m.weights() {
+		if w < 0 {
+			return fmt.Errorf("workload: negative %s weight %g", Op(op), w)
+		}
+	}
+	if m.total() <= 0 {
+		return fmt.Errorf("workload: operation mix has no positive weight")
+	}
+	return nil
+}
+
+// draw picks one operation kind, weighted. The cumulative walk is in
+// fixed Op order, so draws are reproducible.
+func (m Mix) draw(r *sim.Rand) Op {
+	u := r.Float64() * m.total()
+	var cum float64
+	for op, w := range m.weights() {
+		cum += w
+		if u < cum {
+			return Op(op)
+		}
+	}
+	// Floating-point slack on the last positive weight.
+	for op := numOps - 1; op >= 0; op-- {
+		if m.weights()[op] > 0 {
+			return op
+		}
+	}
+	return OpRPC
+}
+
+// draw picks one message size.
+func (d SizeDist) draw(r *sim.Rand) int {
+	if d.Kind == "uniform" && d.Hi > d.Lo {
+		return d.Lo + r.Intn(d.Hi-d.Lo+1)
+	}
+	return d.Lo
+}
+
+// String renders the mix canonically ("rpc=0.50,group=0.50"), matching the
+// named presets where possible.
+func (m Mix) String() string {
+	named := map[string]Mix{"rpc": MixRPC, "group": MixGroup, "orca": MixOrca, "mixed": MixMixed}
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if named[n] == m {
+			return n
+		}
+	}
+	var parts []string
+	for op, w := range m.weights() {
+		if w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.2f", Op(op), w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMix accepts a named mix (rpc, group, orca, mixed) or an explicit
+// "op=weight,..." list over rpc/group/read/write.
+func ParseMix(s string) (Mix, error) {
+	switch strings.TrimSpace(s) {
+	case "rpc":
+		return MixRPC, nil
+	case "group":
+		return MixGroup, nil
+	case "orca":
+		return MixOrca, nil
+	case "mixed":
+		return MixMixed, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("workload: bad mix element %q (want op=weight or a named mix: rpc, group, orca, mixed)", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("workload: bad mix weight %q for %q", v, k)
+		}
+		switch strings.TrimSpace(k) {
+		case "rpc":
+			m.RPC = w
+		case "group":
+			m.Group = w
+		case "read":
+			m.Read = w
+		case "write":
+			m.Write = w
+		default:
+			return Mix{}, fmt.Errorf("workload: unknown mix op %q (rpc, group, read, write)", k)
+		}
+	}
+	if err := m.validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// SizeDist is the message-size distribution.
+type SizeDist struct {
+	// Kind is "fixed" or "uniform".
+	Kind string
+	// Lo is the fixed size, or the inclusive lower bound for uniform.
+	Lo int
+	// Hi is the inclusive upper bound for uniform (ignored for fixed).
+	Hi int
+}
+
+func (d SizeDist) validate() error {
+	switch d.Kind {
+	case "fixed":
+		if d.Lo < 0 {
+			return fmt.Errorf("workload: negative message size %d", d.Lo)
+		}
+	case "uniform":
+		if d.Lo < 0 || d.Hi < d.Lo {
+			return fmt.Errorf("workload: bad uniform size range [%d, %d]", d.Lo, d.Hi)
+		}
+	default:
+		return fmt.Errorf("workload: unknown size distribution %q (fixed or uniform)", d.Kind)
+	}
+	return nil
+}
+
+func (d SizeDist) String() string {
+	if d.Kind == "uniform" {
+		return fmt.Sprintf("uniform:%d-%d", d.Lo, d.Hi)
+	}
+	return fmt.Sprintf("fixed:%d", d.Lo)
+}
+
+// ParseSizeDist accepts "fixed:N" or "uniform:LO-HI" (bytes).
+func ParseSizeDist(s string) (SizeDist, error) {
+	kind, arg, ok := strings.Cut(strings.TrimSpace(s), ":")
+	if !ok {
+		return SizeDist{}, fmt.Errorf("workload: bad size distribution %q (want fixed:N or uniform:LO-HI)", s)
+	}
+	switch kind {
+	case "fixed":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return SizeDist{}, fmt.Errorf("workload: bad fixed size %q", arg)
+		}
+		return SizeDist{Kind: "fixed", Lo: n}, nil
+	case "uniform":
+		lo, hi, ok := strings.Cut(arg, "-")
+		if !ok {
+			return SizeDist{}, fmt.Errorf("workload: bad uniform range %q (want LO-HI)", arg)
+		}
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || l < 0 || h < l {
+			return SizeDist{}, fmt.Errorf("workload: bad uniform range %q", arg)
+		}
+		return SizeDist{Kind: "uniform", Lo: l, Hi: h}, nil
+	default:
+		return SizeDist{}, fmt.Errorf("workload: unknown size distribution %q (fixed or uniform)", kind)
+	}
+}
+
+// ParseLoop accepts open or closed.
+func ParseLoop(s string) (Loop, error) {
+	switch strings.TrimSpace(s) {
+	case "open":
+		return OpenLoop, nil
+	case "closed":
+		return ClosedLoop, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown loop discipline %q (open or closed)", s)
+	}
+}
+
+// ParseArrival accepts poisson, uniform or fixed.
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.TrimSpace(s) {
+	case "", "poisson":
+		return Poisson, nil
+	case "uniform":
+		return UniformArrival, nil
+	case "fixed":
+		return FixedArrival, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown arrival process %q (poisson, uniform, fixed)", s)
+	}
+}
+
+// ParseLoads parses a comma-separated list of offered loads in
+// operations/second.
+func ParseLoads(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var loads []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("workload: bad load %q (want positive ops/sec)", f)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}
+
+// Config describes one workload run.
+type Config struct {
+	// Procs is the worker-pool size (default 4).
+	Procs int
+	// Mode selects the Panda implementation.
+	Mode panda.Mode
+	// DedicatedSequencer gives the group sequencer its own processor
+	// (user-space only).
+	DedicatedSequencer bool
+	// Loop is the generation discipline (default OpenLoop).
+	Loop Loop
+	// Clients is the client-population size (default 2·Procs).
+	Clients int
+	// OfferedLoad is the open-loop target in operations/second across the
+	// whole population.
+	OfferedLoad float64
+	// ThinkTime is the closed-loop mean think time (default 2ms).
+	ThinkTime time.Duration
+	// Arrival shapes open-loop interarrival (and closed-loop think) times.
+	Arrival Arrival
+	// Mix is the operation mix (default MixGroup).
+	Mix Mix
+	// Sizes is the message-size distribution (default fixed 256 bytes).
+	Sizes SizeDist
+	// Warmup runs the generator without recording, letting FLIP locates
+	// and route caches settle (default Window/4).
+	Warmup time.Duration
+	// Window is the measurement window in simulated time (default 400ms).
+	Window time.Duration
+	// Seed drives every random draw (default 1).
+	Seed uint64
+	// Model overrides the machine cost model.
+	Model *model.CostModel
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Procs == 0 {
+		cfg.Procs = 4
+	}
+	if cfg.Loop == 0 {
+		cfg.Loop = OpenLoop
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 2 * cfg.Procs
+	}
+	if cfg.ThinkTime == 0 {
+		cfg.ThinkTime = 2 * time.Millisecond
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = MixGroup
+	}
+	if cfg.Sizes == (SizeDist{}) {
+		cfg.Sizes = SizeDist{Kind: "fixed", Lo: 256}
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 400 * time.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Window / 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Validate rejects configurations the engine cannot drive. Cluster-shape
+// errors are reported through cluster.Config.Validate so the messages
+// match the cluster's own.
+func (cfg Config) Validate() error {
+	ccfg := cluster.Config{
+		Procs: cfg.Procs, Mode: cfg.Mode,
+		Group:              cfg.Mix.Group > 0 || cfg.Mix.Write > 0,
+		DedicatedSequencer: cfg.DedicatedSequencer,
+	}
+	if err := ccfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Loop != OpenLoop && cfg.Loop != ClosedLoop {
+		return fmt.Errorf("workload: unknown loop discipline %d", cfg.Loop)
+	}
+	if cfg.Clients < 1 {
+		return fmt.Errorf("workload: need at least 1 client, got %d", cfg.Clients)
+	}
+	if cfg.Loop == OpenLoop && cfg.OfferedLoad <= 0 {
+		return fmt.Errorf("workload: open loop needs a positive offered load, got %g", cfg.OfferedLoad)
+	}
+	if cfg.Loop == ClosedLoop && cfg.ThinkTime < 0 {
+		return fmt.Errorf("workload: negative think time %v", cfg.ThinkTime)
+	}
+	if err := cfg.Mix.validate(); err != nil {
+		return err
+	}
+	if err := cfg.Sizes.validate(); err != nil {
+		return err
+	}
+	if (cfg.Mix.RPC > 0 || cfg.Mix.Read > 0) && cfg.Procs < 2 {
+		return fmt.Errorf("workload: point-to-point operations need at least 2 workers")
+	}
+	if cfg.Window <= 0 || cfg.Warmup < 0 {
+		return fmt.Errorf("workload: bad warmup/window (%v/%v)", cfg.Warmup, cfg.Window)
+	}
+	return nil
+}
+
+// LatencyStats summarizes one latency histogram in simulated time.
+type LatencyStats struct {
+	Op    string
+	Count int64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+}
+
+// Result is one workload run's measurements.
+type Result struct {
+	// Config is the fully defaulted configuration that ran.
+	Config Config
+	// ModeLabel names the implementation configuration
+	// (kernel-space / user-space / user-space-dedicated).
+	ModeLabel string
+	// Offered is the offered load in ops/sec (open loop: the target;
+	// closed loop: equal to Achieved by definition).
+	Offered float64
+	// Achieved is the completed-operation rate over the window.
+	Achieved float64
+	// Issued counts operations issued inside the window; in open loop
+	// Issued−Completed is the backlog the window left behind.
+	Issued int64
+	// Completed counts operations that finished inside the window.
+	Completed int64
+	// Overall summarizes all operations' latency.
+	Overall LatencyStats
+	// PerOp summarizes each operation kind present in the mix, in fixed
+	// op order.
+	PerOp []LatencyStats
+	// SeqOccupancy is the sequencer processor's busy fraction over the
+	// window (0 when the mix has no group traffic).
+	SeqOccupancy float64
+	// WorkerOccupancy is the mean busy fraction of the worker processors.
+	WorkerOccupancy float64
+	// Registry holds the raw workload.latency_us histograms.
+	Registry *metrics.Registry
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// SaturationThreshold defines saturation for the knee finder: a load is
+// sustained when at least this fraction of the operations issued inside
+// the window also completed inside it. Below it, the open-loop backlog is
+// growing — the system is past the knee. Completions are compared against
+// actual arrivals (Issued), not the nominal offered load, so the seeded
+// arrival process's count noise cancels out of the criterion.
+const SaturationThreshold = 0.9
+
+// Saturated reports whether this run is past the knee: the system
+// completed less than SaturationThreshold of the work that arrived inside
+// the window.
+func (r *Result) Saturated() bool {
+	if r.Issued == 0 {
+		return false
+	}
+	return float64(r.Completed) < SaturationThreshold*float64(r.Issued)
+}
+
+// Knee is the saturation point of one implementation under a workload: the
+// highest offered load (ops/sec) the system sustained, bracketed by
+// bisection.
+type Knee struct {
+	// ModeLabel names the implementation configuration.
+	ModeLabel string
+	// OpsPerSec is the highest offered load that was sustained
+	// (achieved ≥ SaturationThreshold·offered).
+	OpsPerSec float64
+	// Unsustained is the lowest probed load that saturated, bounding the
+	// knee from above (0 if even the expanded ceiling was sustained).
+	Unsustained float64
+	// Probes is how many full workload runs the search spent.
+	Probes int
+}
+
+// maxExpand bounds the doubling phase that brackets the knee from above.
+const maxExpand = 12
+
+// FindKnee bisects to the saturation point of cfg's implementation under
+// open-loop load. The search brackets the knee between lo (which must be
+// sustained) and a saturated ceiling found by doubling hi, then bisects
+// with the given probe budget. Every probe derives its seed from
+// (cfg.Seed, probe index), so the whole search is deterministic.
+func FindKnee(cfg Config, lo, hi float64, probes int) (Knee, error) {
+	cfg = cfg.withDefaults()
+	cfg.Loop = OpenLoop
+	if lo <= 0 || hi <= lo {
+		return Knee{}, fmt.Errorf("workload: bad knee bracket [%g, %g]", lo, hi)
+	}
+	if probes < 1 {
+		probes = 7
+	}
+	k := Knee{ModeLabel: ModeLabel(cfg.Mode, cfg.DedicatedSequencer)}
+
+	saturated := func(load float64) (bool, error) {
+		c := cfg
+		c.OfferedLoad = load
+		c.Seed = probeSeed(cfg.Seed, k.Probes)
+		k.Probes++
+		r, err := Run(c)
+		if err != nil {
+			return false, err
+		}
+		return r.Saturated(), nil
+	}
+
+	sat, err := saturated(lo)
+	if err != nil {
+		return Knee{}, err
+	}
+	if sat {
+		// Even the floor saturates: report the bracket as [0, lo].
+		k.OpsPerSec = 0
+		k.Unsustained = lo
+		return k, nil
+	}
+	// Expand the ceiling until it saturates.
+	expanded := 0
+	for {
+		sat, err := saturated(hi)
+		if err != nil {
+			return Knee{}, err
+		}
+		if sat {
+			break
+		}
+		lo = hi
+		hi *= 2
+		expanded++
+		if expanded >= maxExpand {
+			// Nothing saturated within the expansion budget; report the
+			// highest sustained load with no upper bound.
+			k.OpsPerSec = lo
+			return k, nil
+		}
+	}
+	// Bisect [sustained lo, saturated hi].
+	for i := 0; i < probes; i++ {
+		mid := (lo + hi) / 2
+		sat, err := saturated(mid)
+		if err != nil {
+			return Knee{}, err
+		}
+		if sat {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	k.OpsPerSec = lo
+	k.Unsustained = hi
+	return k, nil
+}
+
+// probeSeed derives the deterministic seed of probe i from the base seed
+// (splitmix64 finalizer over the pair).
+func probeSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

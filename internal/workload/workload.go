@@ -1,0 +1,376 @@
+// Package workload is the traffic-generation engine of the simulated
+// pool: a deterministic, seed-reproducible generator that drives a
+// cluster with a population of client processes and measures per-operation
+// latency percentiles as a function of offered load.
+//
+// The paper's Tables 1-2 characterize both Panda implementations at zero
+// load (one outstanding RPC, one streaming sender); its qualitative claims
+// about the user-space sequencer saturating under group traffic (§4.3) are
+// load-dependent. This package adds the missing axis: clients issue
+// operations in open loop (seeded Poisson/uniform/fixed interarrival at a
+// target offered load — queues grow without bound past saturation) or
+// closed loop (a fixed population with think time), over a configurable
+// operation mix (point-to-point RPC, totally-ordered group send, Orca-style
+// read/write) and message-size distribution. Every completed operation's
+// simulated-time latency lands in a metrics.Histogram, so one run reports
+// p50/p90/p99/p99.9/max, achieved vs. offered throughput, and sequencer /
+// worker CPU occupancy, and a sweep over loads produces a
+// latency-vs-offered-load curve per implementation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/metrics"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+)
+
+// Loop selects the traffic-generation discipline.
+type Loop int
+
+const (
+	// OpenLoop issues operations on a seeded arrival process regardless of
+	// completions: offered load is controlled exactly, and past the
+	// saturation point queueing delay (and the backlog) grows without
+	// bound — the discipline that exposes the knee.
+	OpenLoop Loop = iota + 1
+	// ClosedLoop runs a fixed population of clients that think, issue one
+	// operation, and wait for it: offered load adapts to the system, so
+	// latency stays finite and throughput plateaus at saturation.
+	ClosedLoop
+)
+
+func (l Loop) String() string {
+	switch l {
+	case OpenLoop:
+		return "open"
+	case ClosedLoop:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one operation kind of the mix.
+type Op int
+
+const (
+	// OpRPC is a point-to-point RPC to a uniformly random other worker.
+	OpRPC Op = iota
+	// OpGroup is a totally-ordered group send to all members.
+	OpGroup
+	// OpRead is an Orca-style read of a remote shared object: an RPC to
+	// the object's owner (worker 0), concentrating load on one server.
+	OpRead
+	// OpWrite is an Orca-style write to a replicated shared object: a
+	// totally-ordered broadcast, as the Orca RTS implements write
+	// operations on replicated objects.
+	OpWrite
+
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRPC:
+		return "rpc"
+	case OpGroup:
+		return "group"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// Arrival selects the open-loop interarrival distribution.
+type Arrival int
+
+const (
+	// Poisson draws exponential interarrival times (a memoryless open
+	// stream, the default).
+	Poisson Arrival = iota
+	// UniformArrival draws uniform interarrival times in [0, 2·mean).
+	UniformArrival
+	// FixedArrival paces arrivals exactly mean apart.
+	FixedArrival
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case UniformArrival:
+		return "uniform"
+	case FixedArrival:
+		return "fixed"
+	default:
+		return "poisson"
+	}
+}
+
+// draw produces one interarrival time with the given mean. The result is
+// floored at 1ns so an arrival process always advances.
+func (a Arrival) draw(r *sim.Rand, mean time.Duration) time.Duration {
+	var d time.Duration
+	switch a {
+	case UniformArrival:
+		d = time.Duration(2 * r.Float64() * float64(mean))
+	case FixedArrival:
+		d = mean
+	default: // Poisson
+		u := r.Float64()
+		d = time.Duration(-math.Log(1-u) * float64(mean))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Run drives one workload against a fresh cluster and reports the
+// latency distribution, achieved throughput and CPU occupancies over the
+// measurement window. Deterministic: same Config, same Result, on any
+// host and any worker-pool width (the run owns its whole single-threaded
+// simulation).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	group := cfg.Mix.Group > 0 || cfg.Mix.Write > 0
+	ccfg := cluster.Config{
+		Procs:              cfg.Procs,
+		Mode:               cfg.Mode,
+		Group:              group,
+		DedicatedSequencer: cfg.DedicatedSequencer,
+		Seed:               cfg.Seed,
+		Model:              cfg.Model,
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: build cluster: %w", err)
+	}
+	defer c.Shutdown()
+
+	reg := metrics.NewRegistry()
+	overall := reg.Histogram("workload.latency_us")
+	perOp := make([]*metrics.Histogram, numOps)
+	for op := Op(0); op < numOps; op++ {
+		perOp[op] = reg.Histogram("workload.latency_us", metrics.L("op", op.String()))
+	}
+
+	// Every worker answers RPCs from within the upcall and swallows group
+	// deliveries; the measured cost is the protocol stack itself.
+	for i := range c.Transports {
+		tr := c.Transports[i]
+		tr.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+			tr.Reply(t, ctx, nil, 0)
+		})
+		if group {
+			tr.HandleGroup(func(t *proc.Thread, sender int, seqno uint64, payload any, n int) {})
+		}
+	}
+
+	var (
+		measStart = sim.Time(cfg.Warmup)
+		end       = sim.Time(cfg.Warmup + cfg.Window)
+		issued    int64 // operations issued inside the window
+		completed int64 // operations completed inside the window
+	)
+
+	// CPU occupancy is measured over the window only: snapshot the
+	// processor accounting when measurement starts.
+	baseStats := make([]proc.Stats, len(c.Procs))
+	c.Sim.ScheduleAt(measStart, func() {
+		for i, p := range c.Procs {
+			baseStats[i] = p.Stats()
+		}
+	})
+
+	record := func(op Op, start sim.Time) {
+		now := c.Sim.Now()
+		if start < measStart || now > end {
+			return
+		}
+		completed++
+		lat := now.Sub(start)
+		overall.Observe(lat)
+		perOp[op].Observe(lat)
+	}
+
+	root := sim.NewRand(cfg.Seed ^ seedSalt)
+	placement := c.PlaceClients(cfg.Clients)
+	for ci, procID := range placement {
+		rng := root.Fork()
+		switch cfg.Loop {
+		case OpenLoop:
+			startOpenClient(c, cfg, ci, procID, rng, end, measStart, &issued, record)
+		case ClosedLoop:
+			startClosedClient(c, cfg, ci, procID, rng, end, measStart, &issued, record)
+		}
+	}
+
+	c.RunUntil(end)
+
+	res := &Result{
+		Config:    cfg,
+		ModeLabel: ModeLabel(cfg.Mode, cfg.DedicatedSequencer),
+		Issued:    issued,
+		Completed: completed,
+		Achieved:  float64(completed) / cfg.Window.Seconds(),
+		Registry:  reg,
+		Overall:   summarize("all", overall),
+	}
+	if cfg.Loop == OpenLoop {
+		res.Offered = cfg.OfferedLoad
+	} else {
+		res.Offered = res.Achieved
+	}
+	for op := Op(0); op < numOps; op++ {
+		if perOp[op].Count() > 0 {
+			res.PerOp = append(res.PerOp, summarize(op.String(), perOp[op]))
+		}
+	}
+	window := cfg.Window
+	if seq := c.SequencerProc(); seq >= 0 {
+		res.SeqOccupancy = c.Occupancy(seq, baseStats[seq], window)
+	}
+	var workerBusy float64
+	for i := 0; i < c.Workers(); i++ {
+		workerBusy += c.Occupancy(i, baseStats[i], window)
+	}
+	res.WorkerOccupancy = workerBusy / float64(c.Workers())
+	return res, nil
+}
+
+// seedSalt decorrelates the workload RNG stream from the cluster's own
+// loss-injection stream, which is seeded from the same Config.Seed.
+const seedSalt = 0x9e3779b97f4a7c15
+
+// startOpenClient schedules client ci's seeded arrival process: each
+// arrival draws (op, size, dest) and spawns a fresh thread on the client's
+// processor, so concurrency is unbounded and queueing delay from the
+// arrival instant is part of the measured latency.
+func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Rand,
+	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
+	mean := time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.OfferedLoad)
+	var arrive func()
+	schedule := func() {
+		d := cfg.Arrival.draw(rng, mean)
+		at := c.Sim.Now().Add(d)
+		if at >= end {
+			return // stop generating past the window
+		}
+		c.Sim.ScheduleAt(at, arrive)
+	}
+	arrive = func() {
+		start := c.Sim.Now()
+		op := cfg.Mix.draw(rng)
+		size := cfg.Sizes.draw(rng)
+		dest := drawDest(rng, op, procID, cfg.Procs)
+		if start >= measStart {
+			*issued++
+		}
+		c.Procs[procID].NewThread(fmt.Sprintf("open%d", ci), proc.PrioNormal, func(t *proc.Thread) {
+			if execOp(c, t, procID, op, dest, size) == nil {
+				record(op, start)
+			}
+		})
+		schedule()
+	}
+	schedule()
+}
+
+// startClosedClient runs client ci as one persistent thread: think, issue,
+// wait, repeat. Latency excludes think time.
+func startClosedClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Rand,
+	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
+	c.Procs[procID].NewThread(fmt.Sprintf("closed%d", ci), proc.PrioNormal, func(t *proc.Thread) {
+		for {
+			think := cfg.Arrival.draw(rng, cfg.ThinkTime)
+			t.Sleep(think)
+			start := c.Sim.Now()
+			if start >= end {
+				return
+			}
+			op := cfg.Mix.draw(rng)
+			size := cfg.Sizes.draw(rng)
+			dest := drawDest(rng, op, procID, cfg.Procs)
+			if start >= measStart {
+				*issued++
+			}
+			if execOp(c, t, procID, op, dest, size) != nil {
+				return
+			}
+			record(op, start)
+		}
+	})
+}
+
+// drawDest picks the destination for point-to-point operations: a
+// uniformly random other worker for OpRPC, the object owner (worker 0)
+// for OpRead. Group operations need no destination.
+func drawDest(rng *sim.Rand, op Op, self, procs int) int {
+	switch op {
+	case OpRPC:
+		if procs == 1 {
+			return self
+		}
+		d := rng.Intn(procs - 1)
+		if d >= self {
+			d++
+		}
+		return d
+	case OpRead:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// execOp performs one operation from thread context.
+func execOp(c *cluster.Cluster, t *proc.Thread, self int, op Op, dest, size int) error {
+	switch op {
+	case OpRPC, OpRead:
+		if dest == self {
+			// A read on the owner itself is local: charge a nominal
+			// object-table lookup and return.
+			t.Compute(2 * time.Microsecond)
+			return nil
+		}
+		_, _, err := c.Transports[self].Call(t, dest, nil, size)
+		return err
+	case OpGroup, OpWrite:
+		return c.Transports[self].GroupSend(t, nil, size)
+	default:
+		return fmt.Errorf("workload: unknown op %d", op)
+	}
+}
+
+// summarize reduces one histogram to the reported latency stats.
+func summarize(label string, h *metrics.Histogram) LatencyStats {
+	return LatencyStats{
+		Op:    label,
+		Count: h.Count(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
+// ModeLabel names an implementation configuration the way the paper's
+// Table 3 does.
+func ModeLabel(mode panda.Mode, dedicated bool) string {
+	if dedicated {
+		return "user-space-dedicated"
+	}
+	return mode.String()
+}

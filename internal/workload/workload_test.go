@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"amoebasim/internal/panda"
+)
+
+// quickCfg is the test-scale workload: small pool, short window, group
+// traffic — the §4.3 sequencer stress in miniature.
+func quickCfg(mode panda.Mode, dedicated bool) Config {
+	return Config{
+		Mode:               mode,
+		DedicatedSequencer: dedicated,
+		Window:             200 * time.Millisecond,
+		OfferedLoad:        600,
+		Seed:               7,
+	}
+}
+
+// TestOpenLoopDeterministic: same seed ⇒ bit-identical results, including
+// the full latency histograms, across two in-process runs.
+func TestOpenLoopDeterministic(t *testing.T) {
+	run := func() (*Result, []byte) {
+		r, err := Run(quickCfg(panda.UserSpace, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := json.Marshal(r.Registry.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, snap
+	}
+	a, asnap := run()
+	b, bsnap := run()
+	if a.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	a.Registry, b.Registry = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	if string(asnap) != string(bsnap) {
+		t.Fatalf("same seed produced different histograms:\n%s\n%s", asnap, bsnap)
+	}
+}
+
+// TestSeedChangesRun: a different seed must actually change the draw
+// sequence (guards against the seed being dropped somewhere).
+func TestSeedChangesRun(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overall == b.Overall && a.Completed == b.Completed {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+// TestOpenLoopBacklogPastSaturation: far past the knee, the open loop must
+// show the defining signature — achieved < offered and a growing backlog.
+func TestOpenLoopBacklogPastSaturation(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	cfg.OfferedLoad = 5000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Saturated() {
+		t.Fatalf("achieved %.0f ops/s at offered %.0f: expected saturation", r.Achieved, cfg.OfferedLoad)
+	}
+	if r.Achieved >= cfg.OfferedLoad {
+		t.Fatalf("achieved %.0f ops/s should fall short of offered %.0f past the knee", r.Achieved, cfg.OfferedLoad)
+	}
+	if r.Issued <= r.Completed {
+		t.Fatalf("no backlog past saturation: issued %d, completed %d", r.Issued, r.Completed)
+	}
+	if r.SeqOccupancy < 0.9 {
+		t.Fatalf("sequencer occupancy %.2f past saturation, expected ~1", r.SeqOccupancy)
+	}
+}
+
+// TestClosedLoopSelfLimits: the closed loop cannot oversubscribe — every
+// client has at most one outstanding operation, so the backlog is bounded
+// by the population and latency stays finite.
+func TestClosedLoopSelfLimits(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	cfg.Loop = ClosedLoop
+	cfg.OfferedLoad = 0
+	cfg.ThinkTime = 500 * time.Microsecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	if r.Issued-r.Completed > int64(r.Config.Clients) {
+		t.Fatalf("closed loop backlog %d exceeds population %d", r.Issued-r.Completed, r.Config.Clients)
+	}
+	if r.Offered != r.Achieved {
+		t.Fatalf("closed loop offered %.1f != achieved %.1f", r.Offered, r.Achieved)
+	}
+	if r.Overall.P50 <= 0 || r.Overall.Max < r.Overall.P999 || r.Overall.P999 < r.Overall.P50 {
+		t.Fatalf("implausible percentiles: %+v", r.Overall)
+	}
+}
+
+// TestMixedWorkloadPerOpStats: a mixed RPC+group run reports separate
+// per-operation distributions, and group latency exceeds RPC latency (the
+// sequencer round trip costs more than a point-to-point call).
+func TestMixedWorkloadPerOpStats(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	cfg.Mix = MixMixed
+	cfg.OfferedLoad = 400
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerOp) != 2 {
+		t.Fatalf("PerOp = %+v, want rpc and group", r.PerOp)
+	}
+	var rpc, group *LatencyStats
+	for i := range r.PerOp {
+		switch r.PerOp[i].Op {
+		case "rpc":
+			rpc = &r.PerOp[i]
+		case "group":
+			group = &r.PerOp[i]
+		}
+	}
+	if rpc == nil || group == nil || rpc.Count == 0 || group.Count == 0 {
+		t.Fatalf("missing per-op stats: %+v", r.PerOp)
+	}
+	if rpc.Count+group.Count != r.Overall.Count {
+		t.Fatalf("per-op counts %d+%d don't sum to overall %d", rpc.Count, group.Count, r.Overall.Count)
+	}
+	if r.Overall.Max != maxDur(rpc.Max, group.Max) {
+		t.Fatalf("overall max %v != max of per-op maxes (%v, %v)", r.Overall.Max, rpc.Max, group.Max)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestOrcaMixRuns: the read/write mix drives RPCs at the owner and ordered
+// broadcasts, with reads dominating per the 80/20 weights.
+func TestOrcaMixRuns(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	cfg.Mix = MixOrca
+	cfg.OfferedLoad = 400
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int64
+	for _, s := range r.PerOp {
+		switch s.Op {
+		case "read":
+			reads = s.Count
+		case "write":
+			writes = s.Count
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("orca mix missing ops: %+v", r.PerOp)
+	}
+	if reads <= writes {
+		t.Fatalf("reads (%d) should dominate writes (%d) in the 80/20 mix", reads, writes)
+	}
+}
+
+// TestUserSpaceSequencerSaturatesFirst is the PR's acceptance invariant:
+// under identical offered group load, the user-space sequencer saturates
+// at a strictly lower load than the kernel-space one (§4.3), and giving
+// the user-space sequencer its own machine moves the knee back up.
+// Deterministic for the fixed seed.
+func TestUserSpaceSequencerSaturatesFirst(t *testing.T) {
+	knee := func(mode panda.Mode, dedicated bool) Knee {
+		k, err := FindKnee(quickCfg(mode, dedicated), 300, 1600, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	kernel := knee(panda.KernelSpace, false)
+	user := knee(panda.UserSpace, false)
+	dedicated := knee(panda.UserSpace, true)
+	t.Logf("knees: kernel=%.1f user=%.1f dedicated=%.1f", kernel.OpsPerSec, user.OpsPerSec, dedicated.OpsPerSec)
+	if user.OpsPerSec <= 0 || kernel.OpsPerSec <= 0 {
+		t.Fatalf("degenerate knees: kernel=%+v user=%+v", kernel, user)
+	}
+	if user.OpsPerSec >= kernel.OpsPerSec {
+		t.Fatalf("user-space knee %.1f should be below kernel-space knee %.1f",
+			user.OpsPerSec, kernel.OpsPerSec)
+	}
+	if dedicated.OpsPerSec <= user.OpsPerSec {
+		t.Fatalf("dedicated sequencer knee %.1f should beat shared user-space knee %.1f",
+			dedicated.OpsPerSec, user.OpsPerSec)
+	}
+	// And the search itself is reproducible.
+	again := knee(panda.UserSpace, false)
+	if again != user {
+		t.Fatalf("knee search not deterministic: %+v vs %+v", user, again)
+	}
+}
+
+// TestFindKneeDegenerateBrackets: a floor that already saturates reports a
+// [0, lo] bracket rather than inventing a knee.
+func TestFindKneeDegenerateBrackets(t *testing.T) {
+	cfg := quickCfg(panda.UserSpace, false)
+	k, err := FindKnee(cfg, 20000, 40000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.OpsPerSec != 0 || k.Unsustained != 20000 {
+		t.Fatalf("saturated floor should report [0, lo], got %+v", k)
+	}
+	if _, err := FindKnee(cfg, 0, 100, 2); err == nil {
+		t.Fatal("non-positive lo must be rejected")
+	}
+	if _, err := FindKnee(cfg, 100, 50, 2); err == nil {
+		t.Fatal("inverted bracket must be rejected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := quickCfg(panda.UserSpace, false).withDefaults()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no offered load", func(c *Config) { c.OfferedLoad = 0 }},
+		{"zero clients", func(c *Config) { c.Clients = -1 }},
+		{"bad loop", func(c *Config) { c.Loop = 99 }},
+		{"bad mode", func(c *Config) { c.Mode = 0 }},
+		{"dedicated kernel-space", func(c *Config) { c.Mode = panda.KernelSpace; c.DedicatedSequencer = true }},
+		{"negative mix weight", func(c *Config) { c.Mix = Mix{RPC: -1, Group: 2} }},
+		{"empty mix", func(c *Config) { c.Mix = Mix{}; c.Sizes = SizeDist{Kind: "fixed"} }},
+		{"bad size dist", func(c *Config) { c.Sizes = SizeDist{Kind: "zipf"} }},
+		{"p2p on one worker", func(c *Config) { c.Procs = 1; c.Clients = 2; c.Mix = MixRPC }},
+		{"zero window", func(c *Config) { c.Window = -time.Second }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base
+			c.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("config accepted: %+v", cfg)
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config rejected: %v", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for name, want := range map[string]Mix{
+		"rpc": MixRPC, "group": MixGroup, "orca": MixOrca, "mixed": MixMixed,
+	} {
+		got, err := ParseMix(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMix(%q) = %+v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("Mix.String() = %q, want %q", got.String(), name)
+		}
+	}
+	got, err := ParseMix("rpc=1, write=3")
+	if err != nil || got != (Mix{RPC: 1, Write: 3}) {
+		t.Fatalf("ParseMix custom = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", "nosuch", "rpc=", "rpc=-1", "zap=1", "rpc=0,group=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSizeDistAndLoads(t *testing.T) {
+	d, err := ParseSizeDist("fixed:1024")
+	if err != nil || d != (SizeDist{Kind: "fixed", Lo: 1024}) {
+		t.Fatalf("ParseSizeDist fixed = %+v, %v", d, err)
+	}
+	d, err = ParseSizeDist("uniform:64-4096")
+	if err != nil || d != (SizeDist{Kind: "uniform", Lo: 64, Hi: 4096}) {
+		t.Fatalf("ParseSizeDist uniform = %+v, %v", d, err)
+	}
+	if d.String() != "uniform:64-4096" {
+		t.Fatalf("SizeDist.String() = %q", d.String())
+	}
+	for _, bad := range []string{"", "fixed", "fixed:-1", "fixed:x", "uniform:10", "uniform:100-10", "zipf:2"} {
+		if _, err := ParseSizeDist(bad); err == nil {
+			t.Errorf("ParseSizeDist(%q) accepted", bad)
+		}
+	}
+
+	loads, err := ParseLoads(" 200, 800,1600 ")
+	if err != nil || !reflect.DeepEqual(loads, []float64{200, 800, 1600}) {
+		t.Fatalf("ParseLoads = %v, %v", loads, err)
+	}
+	if loads, err := ParseLoads(""); err != nil || loads != nil {
+		t.Fatalf("empty loads = %v, %v", loads, err)
+	}
+	for _, bad := range []string{"0", "-5", "x", "100,,200"} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("ParseLoads(%q) accepted", bad)
+		}
+	}
+
+	if a, err := ParseArrival("uniform"); err != nil || a != UniformArrival {
+		t.Fatalf("ParseArrival uniform = %v, %v", a, err)
+	}
+	if a, err := ParseArrival(""); err != nil || a != Poisson {
+		t.Fatalf("ParseArrival default = %v, %v", a, err)
+	}
+	if _, err := ParseArrival("zipf"); err == nil {
+		t.Fatal("ParseArrival(zipf) accepted")
+	}
+}
