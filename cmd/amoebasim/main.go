@@ -24,6 +24,8 @@
 //	amoebasim -dist D           message sizes: fixed:N or uniform:LO-HI (default fixed:256)
 //	amoebasim -knee             bisect to each mode's saturation point (default true)
 //	amoebasim -workload-json F  workload curves as a JSON artifact ("auto": WORKLOAD_<date>.json)
+//	amoebasim -cpuprofile F     write a pprof CPU profile of the run to F
+//	amoebasim -memprofile F     write a pprof heap profile at exit to F
 //	amoebasim -all              everything
 package main
 
@@ -33,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -79,39 +83,83 @@ func main() {
 		wlWarmup   = flag.Duration("wl-warmup", 0, "workload warmup before measurement (default window/4)")
 		knee       = flag.Bool("knee", true, "with -workload open: bisect to each mode's saturation point")
 		workloadJ  = flag.String("workload-json", "", "write the workload curves as a JSON artifact ('auto': WORKLOAD_<date>.json)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
-	if *workloadF != "" || *workloadJ != "" {
-		err := runWorkload(workloadArgs{
-			loop: *workloadF, loads: *loads, clients: *clients, mix: *mixFlag,
-			dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
-			window: *wlWindow, warmup: *wlWarmup, knee: *knee,
-			jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amoebasim:", err)
-			os.Exit(1)
+	// Profiling teardown must run on every exit path, so the flag
+	// families dispatch through a closure that returns instead of exiting.
+	dispatch := func() error {
+		if *workloadF != "" || *workloadJ != "" {
+			return runWorkload(workloadArgs{
+				loop: *workloadF, loads: *loads, clients: *clients, mix: *mixFlag,
+				dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
+				window: *wlWindow, warmup: *wlWarmup, knee: *knee,
+				jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
+			})
 		}
-		return
-	}
-	if *faultsF != "" {
-		if err := runFaults(*faultsF, *seed, *faultSeed, *jobs); err != nil {
-			fmt.Fprintln(os.Stderr, "amoebasim:", err)
-			os.Exit(1)
+		if *faultsF != "" {
+			return runFaults(*faultsF, *seed, *faultSeed, *jobs)
 		}
-		return
-	}
-	if *benchJSON != "" || *baseline != "" {
-		if err := runBenchSweep(*benchJSON, *baseline, *scale, *appsFlag, *procsFlag, *seed, *jobs, *wallBudget); err != nil {
-			fmt.Fprintln(os.Stderr, "amoebasim:", err)
-			os.Exit(1)
+		if *benchJSON != "" || *baseline != "" {
+			return runBenchSweep(*benchJSON, *baseline, *scale, *appsFlag, *procsFlag, *seed, *jobs, *wallBudget)
 		}
-		return
+		return run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ, *jobs)
 	}
-	if err := run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ, *jobs); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err == nil {
+		err = dispatch()
+		if perr := stopProfiles(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "amoebasim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles arms the -cpuprofile / -memprofile collection and returns
+// the teardown that stops the CPU profile and writes the heap profile.
+// The teardown must run on every exit path, so runners return errors
+// instead of exiting.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // get up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", memPath)
+		}
+		return nil
+	}, nil
 }
 
 func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ string, jobs int) error {

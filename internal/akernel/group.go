@@ -73,7 +73,7 @@ type grpSendState struct {
 	t       *proc.Thread
 	tmpID   uint64
 	msg     flip.Message
-	timer   *sim.Event
+	timer   sim.Event
 	retries int
 	err     error
 	done    bool
@@ -97,7 +97,7 @@ type member struct {
 	waiters     []*grpRecvWaiter
 	sends       map[uint64]*grpSendState
 	tmpSeq      uint64
-	retrTimer   *sim.Event
+	retrTimer   sim.Event
 
 	// Sequencer state (only on the sequencer's kernel).
 	seqno      uint64
@@ -105,7 +105,7 @@ type member struct {
 	seen       map[bbKey]uint64 // duplicate filter: (sender,tmpID) -> seqno
 	acked      map[int]uint64
 	lastStatus map[int]uint64 // ack seen at the previous status probe
-	watchdog   *sim.Event
+	watchdog   sim.Event
 
 	mx *grpMetrics // nil when metrics are disabled
 }
@@ -500,12 +500,12 @@ func (mb *member) minAck() uint64 {
 // the sequencer must probe. On each tick the sequencer multicasts gSYNC;
 // members answer gSTATUS; stragglers get the missing suffix retransmitted.
 func (mb *member) armWatchdog() {
-	if mb.watchdog != nil || mb.minAck() >= mb.seqno {
+	if mb.watchdog.Pending() || mb.minAck() >= mb.seqno {
 		return
 	}
 	k := mb.k
 	mb.watchdog = k.sim.Schedule(k.m.RetransTimeout, func() {
-		mb.watchdog = nil
+		mb.watchdog = sim.Event{}
 		if mb.minAck() >= mb.seqno {
 			return
 		}
@@ -598,7 +598,7 @@ func (mb *member) deliver(w *grpWire) {
 // requestRetrans asks the sequencer for the missing gap below the given
 // out-of-order seqno, rate-limited to one outstanding request.
 func (mb *member) requestRetrans(sawSeqno uint64) {
-	if mb.retrTimer != nil {
+	if mb.retrTimer.Pending() {
 		return
 	}
 	k := mb.k
@@ -620,7 +620,7 @@ func (mb *member) requestRetrans(sawSeqno uint64) {
 		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0, Payload: req,
 	})
 	mb.retrTimer = k.sim.Schedule(k.m.RetransTimeout, func() {
-		mb.retrTimer = nil
+		mb.retrTimer = sim.Event{}
 		if len(mb.holdback) > 0 {
 			keys := make([]uint64, 0, len(mb.holdback))
 			for s := range mb.holdback {

@@ -62,7 +62,7 @@ type callState struct {
 	t       *proc.Thread
 	seq     uint64
 	msg     flip.Message
-	timer   *sim.Event
+	timer   sim.Event
 	retries int
 	reply   any
 	repSize int

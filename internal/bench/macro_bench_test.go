@@ -1,0 +1,47 @@
+package bench
+
+// Macro-benchmarks: whole-simulation hot paths, as opposed to the
+// scheduler micro-benchmarks in internal/sim. One Table-1 RPC cell and
+// one workload window are the two shapes every sweep is made of —
+// `go test -bench Macro ./internal/bench` before and after a scheduler
+// change (compared with benchstat) answers "did the sweep get faster"
+// without running the full CLI.
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/panda"
+	"amoebasim/internal/workload"
+)
+
+// BenchmarkMacroTable1RPCCell builds a 2-processor cluster and measures
+// one null-RPC latency cell per iteration, exactly as the Table 1 sweep
+// does per job.
+func BenchmarkMacroTable1RPCCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RPCLatency(panda.UserSpace, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMacroWorkloadWindow runs one small open-loop measurement
+// window (25ms simulated, group mix) per iteration — the unit of work the
+// workload sweep fans out per (mode, load) point.
+func BenchmarkMacroWorkloadWindow(b *testing.B) {
+	cfg := workload.Config{
+		Mode:        panda.UserSpace,
+		OfferedLoad: 800,
+		Window:      25 * time.Millisecond,
+		Warmup:      5 * time.Millisecond,
+		Seed:        1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -91,7 +91,7 @@ const locateRetries = 5
 // backoff).
 type locateState struct {
 	retries int
-	timer   *sim.Event
+	timer   sim.Event
 }
 
 // Stack is the per-kernel FLIP instance.

@@ -42,29 +42,44 @@ type series struct {
 	id     string  // canonical "name{k=v,...}" identity
 }
 
-func makeSeries(name string, labels []Label) series {
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool {
-		if ls[i].Key != ls[j].Key {
-			return ls[i].Key < ls[j].Key
+// seriesKey canonicalizes (name, labels) into the registry's reused
+// scratch buffers and returns the "name{k=v,...}" identity as a byte
+// slice. Labels are ordered by (Key, Value) with a closure-free insertion
+// sort (label sets are tiny and usually already sorted, so this is one
+// comparison per label), and the key is built into a buffer that is
+// reused across lookups — resolving an existing handle allocates nothing.
+// The returned slice and r.lblBuf stay valid until the next seriesKey
+// call.
+func (r *Registry) seriesKey(name string, labels []Label) []byte {
+	ls := append(r.lblBuf[:0], labels...)
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && (ls[j].Key < ls[j-1].Key ||
+			(ls[j].Key == ls[j-1].Key && ls[j].Value < ls[j-1].Value)); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
 		}
-		return ls[i].Value < ls[j].Value
-	})
-	var sb strings.Builder
-	sb.WriteString(name)
+	}
+	r.lblBuf = ls
+	b := append(r.keyBuf[:0], name...)
 	if len(ls) > 0 {
-		sb.WriteByte('{')
+		b = append(b, '{')
 		for i, l := range ls {
 			if i > 0 {
-				sb.WriteByte(',')
+				b = append(b, ',')
 			}
-			sb.WriteString(l.Key)
-			sb.WriteByte('=')
-			sb.WriteString(l.Value)
+			b = append(b, l.Key...)
+			b = append(b, '=')
+			b = append(b, l.Value...)
 		}
-		sb.WriteByte('}')
+		b = append(b, '}')
 	}
-	return series{name: name, labels: ls, id: sb.String()}
+	r.keyBuf = b
+	return b
+}
+
+// newSeries pins a canonical series for a freshly created metric: the
+// scratch label order and key are copied into permanent storage.
+func newSeries(name string, sorted []Label, key []byte) series {
+	return series{name: name, labels: append([]Label(nil), sorted...), id: string(key)}
 }
 
 // Name returns the metric name (without labels).
@@ -272,6 +287,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Reused scratch for series-identity lookups, so resolving an
+	// existing handle is allocation-free (see seriesKey).
+	keyBuf []byte
+	lblBuf []Label
 }
 
 // NewRegistry creates an empty registry.
@@ -284,46 +304,48 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns the counter for (name, labels), creating it on first
-// use. A nil registry returns a nil (no-op) handle.
+// use. Resolving an existing counter is allocation-free. A nil registry
+// returns a nil (no-op) handle.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := makeSeries(name, labels)
-	if c := r.counters[s.id]; c != nil {
+	key := r.seriesKey(name, labels)
+	if c := r.counters[string(key)]; c != nil {
 		return c
 	}
-	c := &Counter{series: s}
-	r.counters[s.id] = c
+	c := &Counter{series: newSeries(name, r.lblBuf, key)}
+	r.counters[c.id] = c
 	return c
 }
 
 // Gauge returns the gauge for (name, labels), creating it on first use.
+// Resolving an existing gauge is allocation-free.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := makeSeries(name, labels)
-	if g := r.gauges[s.id]; g != nil {
+	key := r.seriesKey(name, labels)
+	if g := r.gauges[string(key)]; g != nil {
 		return g
 	}
-	g := &Gauge{series: s}
-	r.gauges[s.id] = g
+	g := &Gauge{series: newSeries(name, r.lblBuf, key)}
+	r.gauges[g.id] = g
 	return g
 }
 
 // Histogram returns the histogram for (name, labels), creating it on
-// first use.
+// first use. Resolving an existing histogram is allocation-free.
 func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	s := makeSeries(name, labels)
-	if h := r.hists[s.id]; h != nil {
+	key := r.seriesKey(name, labels)
+	if h := r.hists[string(key)]; h != nil {
 		return h
 	}
-	h := &Histogram{series: s, counts: make([]int64, len(BucketBoundsUS)+1)}
-	r.hists[s.id] = h
+	h := &Histogram{series: newSeries(name, r.lblBuf, key), counts: make([]int64, len(BucketBoundsUS)+1)}
+	r.hists[h.id] = h
 	return h
 }
 

@@ -32,7 +32,7 @@ func TestPiggybackAckRestoredOnFailedCall(t *testing.T) {
 		_, _, err2 = cli.Call(th, 0, "b", 10)
 		ch := cli.rpc.chans[0]
 		restoredAck = ch.pendingAck
-		timerArmed = ch.ackTimer != nil
+		timerArmed = ch.ackTimer.Pending()
 		net.NIC(0).SetDown(false)
 	})
 	s.Run()

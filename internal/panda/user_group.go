@@ -31,7 +31,7 @@ type gsend struct {
 	msgID   uint64
 	wire    *uwire
 	big     bool
-	timer   *sim.Event
+	timer   sim.Event
 	retries int
 	err     error
 	done    bool
@@ -66,7 +66,7 @@ type userGroup struct {
 	seen       map[gkey]uint64
 	acked      map[int]uint64
 	lastStatus map[int]uint64 // ack seen at the previous status probe
-	watchdog   *sim.Event
+	watchdog   sim.Event
 }
 
 func (g *userGroup) init(u *User) {
@@ -461,12 +461,12 @@ func (g *userGroup) trimHistory() {
 // sequenced messages (history overflow prevention and tail-loss recovery,
 // as in the kernel protocol).
 func (g *userGroup) armWatchdog() {
-	if g.watchdog != nil || g.minAck() >= g.seqno {
+	if g.watchdog.Pending() || g.minAck() >= g.seqno {
 		return
 	}
 	u := g.u
 	g.watchdog = u.sim.Schedule(u.m.RetransTimeout, func() {
-		g.watchdog = nil
+		g.watchdog = sim.Event{}
 		if g.minAck() >= g.seqno {
 			return
 		}

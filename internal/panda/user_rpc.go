@@ -36,7 +36,7 @@ type uchan struct {
 	seq        uint64
 	inflight   *ucall
 	pendingAck uint64
-	ackTimer   *sim.Event
+	ackTimer   sim.Event
 }
 
 type ucall struct {
@@ -44,7 +44,7 @@ type ucall struct {
 	seq     uint64
 	msgID   uint64
 	wire    *uwire
-	timer   *sim.Event
+	timer   sim.Event
 	retries int
 	reply   any
 	repSize int
@@ -102,9 +102,9 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 	c.seq++
 	ack := c.pendingAck
 	c.pendingAck = 0
-	if c.ackTimer != nil {
+	if c.ackTimer.Pending() {
 		u.sim.Cancel(c.ackTimer)
-		c.ackTimer = nil
+		c.ackTimer = sim.Event{}
 	}
 	w := &uwire{kind: uREQ, from: u.id, seq: c.seq, ackSeq: ack, payload: req, size: size}
 	cs := &ucall{t: t, seq: c.seq, wire: w, msgID: u.k.RawNextMsgID()}
@@ -169,7 +169,7 @@ func (r *userRPC) armLazyAck(c *uchan, seq uint64) {
 	u := r.u
 	c.pendingAck = seq
 	c.ackTimer = u.sim.Schedule(u.m.AckDelay, func() {
-		c.ackTimer = nil
+		c.ackTimer = sim.Event{}
 		if c.pendingAck != seq {
 			return
 		}

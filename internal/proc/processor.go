@@ -47,7 +47,7 @@ type Processor struct {
 	intrBusy    bool       // an interrupt burst is in progress
 	intrPending bool       // a burst start is deferred to driver context
 	intrQ       []intrItem // queued interrupt work items
-	dispatchEv  *sim.Event // pending dispatch-after-switch-cost event
+	dispatchEv  sim.Event  // pending dispatch-after-switch-cost event
 
 	threads []*Thread
 	nextTID int
@@ -201,7 +201,7 @@ func (p *Processor) suspendCompute() {
 		t.remaining = 0
 	}
 	p.sim.Cancel(t.computeEv)
-	t.computeEv = nil
+	t.computeEv = sim.Event{}
 	t.state = statePreempted
 	p.tracef("suspend %s rem=%v", t.name, t.remaining)
 	p.stats.Preemptions++
@@ -246,7 +246,7 @@ func (p *Processor) resumeCompute(t *Thread) {
 
 func (p *Processor) computeDone(t *Thread) {
 	p.tracef("computeDone %s state=%d queued=%v", t.name, t.state, t.queued)
-	t.computeEv = nil
+	t.computeEv = sim.Event{}
 	t.remaining = 0
 	p.stats.ComputeTime += p.sim.Now().Sub(t.computeStart)
 	p.activate(t)
@@ -255,7 +255,7 @@ func (p *Processor) computeDone(t *Thread) {
 // scheduleDispatch arranges for the best ready thread to get the CPU after
 // the appropriate switch cost. At most one dispatch is pending at a time.
 func (p *Processor) scheduleDispatch(fromInterrupt bool) {
-	if p.dispatchEv != nil || p.running != nil || p.peekReady() == nil {
+	if p.dispatchEv.Pending() || p.running != nil || p.peekReady() == nil {
 		return
 	}
 	var cost time.Duration
@@ -291,7 +291,7 @@ func (p *Processor) scheduleDispatch(fromInterrupt bool) {
 	}
 	p.stats.SwitchTime += cost
 	p.dispatchEv = p.sim.Schedule(cost, func() {
-		p.dispatchEv = nil
+		p.dispatchEv = sim.Event{}
 		if p.intrBusy || p.running != nil {
 			return // burst in progress; endBurst will redo the dispatch
 		}

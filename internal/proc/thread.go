@@ -54,7 +54,7 @@ type Thread struct {
 	state        threadState
 	computeReq   time.Duration
 	remaining    time.Duration
-	computeEv    *sim.Event
+	computeEv    sim.Event
 	computeStart sim.Time
 
 	// Register-window model (§4.2): `depth` is the call-stack depth,

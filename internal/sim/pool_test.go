@@ -1,0 +1,188 @@
+package sim
+
+// White-box tests for the event pool and the specialized queue: handle
+// staleness across slot recycling, tombstone compaction, and capacity
+// shrink after bursts.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaleCancelDoesNotHitRecycledSlot is the generation-counter
+// guarantee: after an event fires, its pooled slot is recycled for the
+// next Schedule; canceling through the old handle must not cancel the new
+// occupant.
+func TestStaleCancelDoesNotHitRecycledSlot(t *testing.T) {
+	s := New()
+	fn := func() {}
+	stale := s.Schedule(time.Microsecond, fn)
+	if !s.Step() {
+		t.Fatal("first event did not fire")
+	}
+
+	fired := false
+	fresh := s.Schedule(time.Microsecond, func() { fired = true })
+	if fresh.e != stale.e {
+		t.Fatalf("free list did not recycle the slot (stale %p, fresh %p)", stale.e, fresh.e)
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports Pending after its slot was recycled")
+	}
+	if s.Cancel(stale) {
+		t.Fatal("stale Cancel reported success")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("new occupant did not fire")
+	}
+}
+
+// TestStaleCancelAfterCancel covers the cancel → recycle → stale-cancel
+// path (the slot is recycled via the tombstone route, not the fire route).
+func TestStaleCancelAfterCancel(t *testing.T) {
+	s := New()
+	fn := func() {}
+	e := s.Schedule(time.Millisecond, fn)
+	if !s.Cancel(e) {
+		t.Fatal("cancel of a pending event failed")
+	}
+	if s.Cancel(e) {
+		t.Fatal("double cancel reported success")
+	}
+	s.Run() // drains the tombstone, releasing the slot
+	fresh := s.Schedule(time.Millisecond, fn)
+	if s.Cancel(e) {
+		t.Fatal("stale Cancel reported success after slot recycling")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the recycled slot's new occupant")
+	}
+}
+
+// TestHandleLifecycle pins the Pending/At semantics of a handle through
+// its whole life: scheduled → fired, and the zero handle.
+func TestHandleLifecycle(t *testing.T) {
+	s := New()
+	var zero Event
+	if zero.Pending() || zero.At() != 0 || s.Cancel(zero) {
+		t.Fatal("zero Event must be inert")
+	}
+	e := s.Schedule(3*time.Microsecond, func() {})
+	if !e.Pending() {
+		t.Fatal("scheduled event not Pending")
+	}
+	if e.At() != Time(3*time.Microsecond) {
+		t.Fatalf("At = %v, want 3µs", e.At())
+	}
+	s.Run()
+	if e.Pending() || e.At() != 0 {
+		t.Fatal("fired event still Pending")
+	}
+}
+
+// TestCancelInsideOwnCallback: by the time fn runs the event is released,
+// so a self-cancel must be a no-op.
+func TestCancelInsideOwnCallback(t *testing.T) {
+	s := New()
+	var e Event
+	e = s.Schedule(time.Microsecond, func() {
+		if s.Cancel(e) {
+			t.Error("Cancel inside own callback reported success")
+		}
+	})
+	s.Run()
+}
+
+// TestTombstoneCompaction: canceling more than half the queue compacts it
+// in place; survivors still fire in order.
+func TestTombstoneCompaction(t *testing.T) {
+	s := New()
+	var evs []Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, s.Schedule(time.Duration(i)*time.Microsecond, func() {}))
+	}
+	for i := 0; i < 1000; i += 2 {
+		s.Cancel(evs[i])
+	}
+	// 500 tombstones vs 500 live: one more cancel crosses the half-way
+	// mark and must trigger the compaction pass.
+	s.Cancel(evs[1])
+	if got := len(s.q.heap); got != 499 {
+		t.Fatalf("heap holds %d events after compaction, want 499 live", got)
+	}
+	if s.q.dead != 0 {
+		t.Fatalf("dead = %d after compaction, want 0", s.q.dead)
+	}
+	if s.Pending() != 499 {
+		t.Fatalf("Pending = %d, want 499", s.Pending())
+	}
+	var last Time = -1
+	n := 0
+	for s.q.live() > 0 {
+		e := s.q.popLive()
+		if e.at < last {
+			t.Fatalf("pop order regressed after compaction: %v < %v", e.at, last)
+		}
+		last = e.at
+		s.q.release(e)
+		n++
+	}
+	if n != 499 {
+		t.Fatalf("drained %d events, want 499", n)
+	}
+}
+
+// TestQueueShrinksAfterBurst is the unbounded-growth regression test: a
+// 100k-event burst must not leave the heap slice or the free list at peak
+// capacity once it drains.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	s := New()
+	fn := func() {}
+	const burst = 100_000
+	for i := 0; i < burst; i++ {
+		s.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	if cap(s.q.heap) < burst {
+		t.Fatalf("heap cap %d never reached burst size", cap(s.q.heap))
+	}
+	s.Run()
+
+	// Steady-state trickle: queue depth 1. Capacity must be back near the
+	// floor, not pinned at the 100k peak.
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Microsecond, fn)
+		s.Step()
+	}
+	const bound = 4 * minQueueCap
+	if c := cap(s.q.heap); c > bound {
+		t.Fatalf("heap cap %d after burst drained, want ≤ %d", c, bound)
+	}
+	if n := len(s.q.free); n > 2*bound {
+		t.Fatalf("free list holds %d slots after burst drained, want ≤ %d", n, 2*bound)
+	}
+}
+
+// TestRunUntilSkipsHeadTombstones: a canceled event at the head of the
+// queue must not make RunUntil execute a later-than-t event or stall.
+func TestRunUntilSkipsHeadTombstones(t *testing.T) {
+	s := New()
+	e := s.Schedule(time.Millisecond, func() { t.Error("canceled event fired") })
+	fired := false
+	s.Schedule(10*time.Millisecond, func() { fired = true })
+	s.Cancel(e)
+	s.RunUntil(Time(5 * time.Millisecond))
+	if fired {
+		t.Fatal("RunUntil executed an event past its horizon")
+	}
+	if s.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("Now = %v, want 5ms", s.Now())
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("surviving event never fired")
+	}
+}

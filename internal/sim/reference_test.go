@@ -1,0 +1,100 @@
+package sim
+
+// The pre-overhaul container/heap scheduler, kept verbatim as an
+// executable specification. The randomized equivalence test and the fuzz
+// harness drive it in lockstep with the pooled 4-ary queue and demand an
+// identical fire sequence; the comparison benchmark measures the speedup
+// the overhaul claims (see BenchmarkScheduleFireContainerHeap).
+
+import (
+	"container/heap"
+	"time"
+)
+
+type refEvent struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+}
+
+type refSim struct {
+	now    Time
+	seq    uint64
+	pq     refHeap
+	events uint64
+}
+
+func (s *refSim) Schedule(d time.Duration, fn func()) *refEvent {
+	if d < 0 {
+		d = 0
+	}
+	t := s.now + Time(d)
+	s.seq++
+	e := &refEvent{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+func (s *refSim) Cancel(e *refEvent) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.pq, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+func (s *refSim) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(*refEvent)
+	e.index = -1
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.events++
+	fn()
+	return true
+}
+
+func (s *refSim) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *refSim) Pending() int { return len(s.pq) }
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

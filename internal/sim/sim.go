@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -73,23 +72,39 @@ func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. Events are created via Sim.Schedule and
-// friends and may be canceled before they fire.
+// Event is a cancellable handle to a scheduled callback, returned by
+// Sim.Schedule and friends. It is a small value (the pooled slot pointer
+// plus the slot's generation at schedule time), so holding or copying one
+// costs nothing and never extends the life of the underlying slot: once
+// the event fires or is canceled the slot is recycled, its generation
+// advances, and every outstanding handle to the old occurrence goes
+// stale. Cancel and Pending on a stale handle are safe no-ops. The zero
+// Event is a valid "no event" handle.
 type Event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once popped or canceled
+	e   *event
+	gen uint64
 }
 
-// At reports the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Pending reports whether the scheduled callback is still queued — i.e.
+// it has not fired and has not been canceled.
+func (h Event) Pending() bool {
+	return h.e != nil && h.gen == h.e.gen && h.e.fn != nil
+}
+
+// At reports the instant the event is scheduled to fire, or zero once the
+// handle is no longer pending.
+func (h Event) At() Time {
+	if h.Pending() {
+		return h.e.at
+	}
+	return 0
+}
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now      Time
 	seq      uint64
-	pq       eventHeap
+	q        eventQueue
 	stopped  bool
 	events   uint64 // total events executed
 	tracer   Tracer
@@ -178,8 +193,8 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) EventsRun() uint64 { return s.events }
 
 // Schedule arranges for fn to run d after the current time. A negative d is
-// treated as zero. It returns the event so the caller may cancel it.
-func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+// treated as zero. It returns a handle so the caller may cancel the event.
+func (s *Sim) Schedule(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -188,43 +203,53 @@ func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
 
 // ScheduleAt arranges for fn to run at instant t. Scheduling in the past is
 // an error in the simulation logic and panics, because it would silently
-// reorder causality.
-func (s *Sim) ScheduleAt(t Time, fn func()) *Event {
+// reorder causality. fn must not be nil (a nil callback would be
+// indistinguishable from a canceled event).
+func (s *Sim) ScheduleAt(t Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.pq, e)
-	return e
+	e := s.q.alloc()
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	s.q.push(e)
+	return Event{e: e, gen: e.gen}
 }
 
-// Cancel removes a pending event. Canceling an event that already fired or
-// was already canceled is a no-op. It reports whether the event was pending.
-func (s *Sim) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event in O(1) by tombstoning its slot; the
+// tombstone is skipped when it reaches the top of the queue, and the heap
+// is compacted when tombstones outnumber live events. Canceling an event
+// that already fired or was already canceled — including via a handle
+// whose slot has since been recycled for a newer event — is a safe no-op.
+// It reports whether the event was pending.
+func (s *Sim) Cancel(h Event) bool {
+	e := h.e
+	if e == nil || h.gen != e.gen || e.fn == nil {
 		return false
 	}
-	heap.Remove(&s.pq, e.index)
-	e.index = -1
 	e.fn = nil
+	s.q.dead++
+	if len(s.q.heap) >= minQueueCap && s.q.dead > len(s.q.heap)/2 {
+		s.q.compact()
+	}
 	return true
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
-	if len(s.pq) == 0 {
+	e := s.q.popLive()
+	if e == nil {
 		return false
 	}
-	e, ok := heap.Pop(&s.pq).(*Event)
-	if !ok {
-		return false
-	}
-	e.index = -1
 	s.now = e.at
 	fn := e.fn
-	e.fn = nil
+	s.q.release(e) // recycle before fn runs; fn's own Schedules may reuse it
 	s.events++
 	fn()
 	return true
@@ -240,7 +265,11 @@ func (s *Sim) Run() {
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 func (s *Sim) RunUntil(t Time) {
 	s.stopped = false
-	for !s.stopped && len(s.pq) > 0 && s.pq[0].at <= t {
+	for !s.stopped {
+		e := s.q.peekLive()
+		if e == nil || e.at > t {
+			break
+		}
 		s.Step()
 	}
 	if t > s.now {
@@ -251,42 +280,6 @@ func (s *Sim) RunUntil(t Time) {
 // Stop makes Run or RunUntil return after the current event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
-// Pending reports the number of events still queued.
-func (s *Sim) Pending() int { return len(s.pq) }
-
-// eventHeap orders events by (time, insertion sequence) so simultaneous
-// events fire in a deterministic FIFO order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		panic("sim: eventHeap.Push: not an *Event")
-	}
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// Pending reports the number of events still queued (canceled events are
+// excluded, whether or not their tombstones have been collected).
+func (s *Sim) Pending() int { return s.q.live() }

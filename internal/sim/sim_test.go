@@ -58,7 +58,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, s.Schedule(time.Duration(i)*time.Microsecond, func() { got = append(got, i) }))
