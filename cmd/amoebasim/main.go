@@ -17,6 +17,10 @@
 //	amoebasim -bench-json F     full Table 1-3 sweep to BENCH artifact F ("auto": BENCH_<date>.json)
 //	amoebasim -baseline F       regression gate: compare the sweep against baseline F
 //	amoebasim -wall-budget D    fail the gate if the sweep's wall-clock exceeds D
+//	amoebasim -decomp-json F    causal latency decomposition to DECOMP artifact F ("auto": DECOMP_<date>.json)
+//	amoebasim -decomp-baseline F  zero-drift gate: compare the decomposition against baseline F
+//	amoebasim -chrome-trace F   Chrome trace-event JSON (Perfetto-loadable) of a traced run to F
+//	amoebasim -trace-cap N      trace ring-buffer capacity in events (default 65536)
 //	amoebasim -workload open    latency-vs-offered-load curves for all three modes
 //	amoebasim -load L1,L2,...   offered loads in ops/sec (default 400,1300,2400)
 //	amoebasim -clients N        client-population size (default 2x workers)
@@ -43,6 +47,7 @@ import (
 
 	"amoebasim/internal/apps"
 	"amoebasim/internal/bench"
+	"amoebasim/internal/causal"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/faults"
 	"amoebasim/internal/panda"
@@ -83,6 +88,11 @@ func main() {
 		wlWarmup   = flag.Duration("wl-warmup", 0, "workload warmup before measurement (default window/4)")
 		knee       = flag.Bool("knee", true, "with -workload open: bisect to each mode's saturation point")
 		workloadJ  = flag.String("workload-json", "", "write the workload curves as a JSON artifact ('auto': WORKLOAD_<date>.json)")
+		decompJSON = flag.String("decomp-json", "", "write the causal latency-decomposition artifact here ('auto': DECOMP_<date>.json)")
+		decompBase = flag.String("decomp-baseline", "", "compare the -decomp-json sweep against this committed DECOMP_*.json baseline (zero drift tolerance)")
+		chromeTr   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a traced run to this file")
+		traceCap   = flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0: 65536 default)")
+		wlDecomp   = flag.Bool("wl-decomp", false, "with -workload: collect per-phase latency breakdowns at each load point")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -96,15 +106,19 @@ func main() {
 				dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
 				window: *wlWindow, warmup: *wlWarmup, knee: *knee,
 				jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
+				decomp: *wlDecomp || *decompJSON != "", decompPath: *decompJSON,
 			})
 		}
 		if *faultsF != "" {
 			return runFaults(*faultsF, *seed, *faultSeed, *jobs)
 		}
+		if *decompJSON != "" || *decompBase != "" {
+			return runDecomp(*decompJSON, *decompBase, *seed, *jobs)
+		}
 		if *benchJSON != "" || *baseline != "" {
 			return runBenchSweep(*benchJSON, *baseline, *scale, *appsFlag, *procsFlag, *seed, *jobs, *wallBudget)
 		}
-		return run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ, *jobs)
+		return run(*table, *decompose, *traceFlag, *all, *sweep, *scale, *appsFlag, *procsFlag, *seed, *metricsF, *metricsJ, *traceJ, *chromeTr, *traceCap, *jobs)
 	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
@@ -162,7 +176,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ string, jobs int) error {
+func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, procsFlag string, seed uint64, metricsF bool, metricsJ, traceJ, chromeTr string, traceCap, jobs int) error {
 	did := false
 	if sweep != "" {
 		if err := runSweep(sweep, appsFlag, scale, seed); err != nil {
@@ -173,7 +187,7 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 	if traceFlag {
 		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
 			fmt.Printf("--- null RPC timeline, %v ---\n", mode)
-			log, err := rpcTrace(mode)
+			log, err := rpcTrace(mode, traceCap)
 			if err != nil {
 				return err
 			}
@@ -185,7 +199,13 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 		did = true
 	}
 	if traceJ != "" {
-		if err := writeTraceJSON(traceJ); err != nil {
+		if err := writeTraceJSON(traceJ, traceCap); err != nil {
+			return err
+		}
+		did = true
+	}
+	if chromeTr != "" {
+		if err := writeChromeTrace(chromeTr, traceCap); err != nil {
 			return err
 		}
 		did = true
@@ -389,6 +409,8 @@ type workloadArgs struct {
 	think, window, warmup                     time.Duration
 	knee                                      bool
 	seed                                      uint64
+	decomp                                    bool   // collect per-load-point phase breakdowns
+	decompPath                                string // also write the DECOMP artifact (cells + load points)
 }
 
 // workloadSweepConfig validates the flag family and assembles the sweep
@@ -428,6 +450,7 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 			Procs: a.procs, Loop: loop, Clients: a.clients,
 			ThinkTime: a.think, Arrival: arr, Mix: mix, Sizes: dist,
 			Warmup: a.warmup, Window: a.window, Seed: a.seed,
+			Decompose: a.decomp,
 		},
 		Loads:   loads,
 		Knee:    a.knee && loop == workload.OpenLoop,
@@ -451,6 +474,42 @@ func runWorkload(a workloadArgs) error {
 	bench.PrintWorkload(os.Stdout, res)
 	fmt.Printf("(%d jobs in %v on %d workers)\n",
 		len(res.Jobs), res.Wall.Round(time.Millisecond), a.jobs)
+
+	if a.decompPath != "" {
+		// The workload-integrated decomposition artifact: the fixed
+		// §4.2/§4.3 cells plus one decomposed cell per load point.
+		art, err := bench.RunDecomposition(bench.DecompConfig{Seed: a.seed, Workers: a.jobs})
+		if err != nil {
+			return err
+		}
+		art.Workload = bench.WorkloadDecomp(res)
+		if err := art.CheckConservation(); err != nil {
+			return err
+		}
+		bench.PrintLatencyDecomp(os.Stdout, art)
+		path := a.decompPath
+		if path == "auto" {
+			path = "DECOMP_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := causal.Write(f, art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	} else if a.decomp {
+		art := &causal.Artifact{Workload: bench.WorkloadDecomp(res)}
+		if err := art.CheckConservation(); err != nil {
+			return err
+		}
+		bench.PrintLatencyDecomp(os.Stdout, art)
+	}
 
 	if a.jsonPath != "" {
 		path := a.jsonPath
@@ -570,14 +629,14 @@ func runSweep(kind, appsFlag, scale string, seed uint64) error {
 func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // rpcTrace runs one null RPC with tracing enabled and returns the
-// captured protocol timeline.
-func rpcTrace(mode panda.Mode) (*trace.Log, error) {
+// captured protocol timeline. cap sizes the ring (0: the 64k default).
+func rpcTrace(mode panda.Mode, cap int) (*trace.Log, error) {
 	c, err := cluster.New(cluster.Config{Procs: 2, Mode: mode, Seed: 1})
 	if err != nil {
 		return nil, err
 	}
 	defer c.Shutdown()
-	log := trace.NewLog(0)
+	log := trace.NewLog(cap)
 	c.Sim.SetTracer(log)
 	srv := c.Transports[0]
 	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, n int) {
@@ -590,15 +649,96 @@ func rpcTrace(mode panda.Mode) (*trace.Log, error) {
 	return log, nil
 }
 
+// runDecomp runs the causal latency-decomposition sweep, prints the
+// §4.2/§4.3 tables, writes the DECOMP artifact, and applies the zero-drift
+// gate against a committed baseline.
+func runDecomp(path, baseline string, seed uint64, jobs int) error {
+	art, err := bench.RunDecomposition(bench.DecompConfig{Seed: seed, Workers: jobs})
+	if err != nil {
+		return err
+	}
+	bench.PrintLatencyDecomp(os.Stdout, art)
+	if path != "" {
+		if path == "auto" {
+			path = "DECOMP_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := causal.Write(f, art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if baseline != "" {
+		base, err := causal.Load(baseline)
+		if err != nil {
+			return err
+		}
+		if err := causal.Compare(base, art); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s: no drift\n", baseline)
+	}
+	return nil
+}
+
+// writeChromeTrace runs a fully traced scenario — a user-space 3-member
+// group cluster where one member issues an RPC and then a totally-ordered
+// group send — and exports the span log as Chrome trace-event JSON:
+// one track per processor, nested protocol spans, and flow arrows
+// following each operation's correlation id across tracks.
+func writeChromeTrace(path string, cap int) error {
+	col := causal.NewCollector(0)
+	c, err := cluster.New(cluster.Config{
+		Procs: 3, Mode: panda.UserSpace, Group: true, Seed: 1, Causal: col,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+	log := trace.NewLog(cap)
+	c.Sim.SetTracer(log)
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, n int) {
+		srv.Reply(t, ctx, nil, 0)
+	})
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		_, _, _ = c.Transports[1].Call(t, 0, nil, 0)
+		_ = c.Transports[1].GroupSend(t, nil, 0)
+	})
+	c.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	st, err := causal.ExportChromeTrace(f, log)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events, %d slices, %d flow arrows (orphan ends %d, unclosed %d, ring-dropped %d)\n",
+		path, st.Events, st.Slices, st.Flows, st.OrphanEnds, st.Unclosed, st.Dropped)
+	return nil
+}
+
 // writeTraceJSON captures the null-RPC span timeline of each
 // implementation and writes them as one JSON document.
-func writeTraceJSON(path string) error {
+func writeTraceJSON(path string, cap int) error {
 	var docs struct {
 		KernelSpace json.RawMessage `json:"kernel-space"`
 		UserSpace   json.RawMessage `json:"user-space"`
 	}
 	for i, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
-		log, err := rpcTrace(mode)
+		log, err := rpcTrace(mode, cap)
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,7 @@ type grpWire struct {
 	seqno   uint64
 	sender  int
 	tmpID   uint64
+	op      uint64 // causally traced operation of the sender (0: none)
 	payload any
 	size    int
 	ackUpTo uint64
@@ -74,6 +75,7 @@ type grpSendState struct {
 	tmpID   uint64
 	msg     flip.Message
 	timer   sim.Event
+	armedAt sim.Time // when the retransmission timer was armed
 	retries int
 	err     error
 	done    bool
@@ -191,35 +193,42 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 	if mb == nil {
 		return fmt.Errorf("akernel: kernel %d is not a member of group %d", k.id, gid)
 	}
+	op := t.Op()
+	topLevel := op == 0
+	if topLevel {
+		op = k.sim.CausalBegin("group")
+		t.SetOp(op)
+	}
 	k.enterKernel(t)
-	t.Charge(k.m.ProtoGroup)
+	t.ChargeP(sim.PhaseProtoSend, k.m.ProtoGroup)
 
 	mb.tmpSeq++
 	ss := &grpSendState{t: t, tmpID: mb.tmpSeq}
 	mb.sends[ss.tmpID] = ss
+	k.sim.SpanBeginWith(op, k.p.Name(), "grp.send", "tmp=%d size=%d", ss.tmpID, size)
 
 	if mb.seqID == k.id {
 		// The sender is the sequencer machine: sequence locally without
 		// touching the wire for the request leg.
 		w := &grpWire{
-			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID, op: op,
 			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
 		}
 		if mb.mx != nil {
 			mb.mx.localSends.Inc()
 		}
 		t.Flush()
-		k.p.Interrupt(k.m.ProtoGroup, func() { mb.seqHandleREQ(w) })
+		k.p.InterruptTagged(k.m.ProtoGroup, op, sim.PhaseSeqService, func() { mb.seqHandleREQ(w) })
 	} else if size <= k.m.BBThreshold {
 		// PB method: point-to-point to the sequencer, which broadcasts.
 		w := &grpWire{
-			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			kind: gREQ, gid: gid, sender: k.id, tmpID: ss.tmpID, op: op,
 			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
 		}
 		ss.msg = flip.Message{
 			Src: RawAddress(k.id), Dst: seqAddress(gid), Proto: flip.ProtoGroup,
 			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
-			Size: size, Payload: w,
+			Size: size, Payload: w, Op: op,
 		}
 		if mb.mx != nil {
 			mb.mx.pbSends.Inc()
@@ -229,14 +238,14 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 		// BB method: the sender broadcasts the data itself; the sequencer
 		// broadcasts a small accept message carrying the sequence number.
 		w := &grpWire{
-			kind: gBB, gid: gid, sender: k.id, tmpID: ss.tmpID,
+			kind: gBB, gid: gid, sender: k.id, tmpID: ss.tmpID, op: op,
 			payload: payload, size: size, ackUpTo: mb.nextDeliver - 1,
 		}
 		mb.bbData[bbKey{sender: k.id, tmpID: ss.tmpID}] = w
 		ss.msg = flip.Message{
 			Src: RawAddress(k.id), Dst: GroupAddress(gid), Proto: flip.ProtoGroup,
 			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
-			Size: size, Payload: w, Multicast: true,
+			Size: size, Payload: w, Multicast: true, Op: op,
 		}
 		if mb.mx != nil {
 			mb.mx.bbSends.Inc()
@@ -245,11 +254,17 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 	}
 	if mb.seqID != k.id {
 		ss.timer = k.sim.Schedule(k.m.RetransTimeout, func() { mb.sendTimeout(ss) })
+		ss.armedAt = k.sim.Now()
 	}
 	t.Block()
 
 	delete(mb.sends, ss.tmpID)
+	k.sim.SpanEnd(op, k.p.Name(), "grp.send", "tmp=%d err=%v", ss.tmpID, ss.err)
 	k.leaveKernel(t)
+	if topLevel {
+		k.sim.CausalEnd(op, ss.err != nil)
+		t.SetOp(0)
+	}
 	return ss.err
 }
 
@@ -286,6 +301,8 @@ func (mb *member) sendTimeout(ss *grpSendState) {
 	if ss.done {
 		return
 	}
+	// The armed window elapsed with no completion: retransmission idle.
+	mb.k.sim.CausalSpan(ss.msg.Op, sim.PhaseRetrans, ss.armedAt, mb.k.sim.Now())
 	ss.retries++
 	if ss.retries > grpMaxRetries {
 		ss.err = ErrGroupSendFailed
@@ -298,13 +315,14 @@ func (mb *member) sendTimeout(ss *grpSendState) {
 	}
 	mb.k.flip.SendFromInterrupt(ss.msg)
 	ss.timer = mb.k.sim.Schedule(mb.k.m.RetransTimeout, func() { mb.sendTimeout(ss) })
+	ss.armedAt = mb.k.sim.Now()
 }
 
 // onPacket processes group packets at interrupt level. Fragment data is
 // copied to the delivery buffer as it arrives.
 func (mb *member) onPacket(pk *flip.Packet) {
 	if pk.Length > 0 {
-		mb.k.p.Interrupt(mb.k.m.Copy(pk.Length), nil)
+		mb.k.p.InterruptTagged(mb.k.m.Copy(pk.Length), pk.Op, sim.PhaseFrag, nil)
 	}
 	if !mb.reasm.Add(pk) {
 		return
@@ -314,7 +332,16 @@ func (mb *member) onPacket(pk *flip.Packet) {
 		return
 	}
 	k := mb.k
-	k.p.Interrupt(k.m.ProtoGroup, func() { mb.handle(w) })
+	// Sequencer-bound packets handled on the sequencer machine are
+	// sequencer service; everything else is ordinary receive processing.
+	ph := sim.PhaseProtoRecv
+	if mb.seqID == k.id {
+		switch w.kind {
+		case gREQ, gBB, gRETR, gSTATUS:
+			ph = sim.PhaseSeqService
+		}
+	}
+	k.p.InterruptTagged(k.m.ProtoGroup, w.op, ph, func() { mb.handle(w) })
 }
 
 func (mb *member) handle(w *grpWire) {
@@ -374,7 +401,7 @@ func (mb *member) seqHandleREQ(w *grpWire) {
 	mb.seqno++
 	d := &grpWire{
 		kind: gDATA, gid: mb.gid, seqno: mb.seqno, sender: w.sender,
-		tmpID: w.tmpID, payload: w.payload, size: w.size,
+		tmpID: w.tmpID, op: w.op, payload: w.payload, size: w.size,
 	}
 	mb.k.sim.Trace(mb.k.p.Name(), "grp.seq", "seqno=%d sender=%d size=%d (PB)", mb.seqno, w.sender, w.size)
 	mb.seen[key] = mb.seqno
@@ -401,7 +428,7 @@ func (mb *member) seqHandleBB(w *grpWire) {
 	// History keeps the payload so retransmissions can carry the data.
 	d := &grpWire{
 		kind: gDATA, gid: mb.gid, seqno: mb.seqno, sender: w.sender,
-		tmpID: w.tmpID, payload: w.payload, size: w.size,
+		tmpID: w.tmpID, op: w.op, payload: w.payload, size: w.size,
 	}
 	mb.seen[key] = mb.seqno
 	mb.history[mb.seqno] = d
@@ -418,16 +445,18 @@ func (mb *member) broadcastData(d *grpWire) {
 		Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
 		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
 		Size: d.size, Payload: d, Multicast: true,
+		Op: d.op, SendPhase: sim.PhaseSeqService,
 	})
 }
 
 func (mb *member) broadcastAccept(d *grpWire) {
 	k := mb.k
-	acc := &grpWire{kind: gACCEPT, gid: mb.gid, seqno: d.seqno, sender: d.sender, tmpID: d.tmpID}
+	acc := &grpWire{kind: gACCEPT, gid: mb.gid, seqno: d.seqno, sender: d.sender, tmpID: d.tmpID, op: d.op}
 	k.flip.SendFromInterrupt(flip.Message{
 		Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
 		MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0,
 		Payload: acc, Multicast: true,
+		Op: d.op, SendPhase: sim.PhaseSeqService,
 	})
 }
 
@@ -442,6 +471,7 @@ func (mb *member) seqHandleRETR(w *grpWire) {
 			Src: seqAddress(mb.gid), Dst: kernAddress(w.from), Proto: flip.ProtoGroup,
 			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel,
 			Size: h.size, Payload: h,
+			Op: h.op, SendPhase: sim.PhaseSeqService,
 		})
 	}
 }

@@ -3,6 +3,7 @@ package akernel
 import (
 	"amoebasim/internal/flip"
 	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
 )
 
 // rawModule is the Amoeba kernel extension that exposes the low-level FLIP
@@ -11,10 +12,18 @@ import (
 // been optimized" (user-to-kernel address translation); RawPathOverhead in
 // the cost model captures that residual per-packet cost.
 type rawModule struct {
-	k       *Kernel
-	queue   []*flip.Packet
-	waiters []*rawWaiter
-	discard func(*flip.Packet) bool
+	k         *Kernel
+	queue     []rawEntry
+	waiters   []*rawWaiter
+	discard   func(*flip.Packet) bool
+	waitPhase func(*flip.Packet) sim.PhaseID
+}
+
+// rawEntry is one queued packet plus its enqueue instant, so the time it
+// waits for the user-space daemon can be causally attributed.
+type rawEntry struct {
+	pk *flip.Packet
+	at sim.Time
 }
 
 type rawWaiter struct {
@@ -40,6 +49,12 @@ func (k *Kernel) RawJoinGroup(a flip.Address) { k.flip.JoinGroup(a) }
 // group address.
 func (k *Kernel) RawDiscard(match func(*flip.Packet) bool) { k.raw.discard = match }
 
+// RawWaitPhase installs a classifier deciding which causal phase a
+// packet's wait in the raw receive queue belongs to (nil, the default,
+// classifies everything as PhaseRecvQueue). The user-space group
+// protocol classifies sequencer-bound traffic as PhaseSeqQueue.
+func (k *Kernel) RawWaitPhase(fn func(*flip.Packet) sim.PhaseID) { k.raw.waitPhase = fn }
+
 // RawNextMsgID allocates a FLIP message id (local bookkeeping, no
 // crossing).
 func (k *Kernel) RawNextMsgID() uint64 { return k.flip.NextMsgID() }
@@ -51,14 +66,15 @@ func (k *Kernel) RawInvalidateRoute(dst flip.Address) { k.flip.InvalidateRoute(d
 
 // RawSend transmits a message through FLIP from user space: one syscall,
 // a user-to-kernel copy, and the per-packet FLIP send processing, all
-// charged to the calling thread. Reuse msgID across retransmissions.
+// charged to the calling thread. Reuse msgID across retransmissions. The
+// message is attributed to the thread's current causal operation.
 func (k *Kernel) RawSend(t *proc.Thread, dst flip.Address, msgID uint64, hdr, size int, payload any, multicast bool) {
 	k.enterKernel(t)
-	t.Charge(k.m.RawPathOverhead)
+	t.ChargeP(sim.PhaseCrossing, k.m.RawPathOverhead)
 	k.flip.SendFromThread(t, flip.Message{
 		Src: RawAddress(k.id), Dst: dst, Proto: flip.ProtoSystem,
 		MsgID: msgID, Hdr: hdr, Size: size, Payload: payload,
-		Multicast: multicast,
+		Multicast: multicast, Op: t.Op(),
 	})
 	k.leaveKernel(t)
 }
@@ -80,11 +96,13 @@ func (k *Kernel) RawReceiveMatch(t *proc.Thread, match func(*flip.Packet) bool) 
 	k.enterKernel(t)
 	var pk *flip.Packet
 	for i, q := range r.queue {
-		if match == nil || match(q) {
-			pk = q
+		if match == nil || match(q.pk) {
+			pk = q.pk
+			// The packet sat in the raw queue from enqueue to this pickup.
+			k.sim.CausalSpan(pk.Op, r.queueWaitPhase(pk), q.at, k.sim.Now())
 			last := len(r.queue) - 1
 			copy(r.queue[i:], r.queue[i+1:])
-			r.queue[last] = nil // clear the vacated slot so the packet can be GC'd
+			r.queue[last] = rawEntry{} // clear the vacated slot so the packet can be GC'd
 			r.queue = r.queue[:last]
 			if k.mx != nil {
 				k.mx.rawQueueDepth.Set(int64(len(r.queue)))
@@ -98,10 +116,19 @@ func (k *Kernel) RawReceiveMatch(t *proc.Thread, match func(*flip.Packet) bool) 
 		t.Block()
 		pk = w.pk
 	}
-	t.Charge(k.m.RawPathOverhead)
+	t.SetOp(pk.Op)
+	t.ChargeP(sim.PhaseCrossing, k.m.RawPathOverhead)
 	t.CopyBytes(pk.Length)
 	k.leaveKernel(t)
 	return pk
+}
+
+// queueWaitPhase classifies one packet's raw-queue wait.
+func (r *rawModule) queueWaitPhase(pk *flip.Packet) sim.PhaseID {
+	if r.waitPhase != nil {
+		return r.waitPhase(pk)
+	}
+	return sim.PhaseRecvQueue
 }
 
 // RawPending reports queued packets not yet picked up by the daemon.
@@ -123,10 +150,11 @@ func (r *rawModule) onPacket(pk *flip.Packet) {
 		r.waiters[last] = nil // clear the vacated slot (it pins thread + packet)
 		r.waiters = r.waiters[:last]
 		w.pk = pk
+		w.t.SetOp(pk.Op)
 		w.t.Unblock()
 		return
 	}
-	r.queue = append(r.queue, pk)
+	r.queue = append(r.queue, rawEntry{pk: pk, at: r.k.sim.Now()})
 	if r.k.mx != nil {
 		r.k.mx.rawQueueDepth.Set(int64(len(r.queue)))
 	}

@@ -23,6 +23,7 @@ type Request struct {
 
 	ch      chanKey
 	seq     uint64
+	op      uint64 // causally traced operation of the client (0: none)
 	thread  *proc.Thread // the thread that accepted it (Amoeba's binding)
 	kern    *Kernel
 	retAddr flip.Address
@@ -51,10 +52,13 @@ type rpcWire struct {
 	kind    rpcKind
 	ch      chanKey
 	seq     uint64
+	op      uint64 // causally traced operation (0: none)
 	port    Port
 	payload any
 	size    int
 	retAddr flip.Address // client kernel's reply endpoint
+
+	queuedAt sim.Time // server-side: when the request entered the port queue
 }
 
 // callState tracks one outstanding client call.
@@ -63,6 +67,7 @@ type callState struct {
 	seq     uint64
 	msg     flip.Message
 	timer   sim.Event
+	armedAt sim.Time // when the retransmission timer was armed
 	retries int
 	reply   any
 	repSize int
@@ -124,6 +129,12 @@ func newRPCModule(k *Kernel) *rpcModule {
 // context (no context switch), and acknowledges the reply explicitly.
 func (k *Kernel) Trans(t *proc.Thread, port Port, req any, reqSize int) (any, int, error) {
 	r := k.rpc
+	op := t.Op()
+	topLevel := op == 0
+	if topLevel {
+		op = k.sim.CausalBegin("rpc")
+		t.SetOp(op)
+	}
 	k.enterKernel(t)
 	// The user-to-kernel data copy is charged per fragment by the FLIP
 	// send path below.
@@ -132,23 +143,29 @@ func (k *Kernel) Trans(t *proc.Thread, port Port, req any, reqSize int) (any, in
 	ch := chanKey{kernel: k.id, thread: t.ID()}
 	cs := &callState{t: t, seq: r.seqs[t.ID()]}
 	wire := &rpcWire{
-		kind: rpcREQ, ch: ch, seq: cs.seq, port: port,
+		kind: rpcREQ, ch: ch, seq: cs.seq, op: op, port: port,
 		payload: req, size: reqSize, retAddr: r.replyTo,
 	}
 	cs.msg = flip.Message{
 		Src: r.replyTo, Dst: PortAddress(port), Proto: flip.ProtoRPC,
 		MsgID: k.flip.NextMsgID(), Hdr: k.m.RPCHeaderKernel,
-		Size: reqSize, Payload: wire,
+		Size: reqSize, Payload: wire, Op: op,
 	}
 	r.calls[ch] = cs
-	t.Charge(k.m.ProtoRPC)
+	t.ChargeP(sim.PhaseProtoSend, k.m.ProtoRPC)
 	if k.mx != nil {
 		k.mx.rpcCalls.Inc()
 	}
 	start := k.sim.Now()
-	span := k.sim.SpanBegin(k.p.Name(), "rpc.req", "trans seq=%d port=%d size=%d", cs.seq, port, reqSize)
+	span := op
+	if span != 0 {
+		k.sim.SpanBeginWith(span, k.p.Name(), "rpc.req", "trans seq=%d port=%d size=%d", cs.seq, port, reqSize)
+	} else {
+		span = k.sim.SpanBegin(k.p.Name(), "rpc.req", "trans seq=%d port=%d size=%d", cs.seq, port, reqSize)
+	}
 	k.flip.SendFromThread(t, cs.msg)
 	cs.timer = k.sim.Schedule(k.m.RetransTimeout, func() { r.clientTimeout(ch) })
+	cs.armedAt = k.sim.Now()
 	t.Block()
 
 	// Woken by the interrupt handler with the reply in place (the data
@@ -163,10 +180,18 @@ func (k *Kernel) Trans(t *proc.Thread, port Port, req any, reqSize int) (any, in
 			k.mx.rpcFailures.Inc()
 		}
 		k.leaveKernel(t)
+		if topLevel {
+			k.sim.CausalEnd(op, true)
+			t.SetOp(0)
+		}
 		return nil, 0, cs.err
 	}
 	k.sim.SpanEnd(span, k.p.Name(), "rpc.done", "seq=%d size=%d", cs.seq, cs.repSize)
 	k.leaveKernel(t)
+	if topLevel {
+		k.sim.CausalEnd(op, false)
+		t.SetOp(0)
+	}
 	return cs.reply, cs.repSize, nil
 }
 
@@ -175,6 +200,10 @@ func (r *rpcModule) clientTimeout(ch chanKey) {
 	if cs == nil || cs.done {
 		return
 	}
+	// The whole armed window was spent waiting for a reply that never
+	// came: retransmission/backoff idle time (send-side processing that
+	// overlaps the front of it wins by phase priority).
+	r.k.sim.CausalSpan(cs.msg.Op, sim.PhaseRetrans, cs.armedAt, r.k.sim.Now())
 	cs.retries++
 	if cs.retries > rpcMaxRetries {
 		cs.err = ErrRPCFailed
@@ -192,6 +221,7 @@ func (r *rpcModule) clientTimeout(ch chanKey) {
 	r.k.flip.InvalidateRoute(cs.msg.Dst)
 	r.k.flip.SendFromInterrupt(cs.msg)
 	cs.timer = r.k.sim.Schedule(r.k.m.RetransBackoff(cs.retries), func() { r.clientTimeout(ch) })
+	cs.armedAt = r.k.sim.Now()
 }
 
 // GetRequest blocks the calling thread until a request arrives on port.
@@ -205,6 +235,8 @@ func (k *Kernel) GetRequest(t *proc.Thread, port Port) *Request {
 		n := copy(ps.queue, ps.queue[1:])
 		ps.queue[n] = nil // clear the vacated slot so the wire msg can be GC'd
 		ps.queue = ps.queue[:n]
+		k.sim.CausalSpan(w.op, sim.PhaseRecvQueue, w.queuedAt, k.sim.Now())
+		t.SetOp(w.op)
 		req := r.acceptRequest(w, t)
 		k.leaveKernel(t)
 		return req
@@ -233,18 +265,22 @@ func (k *Kernel) PutReply(t *proc.Thread, req *Request, reply any, size int) {
 	req.done = true
 	r := k.rpc
 	k.enterKernel(t)
-	wire := &rpcWire{kind: rpcREP, ch: req.ch, seq: req.seq, port: req.Port, payload: reply, size: size}
+	wire := &rpcWire{kind: rpcREP, ch: req.ch, seq: req.seq, op: req.op, port: req.Port, payload: reply, size: size}
 	msg := flip.Message{
 		Src: PortAddress(req.Port), Dst: req.retAddr, Proto: flip.ProtoRPC,
-		MsgID: k.flip.NextMsgID(), Hdr: k.m.RPCHeaderKernel, Size: size, Payload: wire,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.RPCHeaderKernel, Size: size, Payload: wire, Op: req.op,
 	}
 	sc := r.channel(req.ch)
 	sc.lastSeq = req.seq
 	sc.inFlight = 0
 	sc.cachedRep = &msg
-	t.Charge(k.m.ProtoRPC)
+	t.ChargeP(sim.PhaseProtoSend, k.m.ProtoRPC)
 	k.flip.SendFromThread(t, msg)
+	k.sim.SpanEnd(req.op, k.p.Name(), "rpc.served", "seq=%d size=%d", req.seq, size)
 	k.leaveKernel(t)
+	if t.Op() == req.op {
+		t.SetOp(0)
+	}
 }
 
 func (r *rpcModule) port(p Port) *portState {
@@ -271,7 +307,7 @@ func (r *rpcModule) channel(ch chanKey) *serverChan {
 // next fragment), reassemble in the kernel, then run the protocol action.
 func (r *rpcModule) onPacket(pk *flip.Packet) {
 	if pk.Length > 0 {
-		r.k.p.Interrupt(r.k.m.Copy(pk.Length), nil)
+		r.k.p.InterruptTagged(r.k.m.Copy(pk.Length), pk.Op, sim.PhaseFrag, nil)
 	}
 	if !r.reasm.Add(pk) {
 		return
@@ -281,7 +317,7 @@ func (r *rpcModule) onPacket(pk *flip.Packet) {
 		return
 	}
 	k := r.k
-	k.p.Interrupt(k.m.ProtoRPC, func() {
+	k.p.InterruptTagged(k.m.ProtoRPC, w.op, sim.PhaseProtoRecv, func() {
 		switch w.kind {
 		case rpcREQ:
 			r.handleREQ(w)
@@ -307,6 +343,7 @@ func (r *rpcModule) handleREQ(w *rpcWire) {
 		return // duplicate of an in-progress call
 	}
 	k.sim.Trace(k.p.Name(), "rpc.serve", "seq=%d from=%d size=%d", w.seq, w.ch.kernel, w.size)
+	k.sim.SpanBeginWith(w.op, k.p.Name(), "rpc.serve", "seq=%d from=%d size=%d", w.seq, w.ch.kernel, w.size)
 	if k.mx != nil {
 		k.mx.rpcServes.Inc()
 	}
@@ -320,9 +357,11 @@ func (r *rpcModule) handleREQ(w *rpcWire) {
 		ps.waiters = ps.waiters[:n]
 		sw.req = r.bindRequest(w, sw.t)
 		// One context switch at the server: dispatch the server thread.
+		sw.t.SetOp(w.op)
 		sw.t.Unblock()
 		return
 	}
+	w.queuedAt = k.sim.Now()
 	ps.queue = append(ps.queue, w)
 }
 
@@ -333,7 +372,7 @@ func (r *rpcModule) acceptRequest(w *rpcWire, t *proc.Thread) *Request {
 func (r *rpcModule) bindRequest(w *rpcWire, t *proc.Thread) *Request {
 	return &Request{
 		Payload: w.payload, Size: w.size, Port: w.port,
-		ch: w.ch, seq: w.seq, thread: t, kern: r.k, retAddr: w.retAddr,
+		ch: w.ch, seq: w.seq, op: w.op, thread: t, kern: r.k, retAddr: w.retAddr,
 	}
 }
 
@@ -363,10 +402,10 @@ func (r *rpcModule) sendACK(w *rpcWire) {
 	if k.mx != nil {
 		k.mx.acksExplicit.Inc()
 	}
-	ack := &rpcWire{kind: rpcACK, ch: w.ch, seq: w.seq, port: w.port}
+	ack := &rpcWire{kind: rpcACK, ch: w.ch, seq: w.seq, op: w.op, port: w.port}
 	k.flip.SendFromInterrupt(flip.Message{
 		Src: r.replyTo, Dst: PortAddress(w.port), Proto: flip.ProtoRPC,
-		MsgID: k.flip.NextMsgID(), Hdr: k.m.RPCHeaderKernel, Size: 0, Payload: ack,
+		MsgID: k.flip.NextMsgID(), Hdr: k.m.RPCHeaderKernel, Size: 0, Payload: ack, Op: w.op,
 	})
 }
 

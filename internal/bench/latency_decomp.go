@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"amoebasim/internal/causal"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+)
+
+// The causal latency-decomposition sweep (`-decomp-json`): for each
+// implementation and operation kind it runs a fixed scenario with a
+// causal.Collector installed, stitches every operation's cross-processor
+// critical path, and aggregates the per-phase attribution into one
+// artifact cell — the §4.2/§4.3 cost tables in simulated time, with
+// conservation (phases sum exactly to end-to-end latency) asserted.
+// Cells fan out over the same bounded worker pool as the table sweeps,
+// written into job-order slots, so the artifact is byte-identical at any
+// -jobs width.
+
+// DecompConfig configures the latency-decomposition sweep.
+type DecompConfig struct {
+	// Rounds is the number of operations per cell (default 50, after one
+	// untimed warmup operation).
+	Rounds int
+	// Size is the operation payload in bytes (default 0: null operations,
+	// matching the paper's latency decomposition).
+	Size int
+	// Procs is the group-member count for the group cells (default 2).
+	Procs int
+	// Seed drives the cluster seed (default 1).
+	Seed uint64
+	// Workers bounds the sweep pool (<=0: DefaultWorkers).
+	Workers int
+}
+
+func (cfg DecompConfig) withDefaults() DecompConfig {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 50
+	}
+	if cfg.Procs < 2 {
+		cfg.Procs = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// decompScenario is one artifact cell's recipe.
+type decompScenario struct {
+	impl string
+	op   string
+	run  func(cfg DecompConfig) (causal.Agg, error)
+}
+
+// decompScenarios lists the cells in artifact order.
+func decompScenarios() []decompScenario {
+	return []decompScenario{
+		{"kernel-space", "rpc", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompRPC(panda.KernelSpace, cfg)
+		}},
+		{"user-space", "rpc", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompRPC(panda.UserSpace, cfg)
+		}},
+		{"kernel-space", "group", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompGroup(panda.KernelSpace, false, cfg)
+		}},
+		{"user-space", "group", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompGroup(panda.UserSpace, false, cfg)
+		}},
+		{"user-space-dedicated", "group", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompGroup(panda.UserSpace, true, cfg)
+		}},
+	}
+}
+
+// RunDecomposition runs the full sweep and returns the artifact with
+// conservation already verified.
+func RunDecomposition(cfg DecompConfig) (*causal.Artifact, error) {
+	cfg = cfg.withDefaults()
+	scenarios := decompScenarios()
+	aggs := make([]causal.Agg, len(scenarios))
+	jobs := make([]Job, len(scenarios))
+	for i := range scenarios {
+		i := i
+		sc := scenarios[i]
+		jobs[i] = Job{
+			Name: fmt.Sprintf("decomp/%s/%s", sc.impl, sc.op),
+			Run: func() error {
+				agg, err := sc.run(cfg)
+				if err != nil {
+					return err
+				}
+				aggs[i] = agg
+				return nil
+			},
+		}
+	}
+	results := RunPool(jobs, cfg.Workers)
+	if err := PoolErrors(results); err != nil {
+		return nil, err
+	}
+	a := &causal.Artifact{
+		SchemaVersion: causal.SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Seed:          cfg.Seed,
+		Rounds:        cfg.Rounds,
+		SizeBytes:     cfg.Size,
+		Procs:         cfg.Procs,
+	}
+	for i, sc := range scenarios {
+		agg := aggs[i]
+		a.Cells = append(a.Cells, causal.Cell{
+			Impl:    sc.impl,
+			Op:      sc.op,
+			Ops:     agg.Ops,
+			Failed:  agg.Failed,
+			TotalNS: agg.TotalNS,
+			Phases:  causal.NewPhasesNS(agg.Phases),
+		})
+	}
+	if err := a.CheckConservation(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WorkloadDecomp flattens the per-load-point phase decompositions of a
+// workload sweep (run with Base.Decompose set) into artifact load cells,
+// one per (mode, load, op kind), in sweep order.
+func WorkloadDecomp(res *WorkloadSweepResult) []causal.LoadCell {
+	var cells []causal.LoadCell
+	for _, p := range res.Points {
+		if p.Result == nil {
+			continue
+		}
+		for _, agg := range p.Result.Decomp {
+			cells = append(cells, causal.LoadCell{
+				Impl:       p.ModeLabel,
+				OfferedOps: p.Load,
+				Op:         agg.Kind,
+				Ops:        agg.Ops,
+				TotalNS:    agg.TotalNS,
+				Phases:     causal.NewPhasesNS(agg.Phases),
+			})
+		}
+	}
+	return cells
+}
+
+// decompPhaseCols is the printed phase order: the §4.2/§4.3 narrative
+// order (where the time goes, client first, retransmission idle last).
+var decompPhaseCols = []struct {
+	name string
+	get  func(causal.PhasesNS) int64
+}{
+	{"client", func(p causal.PhasesNS) int64 { return p.ClientNS }},
+	{"cross", func(p causal.PhasesNS) int64 { return p.CrossingNS }},
+	{"sched", func(p causal.PhasesNS) int64 { return p.SchedNS }},
+	{"psend", func(p causal.PhasesNS) int64 { return p.ProtoSendNS }},
+	{"precv", func(p causal.PhasesNS) int64 { return p.ProtoRecvNS }},
+	{"frag", func(p causal.PhasesNS) int64 { return p.FragNS }},
+	{"wire", func(p causal.PhasesNS) int64 { return p.WireNS }},
+	{"seqq", func(p causal.PhasesNS) int64 { return p.SeqQueueNS }},
+	{"seqsvc", func(p causal.PhasesNS) int64 { return p.SeqServiceNS }},
+	{"recvq", func(p causal.PhasesNS) int64 { return p.RecvQueueNS }},
+	{"retr", func(p causal.PhasesNS) int64 { return p.RetransNS }},
+}
+
+func decompRow(w io.Writer, label string, ops int64, totalNS int64, p causal.PhasesNS) {
+	mean := int64(0)
+	if ops > 0 {
+		mean = totalNS / ops
+	}
+	fmt.Fprintf(w, "%-28s %8s", label, usStr(time.Duration(mean)))
+	for _, col := range decompPhaseCols {
+		ns := col.get(p)
+		if totalNS > 0 {
+			fmt.Fprintf(w, " %5.1f%%", 100*float64(ns)/float64(totalNS))
+		} else {
+			fmt.Fprintf(w, " %6s", "-")
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintLatencyDecomp renders the decomposition artifact as the §4.2/§4.3
+// tables: mean end-to-end latency per operation plus the share of each
+// phase, conservation guaranteed (the shares sum to 100%).
+func PrintLatencyDecomp(w io.Writer, a *causal.Artifact) {
+	if len(a.Cells) > 0 {
+		fmt.Fprintf(w, "Latency decomposition (seed=%d, rounds=%d, size=%d, procs=%d)\n",
+			a.Seed, a.Rounds, a.SizeBytes, a.Procs)
+	} else {
+		fmt.Fprintln(w, "Latency decomposition")
+	}
+	fmt.Fprintf(w, "%-28s %8s", "impl/op", "mean")
+	for _, col := range decompPhaseCols {
+		fmt.Fprintf(w, " %6.6s", col.name)
+	}
+	fmt.Fprintln(w)
+	for _, c := range a.Cells {
+		decompRow(w, c.Impl+"/"+c.Op, c.Ops, c.TotalNS, c.Phases)
+	}
+	if len(a.Workload) > 0 {
+		fmt.Fprintln(w, "\nPer-load-point decomposition:")
+		for _, c := range a.Workload {
+			label := fmt.Sprintf("%s/load=%g/%s", c.Impl, c.OfferedOps, c.Op)
+			decompRow(w, label, c.Ops, c.TotalNS, c.Phases)
+		}
+	}
+}
+
+// decompAgg extracts the single expected kind from a collector's
+// completed operations, skipping the warmup operation.
+func decompAgg(col *causal.Collector, kind string, warmup int) (causal.Agg, error) {
+	ops := col.Completed()
+	if len(ops) <= warmup {
+		return causal.Agg{}, fmt.Errorf("decomp: only %d operations completed", len(ops))
+	}
+	aggs := causal.Aggregate(ops[warmup:])
+	for _, a := range aggs {
+		if a.Kind == kind {
+			return a, nil
+		}
+	}
+	return causal.Agg{}, fmt.Errorf("decomp: no %q operations in trace", kind)
+}
+
+// decompRPC decomposes a 2-processor null-RPC pingpong.
+func decompRPC(mode panda.Mode, cfg DecompConfig) (causal.Agg, error) {
+	col := causal.NewCollector(0)
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode, Seed: cfg.Seed, Causal: col})
+	if err != nil {
+		return causal.Agg{}, err
+	}
+	defer c.Shutdown()
+	srv := c.Transports[0]
+	srv.HandleRPC(func(t *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+		srv.Reply(t, ctx, nil, 0)
+	})
+	done := false
+	c.Procs[1].NewThread("client", proc.PrioNormal, func(t *proc.Thread) {
+		for i := 0; i <= cfg.Rounds; i++ {
+			if _, _, err := c.Transports[1].Call(t, 0, nil, cfg.Size); err != nil {
+				return
+			}
+		}
+		done = true
+	})
+	c.Run()
+	if !done {
+		return causal.Agg{}, fmt.Errorf("decomp rpc/%v: %w", mode, errIncomplete)
+	}
+	return decompAgg(col, "rpc", 1)
+}
+
+// decompGroup decomposes totally-ordered group sends from a non-sequencer
+// member of a cfg.Procs-member group.
+func decompGroup(mode panda.Mode, dedicated bool, cfg DecompConfig) (causal.Agg, error) {
+	col := causal.NewCollector(0)
+	c, err := newCluster(cluster.Config{
+		Procs: cfg.Procs, Mode: mode, Group: true,
+		DedicatedSequencer: dedicated, Seed: cfg.Seed, Causal: col,
+	})
+	if err != nil {
+		return causal.Agg{}, err
+	}
+	defer c.Shutdown()
+	done := false
+	tr := c.Transports[1]
+	c.Procs[1].NewThread("sender", proc.PrioNormal, func(t *proc.Thread) {
+		for i := 0; i <= cfg.Rounds; i++ {
+			if err := tr.GroupSend(t, nil, cfg.Size); err != nil {
+				return
+			}
+		}
+		done = true
+	})
+	c.Run()
+	if !done {
+		return causal.Agg{}, fmt.Errorf("decomp group/%v: %w", mode, errIncomplete)
+	}
+	return decompAgg(col, "group", 1)
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"amoebasim/internal/causal"
+	"amoebasim/internal/cluster"
+	"amoebasim/internal/faults"
+	"amoebasim/internal/panda"
+	"amoebasim/internal/proc"
+	"amoebasim/internal/sim"
+	"amoebasim/internal/trace"
+)
+
+// TestSpanBalanceUnderFaults is the span-correctness satellite: under
+// every shipped fault scenario, in both implementations, every begun
+// span is ended exactly once — no leaked begins, no double or premature
+// ends — and every causally traced operation reaches its end edge even
+// when the protocol path retransmits, reroutes, or gives up.
+func TestSpanBalanceUnderFaults(t *testing.T) {
+	for _, scenario := range faults.Names() {
+		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+			t.Run(fmt.Sprintf("%s/%s", scenario, mode), func(t *testing.T) {
+				runSpanBalance(t, scenario, mode)
+			})
+		}
+	}
+}
+
+func runSpanBalance(t *testing.T, scenario string, mode panda.Mode) {
+	sc, err := faults.Build(scenario, faults.Shape{Procs: 4, Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := causal.NewCollector(0)
+	c, err := cluster.New(cluster.Config{
+		Procs: 4, Segments: 2, Mode: mode, Group: true,
+		Seed: 5, Faults: sc, FaultSeed: 0xC0FFEE, Causal: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	// Big enough that nothing wraps: a wrapped ring would hide leaks.
+	log := trace.NewLog(1 << 20)
+	c.Sim.SetTracer(log)
+
+	srv := c.Transports[0]
+	srv.HandleRPC(func(th *proc.Thread, ctx *panda.RPCContext, req any, sz int) {
+		srv.Reply(th, ctx, req, sz)
+	})
+	horizon := sim.Time(sc.Horizon())
+	for id := 1; id < 4; id++ {
+		id := id
+		tr := c.Transports[id]
+		c.Procs[id].NewThread(fmt.Sprintf("client-%d", id), proc.PrioNormal, func(th *proc.Thread) {
+			for round := 0; round < 8 || c.Sim.Now() < horizon; round++ {
+				size := 64
+				if round%5 == 4 {
+					size = 4096 // fragment: spans across reassembly too
+				}
+				for attempt := 0; attempt < 3; attempt++ {
+					if _, _, err := tr.Call(th, 0, int64(round), size); err == nil {
+						break
+					}
+				}
+				if round%4 == 3 {
+					_ = tr.GroupSend(th, int64(round), 32)
+				}
+			}
+		})
+	}
+	c.Run()
+
+	if log.Dropped() != 0 {
+		t.Fatalf("trace ring wrapped (%d dropped): balance check would be vacuous", log.Dropped())
+	}
+
+	// Every span Begin on a (source, span id) must be matched by exactly
+	// one End: the running balance never dips negative (an End with no
+	// open Begin would be a double or premature end) and finishes at
+	// zero everywhere (a surplus Begin is a leaked span).
+	type key struct {
+		source string
+		span   uint64
+	}
+	balance := map[key]int{}
+	for _, e := range log.Events() {
+		if e.Span == 0 {
+			continue
+		}
+		k := key{e.Source, e.Span}
+		switch e.Phase {
+		case sim.PhaseBegin:
+			balance[k]++
+		case sim.PhaseEnd:
+			balance[k]--
+			if balance[k] < 0 {
+				t.Fatalf("%s span %d (%s): end without open begin at %v", e.Source, e.Span, e.Kind, e.At)
+			}
+		}
+	}
+	for k, n := range balance {
+		if n != 0 {
+			t.Errorf("%s span %d: %d begun span(s) never ended", k.source, k.span, n)
+		}
+	}
+
+	// The causal stream must balance too: every begun operation ended,
+	// none ended twice or out of nowhere.
+	if col.Live() != 0 {
+		t.Errorf("%d causal operations begun but never ended", col.Live())
+	}
+	if col.Began() != col.Ended() {
+		t.Errorf("causal began %d != ended %d", col.Began(), col.Ended())
+	}
+	if col.OrphanEnds() != 0 {
+		t.Errorf("%d causal end edges had no matching begin", col.OrphanEnds())
+	}
+	if col.Began() == 0 {
+		t.Error("no causal operations recorded; the workload did not run traced")
+	}
+}

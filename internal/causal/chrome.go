@@ -1,0 +1,225 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"amoebasim/internal/sim"
+	"amoebasim/internal/trace"
+)
+
+// Chrome trace-event export: converts a trace.Log into the Chrome
+// trace-event JSON format, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Each processor becomes one track (pid); span edges
+// (SpanBegin/SpanEnd pairs) become complete slices; instant events become
+// instants; and operations whose correlation id appears on more than one
+// processor get flow arrows stitching the slices across tracks.
+//
+// The log is a ring buffer, so its head may have been overwritten
+// (trace.Log.Dropped): an End whose Begin rolled off the front is an
+// orphan — it is counted and skipped, never silently paired. Begins whose
+// End is outside the log (the run was cut off) are closed at the last
+// recorded instant so every emitted slice is well formed.
+
+// chromeEvent is one trace-event record. Fields follow the Chrome
+// trace-event format; DurUS uses a pointer so complete events emit
+// "dur": 0 but other phases omit it.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	DurUS *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// ExportStats reports what the exporter saw, in particular the ring-wrap
+// damage it tolerated.
+type ExportStats struct {
+	Events     int // trace events consumed
+	Slices     int // complete slices emitted
+	Flows      int // flow arrows emitted
+	OrphanEnds int // End edges whose Begin was overwritten by the ring
+	Unclosed   int // Begin edges closed synthetically at the log tail
+	Dropped    int // events the ring buffer overwrote before export
+}
+
+// ExportChromeTrace writes the log as Chrome trace-event JSON.
+func ExportChromeTrace(w io.Writer, log *trace.Log) (ExportStats, error) {
+	var st ExportStats
+	events := log.Events()
+	st.Events = len(events)
+	st.Dropped = log.Dropped()
+
+	// One pid per source, in sorted order so the export is stable.
+	sources := map[string]int{}
+	var names []string
+	for _, e := range events {
+		if _, ok := sources[e.Source]; !ok {
+			sources[e.Source] = 0
+			names = append(names, e.Source)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		sources[n] = i + 1
+	}
+
+	var lastTS sim.Time
+	for _, e := range events {
+		if e.At > lastTS {
+			lastTS = e.At
+		}
+	}
+
+	us := func(t sim.Time) float64 { return float64(t.Duration().Nanoseconds()) / 1e3 }
+
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	for _, n := range names {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: sources[n], TID: 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+
+	// Pair Begin/End per (source, span); a span id may open several
+	// nested slices on one source, matched LIFO.
+	type key struct {
+		source string
+		span   uint64
+	}
+	type slice struct {
+		begin trace.Event
+	}
+	open := map[key][]slice{}
+	// firstBegin tracks each correlation id's paired slices in time
+	// order, for flow arrows.
+	type flowPoint struct {
+		source string
+		ts     sim.Time
+	}
+	flows := map[uint64][]flowPoint{}
+	var flowIDs []uint64
+
+	emitSlice := func(b trace.Event, endAt sim.Time) {
+		st.Slices++
+		dur := us(endAt) - us(b.At)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: b.Kind, Cat: "span", Ph: "X", TS: us(b.At), DurUS: &dur,
+			PID: sources[b.Source], TID: 1,
+			Args: map[string]any{"detail": b.Detail, "span": b.Span},
+		})
+		if len(flows[b.Span]) == 0 {
+			flowIDs = append(flowIDs, b.Span)
+		}
+		flows[b.Span] = append(flows[b.Span], flowPoint{source: b.Source, ts: b.At})
+	}
+
+	for _, e := range events {
+		switch {
+		case e.Span != 0 && e.Phase == sim.PhaseBegin:
+			k := key{e.Source, e.Span}
+			open[k] = append(open[k], slice{begin: e})
+		case e.Span != 0 && e.Phase == sim.PhaseEnd:
+			k := key{e.Source, e.Span}
+			stack := open[k]
+			if len(stack) == 0 {
+				st.OrphanEnds++
+				continue
+			}
+			b := stack[len(stack)-1].begin
+			open[k] = stack[:len(stack)-1]
+			emitSlice(b, e.At)
+		default:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: e.Kind, Cat: "event", Ph: "i", TS: us(e.At),
+				PID: sources[e.Source], TID: 1,
+				Args: map[string]any{"detail": e.Detail},
+			})
+		}
+	}
+
+	// Close slices the log's tail cut off so the trace stays well formed.
+	var cut []key
+	for k := range open {
+		cut = append(cut, k)
+	}
+	sort.Slice(cut, func(i, j int) bool {
+		if cut[i].source != cut[j].source {
+			return cut[i].source < cut[j].source
+		}
+		return cut[i].span < cut[j].span
+	})
+	for _, k := range cut {
+		for _, s := range open[k] {
+			st.Unclosed++
+			emitSlice(s.begin, lastTS)
+		}
+	}
+
+	// Flow arrows: one chain per correlation id that crossed processors.
+	// Slices complete out of begin order (a nested server slice closes
+	// before the enclosing client call), so order each chain by begin
+	// time and collapse consecutive same-processor points — the arrows
+	// must follow the operation forward through time.
+	for _, id := range flowIDs {
+		all := flows[id]
+		sort.SliceStable(all, func(i, j int) bool { return all[i].ts < all[j].ts })
+		pts := all[:0]
+		for _, p := range all {
+			if len(pts) == 0 || pts[len(pts)-1].source != p.source {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		for i, p := range pts {
+			ph := "t"
+			bp := ""
+			switch i {
+			case 0:
+				ph = "s"
+			case len(pts) - 1:
+				ph, bp = "f", "e"
+			}
+			st.Flows++
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "op", Cat: "flow", Ph: ph, TS: us(p.ts),
+				PID: sources[p.source], TID: 1,
+				ID: strconv.FormatUint(id, 10), BP: bp,
+			})
+		}
+	}
+
+	doc.OtherData = map[string]any{
+		"events":      st.Events,
+		"slices":      st.Slices,
+		"flows":       st.Flows,
+		"orphan_ends": st.OrphanEnds,
+		"unclosed":    st.Unclosed,
+		"dropped":     st.Dropped,
+	}
+
+	b, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return st, fmt.Errorf("causal: encode chrome trace: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return st, err
+}

@@ -1,0 +1,270 @@
+// Package causal consumes the span/correlation-id stream a simulation
+// emits (sim.CausalTracer) and stitches each operation — a p2p RPC, a
+// totally-ordered group send, an Orca read or write — into a
+// cross-processor critical path with every nanosecond of end-to-end
+// latency attributed to a closed set of phases (sim.PhaseID).
+//
+// Protocol layers emit phase intervals retroactively and independently:
+// they may overlap (a receive interrupt on one machine while a frame is
+// still serializing toward another), arrive out of order, and extend past
+// the operation window. The resolver clips every interval to the
+// operation's [begin, end] window and sweeps it once, giving each instant
+// to the highest-priority phase covering it; instants no interval claims
+// are the client's own think/queue time. The result is an exact partition:
+// the phase durations sum to the end-to-end latency by construction, which
+// the artifact gate asserts (conservation).
+package causal
+
+import (
+	"sort"
+
+	"amoebasim/internal/sim"
+)
+
+// span is one phase-attributed interval of an operation.
+type span struct {
+	ph       sim.PhaseID
+	from, to sim.Time
+}
+
+// Op is one stitched operation: its window, outcome, and the raw phase
+// intervals attributed to it.
+type Op struct {
+	ID     uint64
+	Kind   string // "rpc", "group", "orca.read", "orca.write"
+	Begin  sim.Time
+	End    sim.Time
+	Failed bool
+	spans  []span
+}
+
+// Latency is the operation's end-to-end simulated latency.
+func (o *Op) Latency() int64 { return int64(o.End.Sub(o.Begin)) }
+
+// Collector implements sim.CausalTracer: it records operations as the
+// simulation emits them. With a positive maxOps it is a bounded-memory
+// flight recorder: only the most recent maxOps completed operations are
+// retained (older ones are dropped and recycled), so a long workload run
+// can keep causal tracing on without unbounded growth.
+type Collector struct {
+	maxOps int
+	live   map[uint64]*Op
+	done   []*Op
+	start  int // ring start when the flight recorder wrapped
+	free   []*Op
+
+	began      int64 // operations begun
+	ended      int64 // operations ended
+	dropped    int64 // completed operations evicted by the flight recorder
+	lateSpans  int64 // intervals for unknown or already-ended operations
+	orphanEnds int64 // OpEnd edges with no matching OpBegin
+}
+
+var _ sim.CausalTracer = (*Collector)(nil)
+
+// NewCollector creates a collector. maxOps bounds the completed
+// operations retained (flight-recorder mode); 0 retains everything.
+func NewCollector(maxOps int) *Collector {
+	return &Collector{maxOps: maxOps, live: make(map[uint64]*Op)}
+}
+
+// OpBegin implements sim.CausalTracer.
+func (c *Collector) OpBegin(at sim.Time, op uint64, kind string) {
+	c.began++
+	rec := c.alloc()
+	rec.ID, rec.Kind, rec.Begin = op, kind, at
+	rec.End, rec.Failed = at, false
+	c.live[op] = rec
+}
+
+// OpEnd implements sim.CausalTracer.
+func (c *Collector) OpEnd(at sim.Time, op uint64, failed bool) {
+	rec := c.live[op]
+	if rec == nil {
+		c.orphanEnds++
+		return
+	}
+	c.ended++
+	delete(c.live, op)
+	rec.End, rec.Failed = at, failed
+	c.retire(rec)
+}
+
+// OpSpan implements sim.CausalTracer. Intervals for operations that
+// already ended (or never began) are dropped and counted: the
+// decomposition window is closed at OpEnd, so a charge that elapses later
+// — e.g. protocol cost still pending on a thread when the operation
+// completed — is by definition off the critical path.
+func (c *Collector) OpSpan(op uint64, ph sim.PhaseID, from, to sim.Time) {
+	rec := c.live[op]
+	if rec == nil {
+		c.lateSpans++
+		return
+	}
+	rec.spans = append(rec.spans, span{ph: ph, from: from, to: to})
+}
+
+func (c *Collector) alloc() *Op {
+	if n := len(c.free); n > 0 {
+		rec := c.free[n-1]
+		c.free = c.free[:n-1]
+		return rec
+	}
+	return &Op{}
+}
+
+// retire appends a completed operation, evicting the oldest one when the
+// flight recorder is full.
+func (c *Collector) retire(rec *Op) {
+	if c.maxOps <= 0 || len(c.done) < c.maxOps {
+		c.done = append(c.done, rec)
+		return
+	}
+	old := c.done[c.start]
+	c.done[c.start] = rec
+	c.start = (c.start + 1) % c.maxOps
+	c.dropped++
+	old.spans = old.spans[:0]
+	c.free = append(c.free, old)
+}
+
+// Completed returns the retained completed operations, oldest first.
+func (c *Collector) Completed() []*Op {
+	out := make([]*Op, 0, len(c.done))
+	out = append(out, c.done[c.start:]...)
+	out = append(out, c.done[:c.start]...)
+	return out
+}
+
+// Live reports operations begun but not yet ended.
+func (c *Collector) Live() int { return len(c.live) }
+
+// Began reports the total operations begun.
+func (c *Collector) Began() int64 { return c.began }
+
+// Ended reports the total operations ended.
+func (c *Collector) Ended() int64 { return c.ended }
+
+// Dropped reports completed operations evicted by the flight recorder.
+func (c *Collector) Dropped() int64 { return c.dropped }
+
+// LateSpans reports intervals that arrived for unknown or already-ended
+// operations (dropped from accounting, never silently merged).
+func (c *Collector) LateSpans() int64 { return c.lateSpans }
+
+// OrphanEnds reports OpEnd edges with no matching begin.
+func (c *Collector) OrphanEnds() int64 { return c.orphanEnds }
+
+// phasePriority resolves overlap: when several intervals cover the same
+// instant, the instant belongs to the highest-priority phase. Active
+// processing outranks passive states (wire occupancy, queueing, timer
+// idle), and the sequencer's own service outranks everything — it is the
+// contended resource the paper's §4.3 analysis centers on.
+var phasePriority = [sim.NumPhases]int{
+	sim.PhaseSeqService: 11,
+	sim.PhaseProtoRecv:  10,
+	sim.PhaseProtoSend:  9,
+	sim.PhaseFrag:       8,
+	sim.PhaseCrossing:   7,
+	sim.PhaseSched:      6,
+	sim.PhaseWire:       5,
+	sim.PhaseSeqQueue:   4,
+	sim.PhaseRecvQueue:  3,
+	sim.PhaseRetrans:    2,
+	sim.PhaseClient:     1,
+}
+
+// Decompose partitions the operation's [begin, end] window over the phase
+// set: every instant goes to the highest-priority interval covering it,
+// and uncovered instants go to PhaseClient. The durations sum exactly to
+// the end-to-end latency (conservation by construction).
+func (o *Op) Decompose() [sim.NumPhases]int64 {
+	var out [sim.NumPhases]int64
+	total := o.Latency()
+	if total <= 0 {
+		return out
+	}
+	// Clip to the window, as offsets from begin.
+	type clipped struct {
+		from, to int64
+		ph       sim.PhaseID
+	}
+	spans := make([]clipped, 0, len(o.spans))
+	pts := make([]int64, 0, 2*len(o.spans)+2)
+	pts = append(pts, 0, total)
+	for _, s := range o.spans {
+		from, to := int64(s.from.Sub(o.Begin)), int64(s.to.Sub(o.Begin))
+		if from < 0 {
+			from = 0
+		}
+		if to > total {
+			to = total
+		}
+		if to <= from {
+			continue
+		}
+		spans = append(spans, clipped{from: from, to: to, ph: s.ph})
+		pts = append(pts, from, to)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	// Sweep the elementary intervals between consecutive boundary points;
+	// each is covered wholly or not at all by every span.
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		if hi == lo {
+			continue
+		}
+		best, bestPrio := sim.PhaseClient, phasePriority[sim.PhaseClient]
+		for _, s := range spans {
+			if s.from <= lo && s.to >= hi {
+				if p := phasePriority[s.ph]; p > bestPrio {
+					best, bestPrio = s.ph, p
+				}
+			}
+		}
+		out[best] += hi - lo
+	}
+	return out
+}
+
+// Agg is one operation kind's aggregated decomposition: phase sums over
+// all successful operations of that kind, conserving totals.
+type Agg struct {
+	Kind    string
+	Ops     int64 // successful operations aggregated
+	Failed  int64 // failed operations (excluded from the sums)
+	TotalNS int64 // sum of end-to-end latencies
+	Phases  [sim.NumPhases]int64
+}
+
+// Aggregate groups completed operations by kind and sums their
+// decompositions, sorted by kind. Failed operations are counted but not
+// decomposed (their window measures the retry budget, not the protocol).
+func Aggregate(ops []*Op) []Agg {
+	byKind := make(map[string]*Agg)
+	var kinds []string
+	for _, o := range ops {
+		a := byKind[o.Kind]
+		if a == nil {
+			a = &Agg{Kind: o.Kind}
+			byKind[o.Kind] = a
+			kinds = append(kinds, o.Kind)
+		}
+		if o.Failed {
+			a.Failed++
+			continue
+		}
+		a.Ops++
+		a.TotalNS += o.Latency()
+		d := o.Decompose()
+		for ph := range d {
+			a.Phases[ph] += d[ph]
+		}
+	}
+	sort.Strings(kinds)
+	out := make([]Agg, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, *byKind[k])
+	}
+	return out
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// layer records its counters; when false the hot paths stay
 	// branch-only (no registry, no allocation).
 	Metrics bool
+	// Causal installs a causal tracer on the simulation before any kernel
+	// boots, so every operation is decomposed from the first event on. Nil
+	// (the default) keeps the causal hooks branch-only.
+	Causal sim.CausalTracer
 	// Model overrides the machine cost model (default Calibrated).
 	Model *model.CostModel
 }
@@ -137,6 +141,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Metrics {
 		reg = metrics.NewRegistry()
 		s.SetMetrics(reg)
+	}
+	if cfg.Causal != nil {
+		s.SetCausal(cfg.Causal)
 	}
 	c := &Cluster{
 		Sim:     s,

@@ -27,6 +27,9 @@ type Frame struct {
 	Dst     int // destination NIC id, or Broadcast
 	Size    int
 	Payload any
+	// Op is the causally traced operation the frame belongs to (0: none);
+	// each store-and-forward hop attributes its wire time to it.
+	Op uint64
 }
 
 // Receiver is the upcall invoked (in driver context) when a frame arrives
@@ -265,6 +268,9 @@ func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
 	}
 	tx := n.m.WireTime(fr.Size + n.m.EthernetHeaderBytes)
 	seg.busyUntil = start.Add(tx)
+	// Wire time covers waiting out earlier frames plus serialization, per
+	// hop; the stitcher unions overlapping hops of one operation.
+	n.sim.CausalSpan(fr.Op, sim.PhaseWire, n.sim.Now(), seg.busyUntil)
 	seg.frames++
 	seg.bytes += int64(fr.Size)
 	if seg.mxFrames != nil {

@@ -62,6 +62,9 @@ type Packet struct {
 	// use it only once reassembly completes.
 	Payload any
 
+	// Op is the causally traced operation the packet belongs to (0: none).
+	Op uint64
+
 	srcNIC int
 }
 
@@ -77,6 +80,20 @@ type Message struct {
 	// Multicast sends to the group address on the broadcast medium
 	// instead of locating a single destination.
 	Multicast bool
+	// Op is the causally traced operation the message belongs to (0:
+	// none); SendPhase overrides the phase the send-side processing is
+	// attributed to (default PhaseProtoSend — the sequencer's broadcasts
+	// are PhaseSeqService).
+	Op        uint64
+	SendPhase sim.PhaseID
+}
+
+// sendPhase is the phase send-side processing is attributed to.
+func (msg Message) sendPhase() sim.PhaseID {
+	if msg.SendPhase != sim.PhaseNone {
+		return msg.SendPhase
+	}
+	return sim.PhaseProtoSend
 }
 
 // Handler receives packets for a protocol. It runs in driver context at
@@ -223,7 +240,7 @@ func (st *Stack) NextMsgID() uint64 {
 func (st *Stack) SendFromThread(t *proc.Thread, msg Message) {
 	frags := st.fragment(msg)
 	for _, fr := range frags {
-		t.Charge(st.m.FLIPSend)
+		t.ChargeP(msg.sendPhase(), st.m.FLIPSend)
 		t.CopyBytes(fr.Length)
 		t.Flush()
 		st.transmit(fr, msg)
@@ -237,7 +254,7 @@ func (st *Stack) SendFromInterrupt(msg Message) {
 	for _, fr := range frags {
 		fr := fr
 		cost := st.m.FLIPSend + st.m.Copy(fr.Length)
-		st.p.Interrupt(cost, func() { st.transmit(fr, msg) })
+		st.p.InterruptTagged(cost, msg.Op, msg.sendPhase(), func() { st.transmit(fr, msg) })
 	}
 }
 
@@ -270,6 +287,7 @@ func (st *Stack) fragment(msg Message) []*Packet {
 			Length:  length,
 			Total:   msg.Size,
 			Payload: msg.Payload,
+			Op:      msg.Op,
 			srcNIC:  st.nic.ID(),
 		}
 		if i == 0 {
@@ -296,16 +314,16 @@ func (st *Stack) transmit(pk *Packet, msg Message) {
 		st.mx.bytesSent.Add(int64(pk.Length))
 	}
 	if msg.Multicast {
-		st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.wireSize(pk), Payload: pk})
+		st.nic.Send(ether.Frame{Dst: ether.Broadcast, Size: st.wireSize(pk), Payload: pk, Op: pk.Op})
 		if st.groups[msg.Dst] {
 			// FLIP multicast also delivers to local group members; the
 			// loopback copy skips the wire but pays receive processing.
-			st.p.Interrupt(st.m.FLIPRecv, func() { st.dispatch(pk) })
+			st.p.InterruptTagged(st.m.FLIPRecv, pk.Op, sim.PhaseProtoRecv, func() { st.dispatch(pk) })
 		}
 		return
 	}
 	if dst, ok := st.routes[msg.Dst]; ok {
-		st.nic.Send(ether.Frame{Dst: dst, Size: st.wireSize(pk), Payload: pk})
+		st.nic.Send(ether.Frame{Dst: dst, Size: st.wireSize(pk), Payload: pk, Op: pk.Op})
 		return
 	}
 	if st.local[msg.Dst] {
@@ -383,7 +401,7 @@ func (st *Stack) onFrame(fr ether.Frame) {
 	if fr.Dst == ether.Broadcast {
 		cost += st.m.MulticastExtra
 	}
-	st.p.Interrupt(cost, func() { st.receive(pk) })
+	st.p.InterruptTagged(cost, pk.Op, sim.PhaseProtoRecv, func() { st.receive(pk) })
 }
 
 func (st *Stack) receive(pk *Packet) {

@@ -174,8 +174,29 @@ func (rt *Runtime) invoke(t *proc.Thread, h Handle, opName string, args any, arg
 	if op == nil {
 		return nil, 0, fmt.Errorf("orca: object %s has no operation %q", h.Name, opName)
 	}
+	// Each Orca invocation is one causally traced operation; the transport
+	// work it triggers (RPC or ordered broadcast) attributes to it.
+	cop := t.Op()
+	topLevel := cop == 0
+	if topLevel {
+		kind := "orca.write"
+		if op.ReadOnly {
+			kind = "orca.read"
+		}
+		cop = rt.p.Sim().CausalBegin(kind)
+		t.SetOp(cop)
+	}
 	t.Charge(opOverhead)
 
+	res, n, err := rt.dispatch(t, h, inst, op, opName, args, argSize, guard)
+	if topLevel {
+		rt.p.Sim().CausalEnd(cop, err != nil)
+		t.SetOp(0)
+	}
+	return res, n, err
+}
+
+func (rt *Runtime) dispatch(t *proc.Thread, h Handle, inst *instance, op *OpDef, opName string, args any, argSize int, guard GuardFunc) (any, int, error) {
 	switch {
 	case h.Placement == Replicated && op.ReadOnly:
 		// Read on a replicated object: local, no communication.

@@ -168,6 +168,14 @@ func NewUser(k *akernel.Kernel, cfg UserConfig) *User {
 	u.daemon = p.NewThread("pan-daemon", proc.PrioDaemon, u.daemonLoop)
 	if u.groupEnabled() && cfg.Sequencer == u.id {
 		u.grp.initSequencer()
+		// Time a packet spends queued for the sequencer thread is sequencer
+		// queueing, not ordinary receive-daemon queueing.
+		k.RawWaitPhase(func(pk *flip.Packet) sim.PhaseID {
+			if isSequencerTraffic(pk) {
+				return sim.PhaseSeqQueue
+			}
+			return sim.PhaseRecvQueue
+		})
 		if u.mx != nil {
 			u.mx.seqHistory = u.sim.Metrics().Gauge("panda.seq_history", metrics.L("proc", p.Name()))
 			u.grp.seqReasm.SetTimeoutCounter(u.mx.reasmTimeouts)
@@ -179,7 +187,10 @@ func NewUser(k *akernel.Kernel, cfg UserConfig) *User {
 			// dispatch, the paper's 60 µs instead of 110 µs).
 			k.RawDiscard(func(pk *flip.Packet) bool { return !isSequencerTraffic(pk) })
 		}
-		p.NewThread("pan-sequencer", proc.PrioDaemon, u.grp.sequencerLoop)
+		seq := p.NewThread("pan-sequencer", proc.PrioDaemon, u.grp.sequencerLoop)
+		// Everything the sequencer thread does — protocol work, crossings,
+		// dispatch — is sequencer service from the client's point of view.
+		seq.SetPhaseOverride(sim.PhaseSeqService)
 	}
 	return u
 }
@@ -218,7 +229,7 @@ func (u *User) HandleGroup(h GroupHandler) { u.grp.handler = h }
 func (u *User) SystemSend(t *proc.Thread, dest int, payload any, size int, multicast bool) {
 	w := &uwire{kind: uRAW, from: u.id, payload: payload, size: size}
 	t.Call(pandaDepth)
-	t.Charge(u.m.FragLayer)
+	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	dst := akernel.RawAddress(dest)
 	if multicast {
 		dst = pandaGroupAddr
@@ -263,6 +274,9 @@ func (u *User) daemonLoop(t *proc.Thread) {
 			}
 		}
 		t.Return(pandaDepth)
+		// Drop the per-packet operation before blocking for the next one so
+		// the fetch syscall isn't misattributed to a finished operation.
+		t.SetOp(0)
 	}
 }
 

@@ -29,9 +29,11 @@ type gsend struct {
 	t       *proc.Thread // nil for nonblocking sends
 	tmpID   uint64
 	msgID   uint64
+	op      uint64
 	wire    *uwire
 	big     bool
 	timer   sim.Event
+	armedAt sim.Time
 	retries int
 	err     error
 	done    bool
@@ -116,11 +118,17 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 	if big {
 		kind = ugBB
 	}
+	op := t.Op()
+	topLevel := op == 0 && blocking
+	if topLevel {
+		op = u.sim.CausalBegin("group")
+		t.SetOp(op)
+	}
 	w := &uwire{
 		kind: kind, from: u.id, tmpID: g.tmpSeq,
 		ackSeq: g.nextDeliver - 1, payload: payload, size: size,
 	}
-	ss := &gsend{tmpID: g.tmpSeq, msgID: u.k.RawNextMsgID(), wire: w, big: big}
+	ss := &gsend{tmpID: g.tmpSeq, msgID: u.k.RawNextMsgID(), op: op, wire: w, big: big}
 	if blocking {
 		ss.t = t
 	}
@@ -133,8 +141,12 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 			u.mx.grpPBSends.Inc()
 		}
 	}
+	if op != 0 && blocking {
+		u.sim.SpanBeginWith(op, u.p.Name(), "pgrp.send", "tmp=%d size=%d", ss.tmpID, size)
+	}
 	t.Call(pandaDepth)
-	t.Charge(u.m.ProtoGroup + u.m.FragLayer)
+	t.ChargeP(sim.PhaseProtoSend, u.m.ProtoGroup)
+	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	if big {
 		g.bbData[gkey{from: u.id, tmpID: ss.tmpID}] = w
 		u.k.RawSend(t, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, size, w, true)
@@ -143,11 +155,19 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 	}
 	t.Return(pandaDepth)
 	ss.timer = u.sim.Schedule(u.m.RetransTimeout, func() { g.sendTimeout(ss) })
+	ss.armedAt = u.sim.Now()
 
 	if !blocking {
 		return nil
 	}
 	t.Block()
+	if op != 0 {
+		u.sim.SpanEnd(op, u.p.Name(), "pgrp.send", "tmp=%d err=%v", ss.tmpID, ss.err)
+	}
+	if topLevel {
+		u.sim.CausalEnd(op, ss.err != nil)
+		t.SetOp(0)
+	}
 	return ss.err
 }
 
@@ -155,6 +175,8 @@ func (g *userGroup) sendTimeout(ss *gsend) {
 	if ss.done {
 		return
 	}
+	// The armed window elapsed without delivery: retransmission idle.
+	g.u.sim.CausalSpan(ss.op, sim.PhaseRetrans, ss.armedAt, g.u.sim.Now())
 	ss.retries++
 	if ss.retries > grpMaxRetries {
 		ss.err = ErrGroupSendFailed
@@ -175,16 +197,20 @@ func (g *userGroup) sendTimeout(ss *gsend) {
 		if ss.done {
 			return
 		}
+		ht.SetOp(ss.op)
 		ht.Call(pandaDepth)
-		ht.Charge(u.m.ProtoGroup + u.m.FragLayer)
+		ht.ChargeP(sim.PhaseProtoSend, u.m.ProtoGroup)
+		ht.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 		if ss.big {
 			u.k.RawSend(ht, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, true)
 		} else {
 			u.k.RawSend(ht, akernel.RawAddress(u.cfg.Sequencer), ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, false)
 		}
 		ht.Return(pandaDepth)
+		ht.SetOp(0)
 	})
 	ss.timer = u.sim.Schedule(u.m.RetransTimeout, func() { g.sendTimeout(ss) })
+	ss.armedAt = u.sim.Now()
 }
 
 // nbDone retires one nonblocking send and admits a blocked sender. t may
@@ -206,7 +232,7 @@ func (g *userGroup) nbDone(t *proc.Thread) {
 
 func (g *userGroup) memberHandle(t *proc.Thread, w *uwire) {
 	u := g.u
-	t.Charge(u.m.ProtoGroup)
+	t.ChargeP(sim.PhaseProtoRecv, u.m.ProtoGroup)
 	switch w.kind {
 	case ugDATA:
 		g.onData(t, w)
@@ -344,12 +370,14 @@ func (g *userGroup) sequencerLoop(t *proc.Thread) {
 			}
 		}
 		t.Return(pandaDepth)
+		// Drop the per-packet operation before blocking for the next one.
+		t.SetOp(0)
 	}
 }
 
 func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
 	u := g.u
-	t.Charge(u.m.ProtoGroup)
+	t.ChargeP(sim.PhaseSeqService, u.m.ProtoGroup)
 	switch w.kind {
 	case ugREQ:
 		g.updateAck(w.from, w.ackSeq)

@@ -43,8 +43,10 @@ type ucall struct {
 	t       *proc.Thread
 	seq     uint64
 	msgID   uint64
+	op      uint64
 	wire    *uwire
 	timer   sim.Event
+	armedAt sim.Time
 	retries int
 	reply   any
 	repSize int
@@ -106,8 +108,14 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 		u.sim.Cancel(c.ackTimer)
 		c.ackTimer = sim.Event{}
 	}
+	op := t.Op()
+	topLevel := op == 0
+	if topLevel {
+		op = u.sim.CausalBegin("rpc")
+		t.SetOp(op)
+	}
 	w := &uwire{kind: uREQ, from: u.id, seq: c.seq, ackSeq: ack, payload: req, size: size}
-	cs := &ucall{t: t, seq: c.seq, wire: w, msgID: u.k.RawNextMsgID()}
+	cs := &ucall{t: t, seq: c.seq, op: op, wire: w, msgID: u.k.RawNextMsgID()}
 	c.inflight = cs
 
 	if u.mx != nil {
@@ -117,12 +125,19 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 		}
 	}
 	start := u.sim.Now()
-	span := u.sim.SpanBegin(u.p.Name(), "prpc.req", "seq=%d dest=%d size=%d ack=%d", c.seq, dest, size, ack)
+	span := op
+	if span != 0 {
+		u.sim.SpanBeginWith(span, u.p.Name(), "prpc.req", "seq=%d dest=%d size=%d ack=%d", c.seq, dest, size, ack)
+	} else {
+		span = u.sim.SpanBegin(u.p.Name(), "prpc.req", "seq=%d dest=%d size=%d ack=%d", c.seq, dest, size, ack)
+	}
 	t.Call(pandaDepth)
-	t.Charge(u.m.ProtoRPC + u.m.FragLayer)
+	t.ChargeP(sim.PhaseProtoSend, u.m.ProtoRPC)
+	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	u.k.RawSend(t, akernel.RawAddress(dest), cs.msgID, u.m.RPCHeaderUser, size, w, false)
 	t.Return(pandaDepth)
 	cs.timer = u.sim.Schedule(u.m.RetransTimeout, func() { r.clientTimeout(c, cs) })
+	cs.armedAt = u.sim.Now()
 	t.Block()
 
 	// Woken by the receive daemon with the reply filled in.
@@ -137,6 +152,10 @@ func (u *User) Call(t *proc.Thread, dest int, req any, size int) (any, int, erro
 		u.sim.SpanEnd(span, u.p.Name(), "prpc.fail", "seq=%d err=%v", cs.seq, cs.err)
 	} else {
 		u.sim.SpanEnd(span, u.p.Name(), "prpc.done", "seq=%d size=%d", cs.seq, cs.repSize)
+	}
+	if topLevel {
+		u.sim.CausalEnd(op, cs.err != nil)
+		t.SetOp(0)
 	}
 	if cs.err == nil {
 		if u.cfg.NoPiggyback {
@@ -182,6 +201,8 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 	if cs.done {
 		return
 	}
+	// The armed window elapsed without a reply: retransmission idle.
+	r.u.sim.CausalSpan(cs.op, sim.PhaseRetrans, cs.armedAt, r.u.sim.Now())
 	cs.retries++
 	if cs.retries > rpcMaxRetries {
 		cs.err = ErrRPCFailed
@@ -200,12 +221,16 @@ func (r *userRPC) clientTimeout(c *uchan, cs *ucall) {
 		if cs.done {
 			return
 		}
+		ht.SetOp(cs.op)
 		ht.Call(pandaDepth)
-		ht.Charge(u.m.ProtoRPC + u.m.FragLayer)
+		ht.ChargeP(sim.PhaseProtoSend, u.m.ProtoRPC)
+		ht.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 		u.k.RawSend(ht, akernel.RawAddress(c.dest), cs.msgID, u.m.RPCHeaderUser, cs.wire.size, cs.wire, false)
 		ht.Return(pandaDepth)
+		ht.SetOp(0)
 	})
 	cs.timer = u.sim.Schedule(u.m.RetransBackoff(cs.retries), func() { r.clientTimeout(c, cs) })
+	cs.armedAt = u.sim.Now()
 }
 
 func (r *userRPC) sendExplicitAck(t *proc.Thread, dest int, seq uint64) {
@@ -240,7 +265,7 @@ func (r *userRPC) handleREQ(t *proc.Thread, w *uwire) {
 		return // duplicate of a request still being served
 	}
 	s.inFlight = w.seq
-	t.Charge(u.m.ProtoRPC)
+	t.ChargeP(sim.PhaseProtoRecv, u.m.ProtoRPC)
 	u.sim.Trace(u.p.Name(), "prpc.upcall", "seq=%d from=%d size=%d", w.seq, w.from, w.size)
 	if u.mx != nil {
 		u.mx.rpcUpcalls.Inc()
@@ -248,13 +273,15 @@ func (r *userRPC) handleREQ(t *proc.Thread, w *uwire) {
 	if r.handler == nil {
 		return
 	}
-	ctx := &RPCContext{From: w.from, impl: &usrCtx{seq: w.seq, from: w.from}}
+	u.sim.SpanBeginWith(t.Op(), u.p.Name(), "prpc.serve", "seq=%d from=%d", w.seq, w.from)
+	ctx := &RPCContext{From: w.from, impl: &usrCtx{seq: w.seq, from: w.from, op: t.Op()}}
 	r.handler(t, ctx, w.payload, w.size)
 }
 
 type usrCtx struct {
 	seq  uint64
 	from int
+	op   uint64
 }
 
 // Reply implements Transport.Reply: the asynchronous pan_rpc_reply. Any
@@ -273,15 +300,25 @@ func (u *User) Reply(t *proc.Thread, ctx *RPCContext, payload any, size int) {
 	s.inFlight = 0
 	s.cached = w
 	s.cachedMsgID = u.k.RawNextMsgID()
+	// The reply may be sent by a thread other than the one that served the
+	// request (a continuation); attribute the send to the call's operation.
+	prevOp := t.Op()
+	t.SetOp(c.op)
 	t.Call(pandaDepth)
-	t.Charge(u.m.ProtoRPC + u.m.FragLayer)
+	t.ChargeP(sim.PhaseProtoSend, u.m.ProtoRPC)
+	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	u.k.RawSend(t, akernel.RawAddress(c.from), s.cachedMsgID, u.m.RPCHeaderUser, size, w, false)
 	t.Return(pandaDepth)
+	if c.op != 0 {
+		u.sim.SpanEnd(c.op, u.p.Name(), "prpc.serve", "seq=%d", c.seq)
+	}
+	t.SetOp(prevOp)
 }
 
 func (r *userRPC) resendCached(t *proc.Thread, client int, s *srvChan) {
 	u := r.u
-	t.Charge(u.m.ProtoRPC + u.m.FragLayer)
+	t.ChargeP(sim.PhaseProtoSend, u.m.ProtoRPC)
+	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	u.k.RawSend(t, akernel.RawAddress(client), s.cachedMsgID, u.m.RPCHeaderUser, s.cached.size, s.cached, false)
 }
 
@@ -302,7 +339,7 @@ func (r *userRPC) handleREP(t *proc.Thread, w *uwire) {
 	r.u.sim.Cancel(cs.timer)
 	cs.reply = w.payload
 	cs.repSize = w.size
-	t.Charge(r.u.m.ProtoRPC)
+	t.ChargeP(sim.PhaseProtoRecv, r.u.m.ProtoRPC)
 	r.u.sim.Trace(r.u.p.Name(), "prpc.rep", "seq=%d size=%d (daemon signals client)", w.seq, w.size)
 	t.Syscall()
 	t.Flush()

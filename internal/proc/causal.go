@@ -1,0 +1,92 @@
+package proc
+
+import (
+	"time"
+
+	"amoebasim/internal/sim"
+)
+
+// phaseChunk is one not-yet-elapsed CPU charge tagged with the phase and
+// operation it belongs to. Charges accumulate in Thread.pending and only
+// elapse at the next park point — possibly stretched by interrupts — so
+// their wall-clock placement is unknown at charge time; the FIFO defers
+// the causal interval emission until the time actually passes.
+type phaseChunk struct {
+	op uint64
+	ph sim.PhaseID
+	d  time.Duration
+}
+
+// SetOp binds the thread to a causally traced operation (0 unbinds).
+// Phase-tagged charges and dispatch costs on the thread's critical path
+// are attributed to the bound operation.
+func (t *Thread) SetOp(op uint64) { t.op = op }
+
+// Op returns the operation the thread is bound to (0: none).
+func (t *Thread) Op() uint64 { return t.op }
+
+// SetPhaseOverride reclassifies every phase-tagged charge the thread
+// makes as ph (PhaseNone restores normal tagging). The dedicated
+// user-space sequencer thread runs with PhaseSeqService: all of its
+// protocol processing is sequencer service time, whichever layer
+// charges it.
+func (t *Thread) SetPhaseOverride(ph sim.PhaseID) { t.phaseOverride = ph }
+
+// ChargeP is Charge with a phase tag: when the cost elapses it is
+// attributed to phase ph of the thread's current operation.
+func (t *Thread) ChargeP(ph sim.PhaseID, d time.Duration) {
+	t.Charge(d)
+	t.noteChunk(ph, d)
+}
+
+// noteChunk records a phase-tagged slice of the pending charge. Chunks
+// are tracked only while a causal tracer is installed, so the FIFO never
+// allocates in untraced runs.
+func (t *Thread) noteChunk(ph sim.PhaseID, d time.Duration) {
+	if d <= 0 || !t.p.sim.CausalOn() {
+		return
+	}
+	if t.phaseOverride != sim.PhaseNone {
+		ph = t.phaseOverride
+	}
+	t.chunks = append(t.chunks, phaseChunk{op: t.op, ph: ph, d: d})
+}
+
+// emitChunks converts the oldest elapsed-worth of t's phase-tagged
+// charge FIFO into causal intervals laid out consecutively from `from`.
+// A chunk only partially covered (an interrupt suspended the compute
+// mid-charge) is split: the cursor stops inside it and the remainder is
+// emitted when the compute resumes. Elapsed time beyond the tagged
+// chunks came from untagged charges; it stays unattributed and lands in
+// the stitcher's client-residual bucket.
+func (p *Processor) emitChunks(t *Thread, from sim.Time, elapsed time.Duration) {
+	cursor := from
+	for elapsed > 0 && t.chunkHead < len(t.chunks) {
+		c := &t.chunks[t.chunkHead]
+		take := c.d
+		if take > elapsed {
+			take = elapsed
+		}
+		p.sim.CausalSpan(c.op, c.ph, cursor, cursor.Add(take))
+		cursor = cursor.Add(take)
+		elapsed -= take
+		c.d -= take
+		if c.d == 0 {
+			t.chunkHead++
+		}
+	}
+	if t.chunkHead == len(t.chunks) && t.chunkHead > 0 {
+		t.chunks = t.chunks[:0]
+		t.chunkHead = 0
+	}
+}
+
+// waitPhaseFor maps an interrupt item's service phase to the phase its
+// queueing delay belongs to: waiting for the sequencer is sequencer
+// queueing, everything else is receive queueing.
+func waitPhaseFor(ph sim.PhaseID) sim.PhaseID {
+	if ph == sim.PhaseSeqService {
+		return sim.PhaseSeqQueue
+	}
+	return sim.PhaseRecvQueue
+}

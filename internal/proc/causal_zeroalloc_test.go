@@ -1,0 +1,59 @@
+package proc
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+// TestChargePUntracedZeroAlloc is the zero-overhead-when-off budget for
+// the phase-tagged charge hook: with no causal tracer installed, ChargeP
+// must degrade to a plain Charge — one branch, no chunk bookkeeping, no
+// allocation — so instrumented protocol paths cost nothing untraced.
+func TestChargePUntracedZeroAlloc(t *testing.T) {
+	s, p := newProc(t)
+	var avg float64
+	p.NewThread("w", PrioNormal, func(th *Thread) {
+		th.SetOp(7)
+		avg = testing.AllocsPerRun(1000, func() {
+			th.ChargeP(sim.PhaseProtoSend, time.Microsecond)
+		})
+		th.SetOp(0)
+		if len(th.chunks) != 0 {
+			t.Error("untraced ChargeP recorded phase chunks")
+		}
+	})
+	s.Run()
+	if avg != 0 {
+		t.Fatalf("untraced ChargeP allocates %.2f objects/op, budget is 0", avg)
+	}
+}
+
+// TestInterruptTaggedUntracedMatchesInterrupt: an untagged-equivalent
+// interrupt (op 0) and a tagged one behave identically without a causal
+// tracer — same clock, same stats — so tagging call sites is free when
+// tracing is off.
+func TestInterruptTaggedUntracedMatchesInterrupt(t *testing.T) {
+	run := func(tagged bool) (sim.Time, Stats) {
+		s := sim.New()
+		p := New(s, model.Calibrated(), 0, "cpu0")
+		defer p.Shutdown()
+		for i := 0; i < 10; i++ {
+			if tagged {
+				p.InterruptTagged(50*time.Microsecond, 42, sim.PhaseProtoRecv, nil)
+			} else {
+				p.Interrupt(50*time.Microsecond, nil)
+			}
+		}
+		s.Run()
+		return s.Now(), p.Stats()
+	}
+	plainEnd, plainStats := run(false)
+	taggedEnd, taggedStats := run(true)
+	if plainEnd != taggedEnd || plainStats != taggedStats {
+		t.Fatalf("tagged run diverged: end %v vs %v, stats %+v vs %+v",
+			taggedEnd, plainEnd, taggedStats, plainStats)
+	}
+}

@@ -79,6 +79,9 @@ type procMetrics struct {
 type intrItem struct {
 	cost time.Duration
 	fn   func()
+	op   uint64      // causally traced operation (0: untagged)
+	ph   sim.PhaseID // phase of the service time
+	at   sim.Time    // enqueue instant, for queue-wait attribution
 }
 
 // New creates a processor attached to the given simulator and cost model.
@@ -141,7 +144,15 @@ func (p *Processor) Running() *Thread { return p.running }
 // starts in driver context once the calling thread has parked, so the
 // suspend logic sees a consistent thread state.
 func (p *Processor) Interrupt(cost time.Duration, fn func()) {
-	p.intrQ = append(p.intrQ, intrItem{cost: cost, fn: fn})
+	p.InterruptTagged(cost, 0, sim.PhaseNone, fn)
+}
+
+// InterruptTagged is Interrupt with causal attribution: the item's wait
+// in the interrupt queue (enqueue to service start) and its service time
+// are attributed to phase ph of operation op. An op of 0 queues plain
+// untagged work.
+func (p *Processor) InterruptTagged(cost time.Duration, op uint64, ph sim.PhaseID, fn func()) {
+	p.intrQ = append(p.intrQ, intrItem{cost: cost, fn: fn, op: op, ph: ph, at: p.sim.Now()})
 	p.stats.Interrupts++
 	if p.mx != nil {
 		p.mx.interrupts.Inc()
@@ -176,6 +187,11 @@ func (p *Processor) nextIntrItem() {
 	it := p.intrQ[0]
 	p.intrQ = p.intrQ[0:copy(p.intrQ, p.intrQ[1:])]
 	p.stats.IntrTime += it.cost
+	if it.op != 0 {
+		now := p.sim.Now()
+		p.sim.CausalSpan(it.op, waitPhaseFor(it.ph), it.at, now)
+		p.sim.CausalSpan(it.op, it.ph, now, now.Add(it.cost))
+	}
 	p.sim.Schedule(it.cost, func() {
 		if it.fn != nil {
 			it.fn()
@@ -196,6 +212,7 @@ func (p *Processor) suspendCompute() {
 	}
 	elapsed := p.sim.Now().Sub(t.computeStart)
 	p.stats.ComputeTime += elapsed
+	p.emitChunks(t, t.computeStart, elapsed)
 	t.remaining -= elapsed
 	if t.remaining < 0 {
 		t.remaining = 0
@@ -248,7 +265,9 @@ func (p *Processor) computeDone(t *Thread) {
 	p.tracef("computeDone %s state=%d queued=%v", t.name, t.state, t.queued)
 	t.computeEv = sim.Event{}
 	t.remaining = 0
-	p.stats.ComputeTime += p.sim.Now().Sub(t.computeStart)
+	elapsed := p.sim.Now().Sub(t.computeStart)
+	p.stats.ComputeTime += elapsed
+	p.emitChunks(t, t.computeStart, elapsed)
 	p.activate(t)
 }
 
@@ -290,6 +309,9 @@ func (p *Processor) scheduleDispatch(fromInterrupt bool) {
 		}
 	}
 	p.stats.SwitchTime += cost
+	if target.op != 0 && cost > 0 {
+		p.sim.CausalSpan(target.op, sim.PhaseSched, p.sim.Now(), p.sim.Now().Add(cost))
+	}
 	p.dispatchEv = p.sim.Schedule(cost, func() {
 		p.dispatchEv = sim.Event{}
 		if p.intrBusy || p.running != nil {

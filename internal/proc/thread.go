@@ -84,6 +84,16 @@ type Thread struct {
 	// protocol costs) that are folded into the next park point.
 	pending time.Duration
 
+	// op is the causally traced operation the thread is currently
+	// working for (0: none); phaseOverride, when set, reclassifies every
+	// phase-tagged charge the thread makes. chunks is the FIFO of
+	// phase-tagged charges not yet elapsed (see internal/proc/causal.go);
+	// it stays empty unless a causal tracer is installed.
+	op            uint64
+	phaseOverride sim.PhaseID
+	chunks        []phaseChunk
+	chunkHead     int
+
 	stats ThreadStats
 }
 
@@ -164,6 +174,7 @@ func (t *Thread) Compute(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	t.noteChunk(sim.PhaseClient, d)
 	d += t.pending
 	t.pending = 0
 	if d == 0 {
@@ -260,7 +271,7 @@ func (t *Thread) Call(frames int) {
 	for i := 0; i < frames; i++ {
 		t.depth++
 		if t.resident == t.p.model.RegisterWindows {
-			t.Charge(t.p.model.WindowTrap)
+			t.ChargeP(sim.PhaseCrossing, t.p.model.WindowTrap)
 			t.stats.OverflowTraps++
 			t.p.stats.Traps++
 			if t.p.mx != nil {
@@ -282,7 +293,7 @@ func (t *Thread) Return(frames int) {
 		t.depth--
 		t.resident--
 		if t.resident == 0 {
-			t.Charge(t.p.model.WindowTrap)
+			t.ChargeP(sim.PhaseCrossing, t.p.model.WindowTrap)
 			t.stats.UnderflowTraps++
 			t.p.stats.Traps++
 			if t.p.mx != nil {
@@ -302,7 +313,7 @@ func (t *Thread) Depth() int { return t.depth }
 // source of the extra underflow traps on deep daemon stacks).
 func (t *Thread) Syscall() {
 	m := t.p.model
-	t.Charge(m.SyscallCross + time.Duration(t.resident)*m.WindowSave)
+	t.ChargeP(sim.PhaseCrossing, m.SyscallCross+time.Duration(t.resident)*m.WindowSave)
 	t.resident = 1
 	t.stats.Syscalls++
 	t.p.stats.Syscalls++
@@ -314,7 +325,7 @@ func (t *Thread) Syscall() {
 // CopyBytes charges the cost of copying n bytes (user/kernel boundary or
 // buffer-to-buffer).
 func (t *Thread) CopyBytes(n int) {
-	t.Charge(t.p.model.Copy(n))
+	t.ChargeP(sim.PhaseFrag, t.p.model.Copy(n))
 	t.stats.BytesCopied += int64(n)
 }
 

@@ -1,0 +1,154 @@
+package sim
+
+// PhaseID classifies where a slice of an operation's end-to-end latency
+// was spent. The set is closed on purpose: the causal tracer asserts that
+// these phases partition each operation's critical path exactly (see
+// internal/causal), so a new kind of cost must claim one of these buckets
+// or extend the enum — it cannot silently vanish.
+type PhaseID uint8
+
+const (
+	// PhaseNone tags charges that belong to no operation phase; the
+	// causal tracer ignores them.
+	PhaseNone PhaseID = iota
+	// PhaseClient is time attributed to the client itself: explicit
+	// application compute and any residual interval the tracer cannot
+	// attribute to a lower-level cause (think/queue time on the client).
+	PhaseClient
+	// PhaseCrossing is user/kernel boundary time: trap entry, register
+	// window save/restore, and the raw-interface translation overhead.
+	PhaseCrossing
+	// PhaseSched is context-switch and dispatch time spent giving a CPU
+	// to a thread on the operation's critical path.
+	PhaseSched
+	// PhaseProtoSend is protocol send-side processing (header build,
+	// transmission bookkeeping, acknowledgement generation).
+	PhaseProtoSend
+	// PhaseProtoRecv is protocol receive-side processing (interrupt
+	// entry, header parse, demultiplexing, delivery upcall).
+	PhaseProtoRecv
+	// PhaseFrag is fragmentation/reassembly work including the byte
+	// copies across buffers and the user/kernel data path.
+	PhaseFrag
+	// PhaseWire is time a frame spends on (or waiting for) an Ethernet
+	// segment, accumulated per store-and-forward hop.
+	PhaseWire
+	// PhaseSeqQueue is time a sequencer-bound packet waits before the
+	// sequencer starts serving it.
+	PhaseSeqQueue
+	// PhaseSeqService is the sequencer's own processing time.
+	PhaseSeqService
+	// PhaseRecvQueue is time a received packet waits in a queue (interrupt
+	// queue, raw receive queue) before a non-sequencer party picks it up.
+	PhaseRecvQueue
+	// PhaseRetrans is idle time waiting out retransmission timers and
+	// backoff — the operation is stalled, not processing.
+	PhaseRetrans
+
+	// NumPhases bounds the enum for array-indexed accounting.
+	NumPhases
+)
+
+func (p PhaseID) String() string {
+	switch p {
+	case PhaseClient:
+		return "client"
+	case PhaseCrossing:
+		return "crossing"
+	case PhaseSched:
+		return "sched"
+	case PhaseProtoSend:
+		return "proto-send"
+	case PhaseProtoRecv:
+		return "proto-recv"
+	case PhaseFrag:
+		return "frag"
+	case PhaseWire:
+		return "wire"
+	case PhaseSeqQueue:
+		return "seq-queue"
+	case PhaseSeqService:
+		return "seq-service"
+	case PhaseRecvQueue:
+		return "recv-queue"
+	case PhaseRetrans:
+		return "retrans"
+	default:
+		return "none"
+	}
+}
+
+// CausalTracer receives the causal critical-path stream: operation
+// begin/end edges and phase-attributed intervals. Intervals may arrive
+// out of order and may overlap (the stitcher resolves overlap by phase
+// priority); they are always clipped to the operation's [begin, end]
+// window before accounting. A nil causal tracer costs one branch per
+// hook site.
+type CausalTracer interface {
+	// OpBegin marks the start of operation op (a correlation id from the
+	// simulator's span sequence) of the given kind ("rpc", "group",
+	// "orca.read", "orca.write").
+	OpBegin(at Time, op uint64, kind string)
+	// OpEnd marks the operation's completion. failed reports an error
+	// outcome (the decomposition excludes failed operations).
+	OpEnd(at Time, op uint64, failed bool)
+	// OpSpan attributes [from, to) of operation op to phase ph.
+	OpSpan(op uint64, ph PhaseID, from, to Time)
+}
+
+// SetCausal installs a causal tracer (nil disables causal tracing, the
+// default). Like SetTracer it may be installed at any point; operation
+// ids only advance while a tracer is installed so traced and untraced
+// runs stay otherwise identical.
+func (s *Sim) SetCausal(ct CausalTracer) { s.causal = ct }
+
+// Causal returns the installed causal tracer, or nil.
+func (s *Sim) Causal() CausalTracer { return s.causal }
+
+// CausalOn reports whether a causal tracer is installed; hook sites
+// guard their bookkeeping behind this one branch.
+func (s *Sim) CausalOn() bool { return s.causal != nil }
+
+// CausalBegin opens a causally traced operation and returns its
+// correlation id, drawn from the same sequence as SpanBegin so trace
+// spans and causal operations correlate. Returns 0 (and does nothing)
+// without a causal tracer.
+func (s *Sim) CausalBegin(kind string) uint64 {
+	if s.causal == nil {
+		return 0
+	}
+	s.spanSeq++
+	id := s.spanSeq
+	s.causal.OpBegin(s.now, id, kind)
+	return id
+}
+
+// CausalEnd closes a causally traced operation. A zero id is ignored.
+func (s *Sim) CausalEnd(op uint64, failed bool) {
+	if s.causal == nil || op == 0 {
+		return
+	}
+	s.causal.OpEnd(s.now, op, failed)
+}
+
+// CausalSpan attributes the interval [from, to) of operation op to phase
+// ph. Zero-op, empty and reversed intervals are ignored, so call sites
+// can emit unconditionally.
+func (s *Sim) CausalSpan(op uint64, ph PhaseID, from, to Time) {
+	if s.causal == nil || op == 0 || ph == PhaseNone || to <= from {
+		return
+	}
+	s.causal.OpSpan(op, ph, from, to)
+}
+
+// SpanBeginWith emits a span Begin edge reusing an existing correlation
+// id instead of allocating a fresh one. Protocol layers use it to open
+// per-processor spans under the id of a causally traced operation, so an
+// exported Chrome trace can draw flow arrows that follow the operation
+// across processor tracks.
+func (s *Sim) SpanBeginWith(span uint64, source, kind, format string, args ...any) {
+	if s.tracer == nil || span == 0 {
+		return
+	}
+	s.traceSpan(PhaseBegin, span, source, kind, format, args...)
+}

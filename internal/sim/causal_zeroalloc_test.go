@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// ---- Zero-overhead-when-off budgets (enforced in CI) ----
+//
+// Span and causal hooks are compiled into every protocol hot path; with
+// no tracer installed each must cost one branch and zero allocations, so
+// untraced runs pay nothing for the observability machinery.
+
+// TestSpanHooksUntracedZeroAlloc: SpanBegin/SpanBeginWith/SpanEnd with no
+// tracer installed allocate nothing.
+func TestSpanHooksUntracedZeroAlloc(t *testing.T) {
+	s := New()
+	if avg := testing.AllocsPerRun(1000, func() {
+		id := s.SpanBegin("cpu0", "rpc.req", "")
+		s.SpanBeginWith(id, "cpu1", "rpc.serve", "")
+		s.SpanEnd(id, "cpu0", "rpc.req", "")
+	}); avg != 0 {
+		t.Fatalf("untraced span hooks allocate %.2f objects/op, budget is 0", avg)
+	}
+}
+
+// TestCausalHooksUntracedZeroAlloc: the causal operation hooks with no
+// causal tracer installed allocate nothing and emit nothing.
+func TestCausalHooksUntracedZeroAlloc(t *testing.T) {
+	s := New()
+	if avg := testing.AllocsPerRun(1000, func() {
+		op := s.CausalBegin("rpc")
+		s.CausalSpan(op, PhaseWire, s.Now(), s.Now().Add(1))
+		s.CausalEnd(op, false)
+	}); avg != 0 {
+		t.Fatalf("untraced causal hooks allocate %.2f objects/op, budget is 0", avg)
+	}
+	if s.spanSeq != 0 {
+		t.Fatal("correlation ids advanced without a causal tracer: traced and untraced runs would diverge")
+	}
+}

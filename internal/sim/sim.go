@@ -109,6 +109,7 @@ type Sim struct {
 	events   uint64 // total events executed
 	tracer   Tracer
 	spans    SpanTracer // tracer, if it also handles spans
+	causal   CausalTracer
 	spanSeq  uint64
 	registry *metrics.Registry
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"amoebasim/internal/causal"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
@@ -293,6 +294,14 @@ type Config struct {
 	Seed uint64
 	// Model overrides the machine cost model.
 	Model *model.CostModel
+	// Decompose installs the causal critical-path tracer for the run:
+	// every operation completed inside the measurement window gets its
+	// latency decomposed per phase, aggregated per kind in Result.Decomp.
+	Decompose bool
+	// DecompMaxOps bounds the causal flight recorder — only the most
+	// recent completed operations are retained, so long runs keep bounded
+	// memory (default 1<<16).
+	DecompMaxOps int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -322,6 +331,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.DecompMaxOps == 0 {
+		cfg.DecompMaxOps = 1 << 16
 	}
 	return cfg
 }
@@ -405,4 +417,10 @@ type Result struct {
 	WorkerOccupancy float64
 	// Registry holds the raw workload.latency_us histograms.
 	Registry *metrics.Registry
+	// Decomp is the per-kind causal latency decomposition over operations
+	// completed inside the window (nil unless Config.Decompose).
+	Decomp []causal.Agg
+	// DecompDropped counts completed operations the bounded flight
+	// recorder evicted before aggregation (they are missing from Decomp).
+	DecompDropped int64
 }

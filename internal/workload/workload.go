@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"amoebasim/internal/causal"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/metrics"
 	"amoebasim/internal/panda"
@@ -144,6 +145,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	group := cfg.Mix.Group > 0 || cfg.Mix.Write > 0
+	var col *causal.Collector
 	ccfg := cluster.Config{
 		Procs:              cfg.Procs,
 		Mode:               cfg.Mode,
@@ -151,6 +153,10 @@ func Run(cfg Config) (*Result, error) {
 		DedicatedSequencer: cfg.DedicatedSequencer,
 		Seed:               cfg.Seed,
 		Model:              cfg.Model,
+	}
+	if cfg.Decompose {
+		col = causal.NewCollector(cfg.DecompMaxOps)
+		ccfg.Causal = col
 	}
 	c, err := cluster.New(ccfg)
 	if err != nil {
@@ -246,6 +252,18 @@ func Run(cfg Config) (*Result, error) {
 		workerBusy += c.Occupancy(i, baseStats[i], window)
 	}
 	res.WorkerOccupancy = workerBusy / float64(c.Workers())
+	if col != nil {
+		// Aggregate only operations fully inside the measurement window,
+		// mirroring the latency histograms.
+		var inWindow []*causal.Op
+		for _, o := range col.Completed() {
+			if o.Begin >= measStart && o.End <= end {
+				inWindow = append(inWindow, o)
+			}
+		}
+		res.Decomp = causal.Aggregate(inWindow)
+		res.DecompDropped = col.Dropped()
+	}
 	return res, nil
 }
 
