@@ -27,7 +27,13 @@
 //	amoebasim -mix M            op mix: rpc, group, orca, mixed or "op=w,..." (default group)
 //	amoebasim -dist D           message sizes: fixed:N or uniform:LO-HI (default fixed:256)
 //	amoebasim -knee             bisect to each mode's saturation point (default true)
+//	amoebasim -seq-shards N     shard the groups across N sequencer processors (default 1)
+//	amoebasim -wl-segments N    Ethernet segment count for the workload cluster (default auto)
+//	amoebasim -wl-fanin N       switch fan-in: segments per switch group (default 0: flat)
 //	amoebasim -workload-json F  workload curves as a JSON artifact ("auto": WORKLOAD_<date>.json)
+//	amoebasim -scalability      knee-vs-cluster-size sweep across sequencer strategies
+//	amoebasim -scalability-json F  scalability sweep as a JSON artifact ("auto": SCALE_<date>.json)
+//	amoebasim -scalability-baseline F  zero-drift gate against a committed SCALE_*.json
 //	amoebasim -cpuprofile F     write a pprof CPU profile of the run to F
 //	amoebasim -memprofile F     write a pprof heap profile at exit to F
 //	amoebasim -all              everything
@@ -87,7 +93,13 @@ func main() {
 		wlWindow   = flag.Duration("wl-window", 0, "workload measurement window in simulated time (default 400ms)")
 		wlWarmup   = flag.Duration("wl-warmup", 0, "workload warmup before measurement (default window/4)")
 		knee       = flag.Bool("knee", true, "with -workload open: bisect to each mode's saturation point")
+		seqShards  = flag.Int("seq-shards", 0, "shard the communication groups across this many sequencer processors (default 1)")
+		wlSegments = flag.Int("wl-segments", 0, "Ethernet segment count for the workload cluster (0: one segment per 8 processors)")
+		wlFanIn    = flag.Int("wl-fanin", 0, "switch fan-in (segments per switch group) for a hierarchical topology (0: flat)")
 		workloadJ  = flag.String("workload-json", "", "write the workload curves as a JSON artifact ('auto': WORKLOAD_<date>.json)")
+		scalab     = flag.Bool("scalability", false, "run the knee-vs-cluster-size sweep across sequencer strategies")
+		scalabJ    = flag.String("scalability-json", "", "write the scalability sweep as a JSON artifact ('auto': SCALE_<date>.json)")
+		scalabBase = flag.String("scalability-baseline", "", "compare the scalability sweep against this committed SCALE_*.json baseline (zero drift tolerance)")
 		decompJSON = flag.String("decomp-json", "", "write the causal latency-decomposition artifact here ('auto': DECOMP_<date>.json)")
 		decompBase = flag.String("decomp-baseline", "", "compare the -decomp-json sweep against this committed DECOMP_*.json baseline (zero drift tolerance)")
 		chromeTr   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a traced run to this file")
@@ -100,12 +112,16 @@ func main() {
 	// Profiling teardown must run on every exit path, so the flag
 	// families dispatch through a closure that returns instead of exiting.
 	dispatch := func() error {
+		if *scalab || *scalabJ != "" || *scalabBase != "" {
+			return runScalability(*scalabJ, *scalabBase, *mixFlag, *distFlag, *wlWindow, *wlFanIn, *seed, *jobs)
+		}
 		if *workloadF != "" || *workloadJ != "" {
 			return runWorkload(workloadArgs{
 				loop: *workloadF, loads: *loads, clients: *clients, mix: *mixFlag,
 				dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
 				window: *wlWindow, warmup: *wlWarmup, knee: *knee,
 				jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
+				seqShards: *seqShards, segments: *wlSegments, fanIn: *wlFanIn,
 				decomp: *wlDecomp || *decompJSON != "", decompPath: *decompJSON,
 			})
 		}
@@ -406,6 +422,7 @@ func runBenchSweep(benchJSON, baseline, scale, appsFlag, procsFlag string, seed 
 type workloadArgs struct {
 	loop, loads, mix, dist, arrival, jsonPath string
 	clients, procs, jobs                      int
+	seqShards, segments, fanIn                int
 	think, window, warmup                     time.Duration
 	knee                                      bool
 	seed                                      uint64
@@ -445,17 +462,77 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 		// one point per mode instead of the default grid.
 		loads = []float64{0}
 	}
+	base := workload.Config{
+		Procs: a.procs, Loop: loop, Clients: a.clients,
+		ThinkTime: a.think, Arrival: arr, Mix: mix, Sizes: dist,
+		Warmup: a.warmup, Window: a.window, Seed: a.seed,
+		SeqShards: a.seqShards,
+		Decompose: a.decomp,
+	}
+	if a.segments > 0 || a.fanIn > 0 {
+		base.Topology = &cluster.Topology{Segments: a.segments, SwitchFanIn: a.fanIn}
+	}
 	return bench.WorkloadSweepConfig{
-		Base: workload.Config{
-			Procs: a.procs, Loop: loop, Clients: a.clients,
-			ThinkTime: a.think, Arrival: arr, Mix: mix, Sizes: dist,
-			Warmup: a.warmup, Window: a.window, Seed: a.seed,
-			Decompose: a.decomp,
-		},
+		Base:    base,
 		Loads:   loads,
 		Knee:    a.knee && loop == workload.OpenLoop,
 		Workers: a.jobs,
 	}, nil
+}
+
+// runScalability drives the knee-vs-cluster-size sweep over the sequencer
+// strategies, prints the curves, and optionally writes the machine-readable
+// artifact and applies the zero-drift gate against a committed baseline.
+func runScalability(jsonPath, baseline, mixFlag, distFlag string, window time.Duration, fanIn int, seed uint64, jobs int) error {
+	mix, err := workload.ParseMix(mixFlag)
+	if err != nil {
+		return err
+	}
+	dist, err := workload.ParseSizeDist(distFlag)
+	if err != nil {
+		return err
+	}
+	res, err := bench.ScalabilitySweep(bench.ScalabilitySweepConfig{
+		Base:        workload.Config{Mix: mix, Sizes: dist, Window: window, Seed: seed},
+		SwitchFanIn: fanIn,
+		Workers:     jobs,
+	})
+	if err != nil {
+		return err
+	}
+	bench.PrintScalability(os.Stdout, res)
+	fmt.Printf("(%d jobs in %v on %d workers)\n",
+		len(res.Jobs), res.Wall.Round(time.Millisecond), jobs)
+	art := bench.NewScalabilityArtifact(res)
+	if jsonPath != "" {
+		path := jsonPath
+		if path == "auto" {
+			path = "SCALE_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteScalabilityArtifact(f, art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if baseline != "" {
+		base, err := bench.LoadScalabilityArtifact(baseline)
+		if err != nil {
+			return err
+		}
+		if err := bench.CompareScalability(base, art); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s: no drift\n", baseline)
+	}
+	return nil
 }
 
 // runWorkload drives the traffic generator over the offered-load grid in

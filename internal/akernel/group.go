@@ -88,6 +88,7 @@ type member struct {
 	gid     GroupID
 	members []int
 	seqID   int
+	kind    string // causal operation kind ("group", or a per-shard label)
 	reasm   *flip.Reassembler
 
 	// Member state.
@@ -100,6 +101,7 @@ type member struct {
 	sends       map[uint64]*grpSendState
 	tmpSeq      uint64
 	retrTimer   sim.Event
+	sinceAck    int // deliveries since the last watermark report
 
 	// Sequencer state (only on the sequencer's kernel).
 	seqno      uint64
@@ -148,6 +150,7 @@ func (k *Kernel) GroupConfigure(gid GroupID, members []int, sequencer int) error
 		gid:         gid,
 		members:     append([]int(nil), members...),
 		seqID:       sequencer,
+		kind:        "group",
 		reasm:       flip.NewReassembler(k.sim, k.m.RetransTimeout),
 		nextDeliver: 1,
 		holdback:    make(map[uint64]*grpWire),
@@ -184,6 +187,15 @@ func (k *Kernel) GroupConfigure(gid GroupID, members []int, sequencer int) error
 	return nil
 }
 
+// GroupCausalKind sets the causal operation kind GrpSend begins on the
+// given group ("group" by default); sharded pools label each shard so the
+// tracer attributes latency per sequencer. No-op for unknown groups.
+func (k *Kernel) GroupCausalKind(gid GroupID, kind string) {
+	if mb := k.grp[gid]; mb != nil && kind != "" {
+		mb.kind = kind
+	}
+}
+
 // GrpSend broadcasts a message to the group with total ordering and blocks
 // until the sender's own message has been delivered back in order (Amoeba
 // semantics: "the calling thread is suspended until the message has
@@ -196,7 +208,7 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 	op := t.Op()
 	topLevel := op == 0
 	if topLevel {
-		op = k.sim.CausalBegin("group")
+		op = k.sim.CausalBegin(mb.kind)
 		t.SetOp(op)
 	}
 	k.enterKernel(t)
@@ -205,6 +217,10 @@ func (k *Kernel) GrpSend(t *proc.Thread, gid GroupID, payload any, size int) err
 	mb.tmpSeq++
 	ss := &grpSendState{t: t, tmpID: mb.tmpSeq}
 	mb.sends[ss.tmpID] = ss
+	// The request piggybacks this member's watermark: an active sender
+	// needs no spontaneous acks (they would tax broadcast-heavy phases
+	// with pure overhead).
+	mb.sinceAck = 0
 	k.sim.SpanBeginWith(op, k.p.Name(), "grp.send", "tmp=%d size=%d", ss.tmpID, size)
 
 	if mb.seqID == k.id {
@@ -367,6 +383,7 @@ func (mb *member) handle(w *grpWire) {
 			mb.seqHandleRETR(w)
 		}
 	case gSYNC:
+		mb.sinceAck = 0
 		mb.sendStatus()
 	case gSTATUS:
 		if isSeq {
@@ -374,7 +391,11 @@ func (mb *member) handle(w *grpWire) {
 			// Retransmit the suffix only when the member made no progress
 			// since the previous probe: an active member that is merely
 			// behind will catch up by itself; a stalled one lost the tail.
-			stalled := mb.lastStatus[w.from] == w.ackUpTo
+			// A first report is never "stalled": with no earlier report to
+			// compare against, a member whose DATA is still in flight would
+			// otherwise trigger a spurious full-history resend.
+			last, seen := mb.lastStatus[w.from]
+			stalled := seen && last == w.ackUpTo
 			mb.lastStatus[w.from] = w.ackUpTo
 			if stalled && w.ackUpTo < mb.seqno {
 				mb.seqHandleRETR(&grpWire{
@@ -527,8 +548,11 @@ func (mb *member) minAck() uint64 {
 // acknowledged every sequenced message. This is the paper's history
 // overflow prevention and also recovers "tail" losses: a member that
 // missed the final broadcast has no later message to reveal the gap, so
-// the sequencer must probe. On each tick the sequencer multicasts gSYNC;
-// members answer gSTATUS; stragglers get the missing suffix retransmitted.
+// the sequencer must probe. Each tick unicasts gSYNC only to members
+// pinned at the minimum acknowledged watermark — the ones actually
+// holding the history back — capped at GroupSyncFanout, so a probe round
+// costs O(stragglers) rather than triggering the group-wide SYNC/STATUS
+// implosion that saturates the sequencer in large groups.
 func (mb *member) armWatchdog() {
 	if mb.watchdog.Pending() || mb.minAck() >= mb.seqno {
 		return
@@ -536,17 +560,42 @@ func (mb *member) armWatchdog() {
 	k := mb.k
 	mb.watchdog = k.sim.Schedule(k.m.RetransTimeout, func() {
 		mb.watchdog = sim.Event{}
-		if mb.minAck() >= mb.seqno {
+		min := mb.minAck()
+		if min >= mb.seqno {
 			return
 		}
-		sync := &grpWire{kind: gSYNC, gid: mb.gid}
-		k.flip.SendFromInterrupt(flip.Message{
-			Src: seqAddress(mb.gid), Dst: GroupAddress(mb.gid), Proto: flip.ProtoGroup,
-			MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0,
-			Payload: sync, Multicast: true,
-		})
+		for _, id := range mb.stragglers(min) {
+			sync := &grpWire{kind: gSYNC, gid: mb.gid}
+			k.flip.SendFromInterrupt(flip.Message{
+				Src: seqAddress(mb.gid), Dst: kernAddress(id), Proto: flip.ProtoGroup,
+				MsgID: k.flip.NextMsgID(), Hdr: k.m.GroupHeaderKernel, Size: 0,
+				Payload: sync,
+			})
+		}
 		mb.armWatchdog()
 	})
+}
+
+// stragglers lists the members whose acknowledged watermark equals min,
+// in member order, capped at GroupSyncFanout.
+func (mb *member) stragglers(min uint64) []int {
+	fan := mb.k.m.GroupSyncFanout
+	if fan < 1 {
+		fan = 1
+	}
+	var ids []int
+	for _, id := range mb.members {
+		if id == mb.k.id {
+			continue
+		}
+		if mb.acked[id] == min {
+			ids = append(ids, id)
+			if len(ids) >= fan {
+				break
+			}
+		}
+	}
+	return ids
 }
 
 func (mb *member) sendStatus() {
@@ -616,13 +665,35 @@ func (mb *member) deliver(w *grpWire) {
 		mb.queue = append(mb.queue, d)
 	}
 	// The sender's own message coming back in order completes its send.
+	// Its watermark travels piggybacked on every request, so only pure
+	// receivers ever report spontaneously.
 	if w.sender == mb.k.id {
+		mb.sinceAck = 0
 		if ss := mb.sends[w.tmpID]; ss != nil && !ss.done {
 			ss.done = true
 			mb.k.sim.Cancel(ss.timer)
 			ss.t.Unblock()
 		}
+	} else {
+		mb.maybeAck()
 	}
+}
+
+// maybeAck spontaneously reports this member's delivery watermark to the
+// sequencer after every ack batch of deliveries, so history trimming
+// under load does not depend on the sequencer probing every member. The
+// batch scales with the group size (model.GroupAckBatch), keeping the
+// sequencer's ack processing O(1) per sequenced message.
+func (mb *member) maybeAck() {
+	if mb.seqID == mb.k.id {
+		return // the sequencer's own watermark never blocks trimming
+	}
+	mb.sinceAck++
+	if mb.sinceAck < mb.k.m.GroupAckBatch(len(mb.members)) {
+		return
+	}
+	mb.sinceAck = 0
+	mb.sendStatus()
 }
 
 // requestRetrans asks the sequencer for the missing gap below the given

@@ -104,6 +104,9 @@ type WorkloadKneeCell struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	Unsustained float64 `json:"unsustained_ops_per_sec"`
 	Probes      int     `json:"probes"`
+	// Bracketed distinguishes a real knee from "the doubling phase never
+	// found a saturated ceiling" (there OpsPerSec is only a lower bound).
+	Bracketed bool `json:"bracketed"`
 }
 
 // NewWorkloadArtifact flattens a workload sweep into the artifact section.
@@ -144,6 +147,7 @@ func NewWorkloadArtifact(res *WorkloadSweepResult) *WorkloadArtifact {
 		wa.Knees = append(wa.Knees, WorkloadKneeCell{
 			Impl: k.ModeLabel, OpsPerSec: k.OpsPerSec,
 			Unsustained: k.Unsustained, Probes: k.Probes,
+			Bracketed: k.Bracketed,
 		})
 	}
 	return wa

@@ -214,7 +214,7 @@ func PrintWorkload(w io.Writer, res *WorkloadSweepResult) {
 	if len(res.Knees) > 0 {
 		fmt.Fprintln(w, "(* = saturated: completions fell below 90% of arrivals)")
 		for _, k := range res.Knees {
-			if k.Unsustained > 0 {
+			if k.Bracketed {
 				fmt.Fprintf(w, "knee: %-22s saturates at %7.0f ops/sec (bracket [%.0f, %.0f], %d probes)\n",
 					k.ModeLabel, k.OpsPerSec, k.OpsPerSec, k.Unsustained, k.Probes)
 			} else {

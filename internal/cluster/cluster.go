@@ -11,6 +11,7 @@ import (
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/ether"
 	"amoebasim/internal/faults"
+	"amoebasim/internal/flip"
 	"amoebasim/internal/metrics"
 	"amoebasim/internal/model"
 	"amoebasim/internal/panda"
@@ -22,6 +23,31 @@ import (
 // processors by a 10 Mbit/sec Ethernet", joined by an Ethernet switch.
 const procsPerSegment = 8
 
+// Topology describes the pool interconnect beyond the flat default:
+// segment count, the switch hierarchy, the uplink cost model, and an
+// explicit processor→segment placement. The zero value defers entirely to
+// Config (Segments override or ceil(total/8) segments, flat single switch,
+// balanced contiguous placement).
+type Topology struct {
+	// Segments is the number of Ethernet segments (0: defer to
+	// Config.Segments, then to ceil(total processors / 8)).
+	Segments int
+	// SwitchFanIn groups segments under leaf switches joined by a
+	// backbone; 0 (or any value >= the segment count) keeps the paper's
+	// flat single-switch pool.
+	SwitchFanIn int
+	// UplinkLatency is the store-and-forward latency per uplink crossing
+	// (0: ether.DefaultUplinkLatency when hierarchical).
+	UplinkLatency time.Duration
+	// UplinkMbps is the uplink serialization rate in Mbit/s (0:
+	// ether.DefaultUplinkMbps when hierarchical).
+	UplinkMbps float64
+	// Placement maps every processor — workers first, then dedicated
+	// sequencer machines — to its segment. Nil places processors
+	// contiguously and balanced: processor i on segment i*segments/total.
+	Placement []int
+}
+
 // Config describes a cluster to build.
 type Config struct {
 	// Procs is the number of worker processors.
@@ -31,13 +57,27 @@ type Config struct {
 	// Group enables totally-ordered group communication among all
 	// workers.
 	Group bool
-	// DedicatedSequencer adds one extra processor that runs only the
-	// group sequencer (user-space mode only; the paper's
+	// DedicatedSequencer adds one extra processor per sequencer shard that
+	// runs only the group sequencer (user-space mode only; the paper's
 	// "User-space-dedicated" configuration).
 	DedicatedSequencer bool
+	// SeqShards partitions the sequencer across k processors (default 1,
+	// the paper's single sequencer). Groups are routed to shards
+	// deterministically (group g → shard g mod k) with independent
+	// per-shard sequence spaces; total order is preserved within a group.
+	// Co-located shards run on workers spread evenly over the pool;
+	// dedicated shards each get their own extra machine.
+	SeqShards int
+	// Groups is the number of independent totally-ordered groups (default:
+	// SeqShards). Every worker is a member of every group.
+	Groups int
 	// Segments overrides the number of Ethernet segments (default:
 	// ceil(total processors / 8)).
 	Segments int
+	// Topology configures the interconnect in full (segment count, switch
+	// fan-in, uplink model, explicit placement); its Segments field, when
+	// set, must agree with the legacy Segments override.
+	Topology Topology
 	// Seed drives all randomness (loss injection).
 	Seed uint64
 	// LossRate injects uniform packet loss (0 = reliable).
@@ -58,6 +98,13 @@ type Config struct {
 	// InterfaceDaemon relays user-space upcalls through interface-layer
 	// daemon threads, as in pre-continuation Panda (ablation, §3.2).
 	InterfaceDaemon bool
+	// WarmRoutes pre-populates every kernel's FLIP route cache with every
+	// address registered during cluster construction — the steady state of
+	// a long-running pool where every route has been located once. The
+	// workload engine enables it so short measurement windows measure the
+	// protocols, not FLIP's one-time locate broadcasts (each of which
+	// interrupts every processor). Microbenchmarks keep cold caches.
+	WarmRoutes bool
 	// Metrics attaches a metrics registry to the simulation so every
 	// layer records its counters; when false the hot paths stay
 	// branch-only (no registry, no allocation).
@@ -84,10 +131,55 @@ type Cluster struct {
 	// Faults is the armed fault injector, or nil when no scenario was
 	// configured.
 	Faults *faults.Injector
-	// SeqProc is the dedicated sequencer processor id, or -1.
+	// SeqProc is the first dedicated sequencer processor id, or -1.
 	SeqProc int
+	// SeqProcs is the processor id running each sequencer shard, in shard
+	// order; nil when the cluster has no group communication.
+	SeqProcs []int
 
-	cfg Config
+	cfg       Config
+	placement []int // processor → segment
+}
+
+// seqShards resolves the effective sequencer shard count.
+func (cfg Config) seqShards() int {
+	if cfg.SeqShards < 1 {
+		return 1
+	}
+	return cfg.SeqShards
+}
+
+// groupCount resolves the effective number of communication groups.
+func (cfg Config) groupCount() int {
+	if cfg.Groups > 0 {
+		return cfg.Groups
+	}
+	return cfg.seqShards()
+}
+
+// totalProcs is the pool size including dedicated sequencer machines.
+func (cfg Config) totalProcs() int {
+	total := cfg.Procs
+	if cfg.DedicatedSequencer {
+		total += cfg.seqShards()
+	}
+	return total
+}
+
+// EffectiveSegments reports the segment count the configuration resolves
+// to (override, legacy field, or the default of 8 processors per segment),
+// so front ends can describe the topology without building the cluster.
+func (cfg Config) EffectiveSegments() int { return cfg.segmentCount() }
+
+// segmentCount resolves the effective segment count.
+func (cfg Config) segmentCount() int {
+	if cfg.Topology.Segments > 0 {
+		return cfg.Topology.Segments
+	}
+	if cfg.Segments > 0 {
+		return cfg.Segments
+	}
+	return (cfg.totalProcs() + procsPerSegment - 1) / procsPerSegment
 }
 
 // Validate checks the configuration for shapes that would build a
@@ -109,8 +201,60 @@ func (cfg Config) Validate() error {
 	if cfg.DedicatedSequencer && !cfg.Group {
 		return fmt.Errorf("cluster: dedicated sequencer requires group communication")
 	}
+	if cfg.SeqShards < 0 {
+		return fmt.Errorf("cluster: negative sequencer shard count %d", cfg.SeqShards)
+	}
+	if cfg.seqShards() > 1 && !cfg.Group {
+		return fmt.Errorf("cluster: sequencer shards require group communication")
+	}
+	if cfg.seqShards() > cfg.Procs {
+		return fmt.Errorf("cluster: %d sequencer shards exceed %d workers", cfg.seqShards(), cfg.Procs)
+	}
+	if cfg.Groups < 0 {
+		return fmt.Errorf("cluster: negative group count %d", cfg.Groups)
+	}
+	if cfg.Groups > 0 && cfg.Groups < cfg.seqShards() {
+		return fmt.Errorf("cluster: %d groups leave some of %d sequencer shards idle", cfg.Groups, cfg.seqShards())
+	}
 	if cfg.Segments < 0 {
 		return fmt.Errorf("cluster: negative segment count %d", cfg.Segments)
+	}
+	if cfg.Topology.Segments < 0 {
+		return fmt.Errorf("cluster: negative topology segment count %d", cfg.Topology.Segments)
+	}
+	if cfg.Topology.Segments > 0 && cfg.Segments > 0 && cfg.Topology.Segments != cfg.Segments {
+		return fmt.Errorf("cluster: Topology.Segments %d conflicts with Segments %d", cfg.Topology.Segments, cfg.Segments)
+	}
+	if cfg.Topology.SwitchFanIn < 0 {
+		return fmt.Errorf("cluster: negative switch fan-in %d", cfg.Topology.SwitchFanIn)
+	}
+	if cfg.Topology.UplinkLatency < 0 {
+		return fmt.Errorf("cluster: negative uplink latency %v", cfg.Topology.UplinkLatency)
+	}
+	if cfg.Topology.UplinkMbps < 0 {
+		return fmt.Errorf("cluster: negative uplink rate %g Mbit/s", cfg.Topology.UplinkMbps)
+	}
+	total := cfg.totalProcs()
+	segs := cfg.segmentCount()
+	if segs > total {
+		return fmt.Errorf("cluster: %d segments exceed %d processors: a segment would be empty", segs, total)
+	}
+	if p := cfg.Topology.Placement; p != nil {
+		if len(p) != total {
+			return fmt.Errorf("cluster: placement names %d processors, pool has %d", len(p), total)
+		}
+		used := make([]bool, segs)
+		for i, seg := range p {
+			if seg < 0 || seg >= segs {
+				return fmt.Errorf("cluster: placement[%d] = %d outside [0, %d)", i, seg, segs)
+			}
+			used[seg] = true
+		}
+		for seg, ok := range used {
+			if !ok {
+				return fmt.Errorf("cluster: placement leaves segment %d empty", seg)
+			}
+		}
 	}
 	if cfg.LossRate < 0 || cfg.LossRate > 1 {
 		return fmt.Errorf("cluster: loss rate %g outside [0, 1]", cfg.LossRate)
@@ -118,8 +262,9 @@ func (cfg Config) Validate() error {
 	return nil
 }
 
-// New builds a cluster. Workers are processors 0..Procs-1; a dedicated
-// sequencer, if requested, is the extra last processor.
+// New builds a cluster. Workers are processors 0..Procs-1; dedicated
+// sequencer machines, if requested, are the extra last processors (one per
+// shard).
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -128,14 +273,8 @@ func New(cfg Config) (*Cluster, error) {
 	if m == nil {
 		m = model.Calibrated()
 	}
-	total := cfg.Procs
-	if cfg.DedicatedSequencer {
-		total++
-	}
-	segs := cfg.Segments
-	if segs <= 0 {
-		segs = (total + procsPerSegment - 1) / procsPerSegment
-	}
+	total := cfg.totalProcs()
+	segs := cfg.segmentCount()
 	s := sim.New()
 	var reg *metrics.Registry
 	if cfg.Metrics {
@@ -146,9 +285,14 @@ func New(cfg Config) (*Cluster, error) {
 		s.SetCausal(cfg.Causal)
 	}
 	c := &Cluster{
-		Sim:     s,
-		Model:   m,
-		Net:     ether.New(s, m, segs, cfg.Seed),
+		Sim:   s,
+		Model: m,
+		Net: ether.NewWithTopology(s, m, ether.Topology{
+			Segments:      segs,
+			SwitchFanIn:   cfg.Topology.SwitchFanIn,
+			UplinkLatency: cfg.Topology.UplinkLatency,
+			UplinkMbps:    cfg.Topology.UplinkMbps,
+		}, cfg.Seed),
 		Metrics: reg,
 		SeqProc: -1,
 		cfg:     cfg,
@@ -157,19 +301,74 @@ func New(cfg Config) (*Cluster, error) {
 		c.Net.SetLossRate(cfg.LossRate)
 	}
 
-	members := make([]int, cfg.Procs)
-	for i := range members {
-		members[i] = i
+	// Balanced contiguous placement: processor i on segment i*segs/total,
+	// so every segment is populated and per-segment counts differ by at
+	// most one. (The old i/8%segs formula stranded the whole pool on
+	// segment 0 whenever the override exceeded ceil(total/8), and aliased
+	// non-contiguously when it was smaller.)
+	c.placement = cfg.Topology.Placement
+	if c.placement == nil {
+		c.placement = make([]int, total)
+		if total > cfg.Procs && segs <= cfg.Procs {
+			// Dedicated sequencer machines are the last processor ids; the
+			// contiguous formula would rack them all on the final segment,
+			// funneling every shard's request and data traffic through one
+			// wire and its uplink. Balance the workers across all segments
+			// and spread the sequencer machines evenly over them instead.
+			for i := 0; i < cfg.Procs; i++ {
+				c.placement[i] = i * segs / cfg.Procs
+			}
+			for sh := 0; sh < total-cfg.Procs; sh++ {
+				c.placement[cfg.Procs+sh] = sh * segs / (total - cfg.Procs)
+			}
+		} else {
+			for i := range c.placement {
+				c.placement[i] = i * segs / total
+			}
+		}
 	}
-	sequencer := 0
-	if cfg.DedicatedSequencer {
-		sequencer = cfg.Procs
-		c.SeqProc = sequencer
+
+	shards := cfg.seqShards()
+	groups := cfg.groupCount()
+	var specs []panda.GroupSpec
+	if cfg.Group {
+		members := make([]int, cfg.Procs)
+		for i := range members {
+			members[i] = i
+		}
+		// Shard s runs on its own machine when dedicated, else on a
+		// worker; co-located shards spread evenly over the pool so one
+		// segment doesn't host every sequencer.
+		c.SeqProcs = make([]int, shards)
+		for sh := range c.SeqProcs {
+			if cfg.DedicatedSequencer {
+				c.SeqProcs[sh] = cfg.Procs + sh
+			} else {
+				c.SeqProcs[sh] = sh * cfg.Procs / shards
+			}
+		}
+		if cfg.DedicatedSequencer {
+			c.SeqProc = c.SeqProcs[0]
+		}
+		specs = make([]panda.GroupSpec, groups)
+		for g := range specs {
+			sh := g % shards
+			kind := ""
+			if shards > 1 {
+				kind = fmt.Sprintf("group:s%d", sh)
+			}
+			specs[g] = panda.GroupSpec{
+				GID:        g,
+				Members:    members,
+				Sequencer:  c.SeqProcs[sh],
+				CausalKind: kind,
+			}
+		}
 	}
 
 	for i := 0; i < total; i++ {
 		p := proc.New(s, m, i, fmt.Sprintf("cpu%d", i))
-		k, err := akernel.New(p, c.Net, i/procsPerSegment%segs)
+		k, err := akernel.New(p, c.Net, c.placement[i])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: boot kernel %d: %w", i, err)
 		}
@@ -178,20 +377,33 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	for i := 0; i < cfg.Procs; i++ {
-		tr, err := c.newTransport(i, members, sequencer)
+		tr, err := c.newTransport(i, specs)
 		if err != nil {
 			return nil, err
 		}
 		c.Transports = append(c.Transports, tr)
 	}
 	if cfg.DedicatedSequencer {
-		// The sequencer machine runs only the sequencer part of the
-		// group protocol: it is not a member.
-		panda.NewUser(c.Kernels[sequencer], panda.UserConfig{
-			Members:   members,
-			Sequencer: sequencer,
-			HasGroup:  true,
-		})
+		// Each sequencer machine runs only the sequencer part of the group
+		// protocol for its shard's groups: it is not a member.
+		for sh := 0; sh < shards; sh++ {
+			id := cfg.Procs + sh
+			var owned []panda.GroupSpec
+			for _, gs := range specs {
+				if gs.Sequencer == id {
+					owned = append(owned, gs)
+				}
+			}
+			panda.NewUser(c.Kernels[id], panda.UserConfig{Groups: owned})
+		}
+	}
+
+	if cfg.WarmRoutes {
+		stacks := make([]*flip.Stack, len(c.Kernels))
+		for i, k := range c.Kernels {
+			stacks[i] = k.FLIP()
+		}
+		flip.WarmRoutes(stacks)
 	}
 
 	// Arm fault injection last, once every NIC exists.
@@ -218,21 +430,15 @@ func faultSeed(cfg Config) uint64 {
 	return faults.DeriveSeed(cfg.Seed)
 }
 
-func (c *Cluster) newTransport(i int, members []int, sequencer int) (panda.Transport, error) {
-	var groupMembers []int
-	if c.cfg.Group {
-		groupMembers = members
-	}
+func (c *Cluster) newTransport(i int, specs []panda.GroupSpec) (panda.Transport, error) {
 	switch c.cfg.Mode {
 	case panda.KernelSpace:
 		return panda.NewKernel(c.Kernels[i], panda.KernelConfig{
-			Members:   groupMembers,
-			Sequencer: sequencer,
+			Groups: specs,
 		})
 	case panda.UserSpace:
 		return panda.NewUser(c.Kernels[i], panda.UserConfig{
-			Members:         groupMembers,
-			Sequencer:       sequencer,
+			Groups:          specs,
 			NoPiggyback:     c.cfg.NoPiggyback,
 			InterfaceDaemon: c.cfg.InterfaceDaemon,
 		}), nil
@@ -259,18 +465,32 @@ func (c *Cluster) Shutdown() {
 // dedicated sequencer, if any).
 func (c *Cluster) Workers() int { return c.cfg.Procs }
 
-// SequencerProc reports the processor id running the group sequencer: the
-// dedicated machine when one was configured, member 0 otherwise, and -1
-// when the cluster has no group communication at all.
+// SequencerProc reports the processor id running the first group
+// sequencer shard: the dedicated machine when one was configured, member 0
+// otherwise, and -1 when the cluster has no group communication at all.
 func (c *Cluster) SequencerProc() int {
-	if !c.cfg.Group {
+	if len(c.SeqProcs) == 0 {
 		return -1
 	}
-	if c.SeqProc >= 0 {
-		return c.SeqProc
-	}
-	return 0
+	return c.SeqProcs[0]
 }
+
+// SequencerProcs reports the processor id of every sequencer shard, in
+// shard order (nil without group communication).
+func (c *Cluster) SequencerProcs() []int { return c.SeqProcs }
+
+// Groups reports the number of communication groups the cluster was built
+// with (0 without group communication).
+func (c *Cluster) Groups() int {
+	if !c.cfg.Group {
+		return 0
+	}
+	return c.cfg.groupCount()
+}
+
+// Placement reports the segment hosting each processor, in processor
+// order.
+func (c *Cluster) Placement() []int { return c.placement }
 
 // PlaceClients spreads n client processes round-robin over the worker
 // processors (never the dedicated sequencer) and returns the processor id
@@ -298,6 +518,11 @@ func (c *Cluster) Occupancy(id int, atStart proc.Stats, window time.Duration) fl
 		return 0
 	}
 	busy := c.Procs[id].Stats().Busy() - atStart.Busy()
+	if busy < 0 {
+		// A snapshot from a different (busier) processor would otherwise
+		// report negative occupancy.
+		return 0
+	}
 	return float64(busy) / float64(window)
 }
 

@@ -4,6 +4,15 @@
 // broadcast, as on real Ethernet, so it floods every segment. Contention is
 // modeled as FIFO serialization per segment (no collision backoff); an
 // optional uniform loss rate supports protocol fault-injection tests.
+//
+// Beyond the paper's flat single-switch pool, a Topology with SwitchFanIn
+// smaller than the segment count builds a two-level hierarchy: segments are
+// grouped under leaf switches joined by a backbone, with one
+// store-and-forward uplink per group that serializes traffic at its own
+// rate and adds latency. Multicast then costs one copy per crossed level —
+// sibling segments fan out at the leaf switch, a single copy climbs the
+// source uplink, and the backbone replicates it down each other group's
+// uplink — instead of a free flood of every cable.
 package ether
 
 import (
@@ -90,7 +99,47 @@ type Segment struct {
 	mxQueued *metrics.Counter // ether.frames_queued{seg=N}
 }
 
-// Network is the full pool interconnect: segments plus a switch.
+// Topology describes the pool interconnect shape. The zero value (or any
+// SwitchFanIn not strictly between 0 and Segments) is the paper's flat
+// pool: every segment on one switch. A smaller SwitchFanIn groups segments
+// under leaf switches connected by a backbone through per-group uplinks.
+type Topology struct {
+	// Segments is the number of shared Ethernet cables (minimum 1).
+	Segments int
+	// SwitchFanIn is how many segments share one leaf switch. 0, or any
+	// value >= Segments, keeps the flat single-switch pool.
+	SwitchFanIn int
+	// UplinkLatency is the store-and-forward latency added per uplink
+	// crossing (default DefaultUplinkLatency when hierarchical).
+	UplinkLatency time.Duration
+	// UplinkMbps is the uplink serialization rate in Mbit/s (default
+	// DefaultUplinkMbps when hierarchical).
+	UplinkMbps float64
+}
+
+// Default uplink parameters: a switched 100 Mbit/s backbone tier above the
+// 10 Mbit/s shared segments, with store-and-forward latency per crossing.
+const (
+	DefaultUplinkLatency = 20 * time.Microsecond
+	DefaultUplinkMbps    = 100.0
+)
+
+// uplink is the store-and-forward link joining one switch group to the
+// backbone. Like a Segment it is a serial resource: frames queue behind
+// earlier traffic for their transmission time, then pay the link latency.
+type uplink struct {
+	group     int
+	busyUntil sim.Time
+
+	frames int64
+	bytes  int64
+
+	mxFrames *metrics.Counter // ether.uplink_frames{uplink=N}
+	mxBusyUS *metrics.Counter // ether.uplink_busy_us{uplink=N}
+}
+
+// Network is the full pool interconnect: segments plus a switch, or — in
+// hierarchical mode — leaf switches over segment groups joined by uplinks.
 type Network struct {
 	sim      *sim.Sim
 	m        *model.CostModel
@@ -99,6 +148,13 @@ type Network struct {
 	rng      *sim.Rand
 	lossRate float64
 	fault    FaultHook
+
+	// Hierarchical mode (uplinks non-nil): fanIn segments per leaf switch,
+	// one uplink per group, upPerByte ns of uplink serialization per byte.
+	fanIn     int
+	uplinks   []*uplink
+	upLatency time.Duration
+	upPerByte float64
 
 	dropped int64
 
@@ -146,6 +202,51 @@ func New(s *sim.Sim, m *model.CostModel, segments int, seed uint64) *Network {
 	}
 	return n
 }
+
+// NewWithTopology creates a network with an explicit interconnect shape.
+// A non-hierarchical Topology behaves exactly like New.
+func NewWithTopology(s *sim.Sim, m *model.CostModel, topo Topology, seed uint64) *Network {
+	n := New(s, m, topo.Segments, seed)
+	segs := len(n.segments)
+	if topo.SwitchFanIn <= 0 || topo.SwitchFanIn >= segs {
+		return n // flat single-switch pool
+	}
+	n.fanIn = topo.SwitchFanIn
+	n.upLatency = topo.UplinkLatency
+	if n.upLatency <= 0 {
+		n.upLatency = DefaultUplinkLatency
+	}
+	mbps := topo.UplinkMbps
+	if mbps <= 0 {
+		mbps = DefaultUplinkMbps
+	}
+	n.upPerByte = 8000.0 / mbps // ns per byte at mbps Mbit/s
+	groups := (segs + n.fanIn - 1) / n.fanIn
+	for g := 0; g < groups; g++ {
+		u := &uplink{group: g}
+		if reg := s.Metrics(); reg != nil {
+			l := metrics.L("uplink", strconv.Itoa(g))
+			u.mxFrames = reg.Counter("ether.uplink_frames", l)
+			u.mxBusyUS = reg.Counter("ether.uplink_busy_us", l)
+		}
+		n.uplinks = append(n.uplinks, u)
+	}
+	return n
+}
+
+// Hierarchical reports whether the network runs the two-level topology.
+func (n *Network) Hierarchical() bool { return n.uplinks != nil }
+
+// SwitchGroups returns the number of leaf switch groups (1 when flat).
+func (n *Network) SwitchGroups() int {
+	if n.uplinks == nil {
+		return 1
+	}
+	return len(n.uplinks)
+}
+
+// UplinkFrames reports total frames carried by switch group g's uplink.
+func (n *Network) UplinkFrames(g int) int64 { return n.uplinks[g].frames }
 
 // SetLossRate sets the probability that any single frame delivery is
 // dropped. Zero (the default) is a reliable wire.
@@ -221,6 +322,10 @@ func (c *NIC) Send(fr Frame) {
 
 	// Switch forwarding.
 	if fr.Dst == Broadcast {
+		if n.uplinks != nil {
+			n.broadcastHier(c.seg, fr, arrive)
+			return
+		}
 		for _, seg := range n.segments {
 			if seg == c.seg {
 				continue
@@ -244,6 +349,10 @@ func (c *NIC) Send(fr Frame) {
 	if dst == nil || dst.seg == c.seg {
 		return
 	}
+	if n.uplinks != nil {
+		n.unicastHier(c.seg, dst.seg, fr, arrive)
+		return
+	}
 	seg := dst.seg
 	src := c.seg.id
 	n.sim.ScheduleAt(arrive, func() {
@@ -255,6 +364,122 @@ func (c *NIC) Send(fr Frame) {
 		}
 		a2 := n.transmitOn(seg, fr)
 		n.deliverOnSegment(seg, fr, a2, nil)
+	})
+}
+
+// segGroup returns the switch group of a segment (hierarchical mode only).
+func (n *Network) segGroup(seg int) int { return seg / n.fanIn }
+
+// groupSegments returns the segments under leaf switch group g.
+func (n *Network) groupSegments(g int) []*Segment {
+	lo := g * n.fanIn
+	hi := lo + n.fanIn
+	if hi > len(n.segments) {
+		hi = len(n.segments)
+	}
+	return n.segments[lo:hi]
+}
+
+// uplinkTransit reserves one store-and-forward pass over the uplink
+// starting no earlier than at, returning when the frame emerges on the far
+// side: queue behind earlier frames, serialize at the uplink rate, then
+// pay the link latency. The whole crossing is wire time for the tracer.
+func (n *Network) uplinkTransit(u *uplink, at sim.Time, fr Frame) sim.Time {
+	start := at
+	if u.busyUntil > start {
+		start = u.busyUntil
+	}
+	tx := time.Duration(float64(fr.Size+n.m.EthernetHeaderBytes) * n.upPerByte)
+	u.busyUntil = start.Add(tx)
+	out := u.busyUntil.Add(n.upLatency)
+	n.sim.CausalSpan(fr.Op, sim.PhaseWire, at, out)
+	u.frames++
+	u.bytes += int64(fr.Size)
+	if u.mxFrames != nil {
+		u.mxFrames.Inc()
+		u.mxBusyUS.Add(tx.Microseconds())
+	}
+	return out
+}
+
+// unicastHier forwards a unicast frame across the hierarchy. Within one
+// switch group the path is a single store-and-forward hop, exactly as in
+// the flat pool; across groups the frame climbs the source group's uplink,
+// crosses the backbone, and descends the destination group's uplink before
+// transmitting on the destination segment.
+func (n *Network) unicastHier(src, dst *Segment, fr Frame, arrive sim.Time) {
+	n.sim.ScheduleAt(arrive, func() {
+		if n.fault != nil && n.fault.ForwardCut(arrive, src.id, dst.id) {
+			return
+		}
+		if n.mx != nil {
+			n.mx.segForwarded.Inc()
+		}
+		sg, dg := n.segGroup(src.id), n.segGroup(dst.id)
+		if sg == dg {
+			a2 := n.transmitOn(dst, fr)
+			n.deliverOnSegment(dst, fr, a2, nil)
+			return
+		}
+		up := n.uplinkTransit(n.uplinks[sg], n.sim.Now(), fr)
+		n.sim.ScheduleAt(up, func() {
+			down := n.uplinkTransit(n.uplinks[dg], n.sim.Now(), fr)
+			n.sim.ScheduleAt(down, func() {
+				a2 := n.transmitOn(dst, fr)
+				n.deliverOnSegment(dst, fr, a2, nil)
+			})
+		})
+	})
+}
+
+// broadcastHier floods a broadcast with one copy per crossed level: the
+// source leaf switch fans out to sibling segments, a single copy climbs
+// the source uplink, and the backbone replicates it down each other
+// group's uplink, whose leaf switch fans out to its segments.
+func (n *Network) broadcastHier(src *Segment, fr Frame, arrive sim.Time) {
+	sg := n.segGroup(src.id)
+	for _, seg := range n.groupSegments(sg) {
+		if seg == src {
+			continue
+		}
+		seg := seg
+		n.sim.ScheduleAt(arrive, func() {
+			if n.fault != nil && n.fault.ForwardCut(arrive, src.id, seg.id) {
+				return
+			}
+			if n.mx != nil {
+				n.mx.segForwarded.Inc()
+			}
+			a2 := n.transmitOn(seg, fr)
+			n.deliverOnSegment(seg, fr, a2, nil)
+		})
+	}
+	if len(n.uplinks) < 2 {
+		return
+	}
+	n.sim.ScheduleAt(arrive, func() {
+		up := n.uplinkTransit(n.uplinks[sg], n.sim.Now(), fr)
+		for g := range n.uplinks {
+			if g == sg {
+				continue
+			}
+			g := g
+			n.sim.ScheduleAt(up, func() {
+				down := n.uplinkTransit(n.uplinks[g], n.sim.Now(), fr)
+				n.sim.ScheduleAt(down, func() {
+					for _, seg := range n.groupSegments(g) {
+						if n.fault != nil && n.fault.ForwardCut(n.sim.Now(), src.id, seg.id) {
+							continue
+						}
+						if n.mx != nil {
+							n.mx.segForwarded.Inc()
+						}
+						a2 := n.transmitOn(seg, fr)
+						n.deliverOnSegment(seg, fr, a2, nil)
+					}
+				})
+			})
+		}
 	})
 }
 

@@ -227,6 +227,25 @@ func (st *Stack) InvalidateRoute(a Address) {
 	st.sim.Trace(st.name, "flip.unroute", "addr=%x", uint64(a))
 }
 
+// WarmRoutes pre-populates every stack's unicast route cache with the
+// addresses every other stack has registered so far — the steady state of
+// a long-running pool in which every route has been located once. A
+// locate is a broadcast that interrupts every processor, so a measurement
+// window much shorter than the pool's uptime would otherwise measure
+// FLIP's one-time discovery storm instead of the protocols; addresses
+// registered after the call still locate on first use.
+func WarmRoutes(stacks []*Stack) {
+	for _, dst := range stacks {
+		for a := range dst.local {
+			for _, src := range stacks {
+				if src != dst {
+					src.routes[a] = dst.nic.ID()
+				}
+			}
+		}
+	}
+}
+
 // NextMsgID allocates a message id, stable across retransmissions when the
 // caller reuses it.
 func (st *Stack) NextMsgID() uint64 {

@@ -158,6 +158,39 @@ type CostModel struct {
 	// sequencer broadcasts) to the BB method (sender broadcasts, the
 	// sequencer broadcasts a short accept).
 	BBThreshold int
+
+	// GroupAckEvery is the base delivery-ack batch: a non-sending group
+	// member spontaneously reports its delivery watermark to the sequencer
+	// after this many deliveries, so history trimming does not depend on
+	// probing every member. The protocols scale the effective batch with
+	// the group size (see GroupAckBatch) to keep the sequencer's ack
+	// processing O(1) per sequenced message.
+	GroupAckEvery int
+
+	// GroupSyncFanout caps how many stalled members one watchdog tick
+	// probes. The probe targets only the members holding the history back
+	// (minimum acknowledged watermark), so a tick costs O(stragglers), not
+	// O(members) — the ack implosion that otherwise saturates the
+	// sequencer in large groups.
+	GroupSyncFanout int
+}
+
+// GroupAckBatch is the effective delivery-ack batch for a group with n
+// members: at least GroupAckEvery, and at least the full group size. An
+// active sender delivers its own broadcast within every n-delivery span
+// and piggybacks its watermark on each request, so it never acks
+// spontaneously; a pure receiver reports about once per n deliveries.
+// Either way the sequencer's ack processing stays O(1) per sequenced
+// message and its history depth stays O(n).
+func (m *CostModel) GroupAckBatch(n int) int {
+	b := m.GroupAckEvery
+	if b < 1 {
+		b = 1
+	}
+	if n > b {
+		b = n
+	}
+	return b
 }
 
 // Calibrated returns the cost model tuned against Tables 1 and 2 of the
@@ -199,8 +232,10 @@ func Calibrated() *CostModel {
 		RetransTimeout:    100 * time.Millisecond,
 		RetransBackoffCap: 8,
 		AckDelay:          100 * time.Millisecond,
-		GroupHistory:   128,
-		BBThreshold:    1500,
+		GroupHistory:    128,
+		BBThreshold:     1500,
+		GroupAckEvery:   16,
+		GroupSyncFanout: 32,
 	}
 }
 

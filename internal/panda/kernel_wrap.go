@@ -34,6 +34,7 @@ type Kernel struct {
 
 	rpcHandler RPCHandler
 	grpHandler GroupHandler
+	gids       []akernel.GroupID // kernel group id per Panda group, indexed by GID
 
 	daemons   int
 	available int
@@ -50,8 +51,13 @@ var _ Transport = (*Kernel)(nil)
 
 // KernelConfig configures a kernel-space Panda instance.
 type KernelConfig struct {
+	// Groups lists the communication groups (the in-kernel sequencer of
+	// group g runs inside the kernel of its Sequencer). When nil, the
+	// legacy Members/Sequencer fields describe a single group with GID 0.
+	Groups []GroupSpec
 	// Members lists the processor ids in the group (empty disables group
 	// communication). The sequencer runs inside the kernel of Sequencer.
+	// Ignored when Groups is set.
 	Members   []int
 	Sequencer int
 }
@@ -65,17 +71,38 @@ func NewKernel(k *akernel.Kernel, cfg KernelConfig) (*Kernel, error) {
 		w.mxRelayed = reg.Counter("panda.relayed_replies", l)
 		w.mxDaemons = reg.Gauge("panda.rpc_daemons", l)
 	}
-	inGroup := false
-	for _, m := range cfg.Members {
-		if m == w.id {
-			inGroup = true
-		}
+	specs := cfg.Groups
+	if specs == nil && len(cfg.Members) > 0 {
+		// Legacy single-group configuration.
+		specs = []GroupSpec{{Members: cfg.Members, Sequencer: cfg.Sequencer}}
 	}
-	if inGroup {
-		if err := k.GroupConfigure(pandaGID, cfg.Members, cfg.Sequencer); err != nil {
-			return nil, fmt.Errorf("panda: configure group: %w", err)
+	for _, gs := range specs {
+		inGroup := false
+		for _, m := range gs.Members {
+			if m == w.id {
+				inGroup = true
+			}
 		}
-		p.NewThread("pan-grp-daemon", proc.PrioDaemon, w.groupDaemon)
+		gid := pandaGID + akernel.GroupID(gs.GID)
+		for gs.GID >= len(w.gids) {
+			w.gids = append(w.gids, 0)
+		}
+		w.gids[gs.GID] = gid
+		if !inGroup {
+			continue
+		}
+		if err := k.GroupConfigure(gid, gs.Members, gs.Sequencer); err != nil {
+			return nil, fmt.Errorf("panda: configure group %d: %w", gs.GID, err)
+		}
+		if gs.CausalKind != "" {
+			k.GroupCausalKind(gid, gs.CausalKind)
+		}
+		name := "pan-grp-daemon"
+		if gs.GID > 0 {
+			name = fmt.Sprintf("pan-grp-daemon-g%d", gs.GID)
+		}
+		dgid := gid
+		p.NewThread(name, proc.PrioDaemon, func(t *proc.Thread) { w.groupDaemon(t, dgid) })
 	}
 	w.spawnRPCDaemon()
 	w.spawnRPCDaemon()
@@ -99,9 +126,19 @@ func (w *Kernel) Call(t *proc.Thread, dest int, req any, size int) (any, int, er
 	return w.k.Trans(t, rpcPortBase+akernel.Port(dest), req, size)
 }
 
-// GroupSend broadcasts through the Amoeba kernel group protocol.
+// GroupSend broadcasts through the Amoeba kernel group protocol on the
+// default group.
 func (w *Kernel) GroupSend(t *proc.Thread, payload any, size int) error {
-	return w.k.GrpSend(t, pandaGID, payload, size)
+	return w.GroupSendTo(t, 0, payload, size)
+}
+
+// GroupSendTo broadcasts on a specific group (total order within the
+// group; independent sequence spaces across groups).
+func (w *Kernel) GroupSendTo(t *proc.Thread, group int, payload any, size int) error {
+	if group < 0 || group >= len(w.gids) || w.gids[group] == 0 {
+		return fmt.Errorf("panda: group %d not configured", group)
+	}
+	return w.k.GrpSend(t, w.gids[group], payload, size)
 }
 
 // kernCtx binds a request to the daemon thread that accepted it, because
@@ -176,9 +213,9 @@ func (w *Kernel) Reply(t *proc.Thread, ctx *RPCContext, payload any, size int) {
 }
 
 // groupDaemon receives ordered group messages and upcalls the handler.
-func (w *Kernel) groupDaemon(t *proc.Thread) {
+func (w *Kernel) groupDaemon(t *proc.Thread, gid akernel.GroupID) {
 	for {
-		d, err := w.k.GrpReceive(t, pandaGID)
+		d, err := w.k.GrpReceive(t, gid)
 		if err != nil {
 			return
 		}

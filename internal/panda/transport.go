@@ -60,6 +60,24 @@ type RPCHandler func(t *proc.Thread, ctx *RPCContext, req any, size int)
 // to completion in the receiving daemon thread.
 type GroupHandler func(t *proc.Thread, sender int, seqno uint64, payload any, size int)
 
+// GroupSpec describes one communication group of a (possibly sharded)
+// configuration. Groups are identified by small dense ids; each has its
+// own sequencer processor and an independent sequence space, so a pool can
+// partition its groups across k sequencer shards while total order is
+// preserved within every group.
+type GroupSpec struct {
+	// GID is the group id (0 is the default group GroupSend uses).
+	GID int
+	// Members are the processor ids belonging to the group.
+	Members []int
+	// Sequencer is the processor id sequencing this group's traffic.
+	Sequencer int
+	// CausalKind labels operations begun on this group for the causal
+	// tracer ("" = "group"); sharded pools use it to attribute latency per
+	// shard.
+	CausalKind string
+}
+
 // Transport is the Panda interface used by the Orca runtime system:
 // point-to-point RPC plus totally-ordered group communication among all
 // processors of the run.
@@ -79,11 +97,17 @@ type Transport interface {
 	// relayed through the daemon thread bound to the request.
 	Reply(t *proc.Thread, ctx *RPCContext, payload any, size int)
 
-	// GroupSend broadcasts a message with total ordering, blocking the
-	// caller until its own message is delivered back in order.
+	// GroupSend broadcasts a message on the default group (GID 0) with
+	// total ordering, blocking the caller until its own message is
+	// delivered back in order.
 	GroupSend(t *proc.Thread, payload any, size int) error
 
-	// HandleGroup registers the ordered-delivery upcall.
+	// GroupSendTo broadcasts on a specific group. Total order is
+	// guaranteed within the group; distinct groups order independently.
+	GroupSendTo(t *proc.Thread, group int, payload any, size int) error
+
+	// HandleGroup registers the ordered-delivery upcall (shared by every
+	// group of the instance).
 	HandleGroup(h GroupHandler)
 
 	// ID reports this instance's processor id.

@@ -1,6 +1,8 @@
 package panda
 
 import (
+	"strconv"
+
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/flip"
 	"amoebasim/internal/metrics"
@@ -9,9 +11,12 @@ import (
 	"amoebasim/internal/sim"
 )
 
-// pandaGroupAddr is the FLIP group address shared by all Panda instances
-// of one run.
+// pandaGroupAddr is the FLIP group address of Panda group 0; group g
+// multicasts on pandaGroupAddr + g (see groupAddr).
 const pandaGroupAddr flip.Address = 0xE000_0000_0000_0001
+
+// groupAddr is the FLIP multicast address of Panda group gid.
+func groupAddr(gid int) flip.Address { return pandaGroupAddr + flip.Address(gid) }
 
 // pandaDepth models Panda's call nesting: "procedure calls in Panda are
 // more deeply nested than in Amoeba", causing extra register-window
@@ -38,6 +43,7 @@ const (
 // uwire is the Panda protocol header + payload carried over raw FLIP.
 type uwire struct {
 	kind    uwireKind
+	gid     int // group id (group protocol kinds only)
 	from    int
 	seq     uint64
 	ackSeq  uint64
@@ -54,16 +60,22 @@ type RawHandler func(t *proc.Thread, from int, payload any, size int)
 
 // UserConfig configures a user-space Panda instance.
 type UserConfig struct {
+	// Groups lists the communication groups this instance participates in
+	// (as member, sequencer, or both). When nil, the legacy
+	// Members/Sequencer/HasGroup fields below describe a single group with
+	// GID 0.
+	Groups []GroupSpec
 	// Members lists the processor ids participating in group
 	// communication (empty disables the group module). A dedicated
-	// sequencer machine is NOT listed here.
+	// sequencer machine is NOT listed here. Ignored when Groups is set.
 	Members []int
 	// Sequencer is the processor id whose instance runs the sequencer
 	// thread. It may be a member (the default setup) or a dedicated
 	// machine outside Members (the paper's "User-space-dedicated" run).
+	// Ignored when Groups is set.
 	Sequencer int
 	// HasGroup enables the group module even for non-members (the
-	// dedicated sequencer machine needs it).
+	// dedicated sequencer machine needs it). Ignored when Groups is set.
 	HasGroup bool
 	// NoPiggyback disables piggybacking reply acknowledgements on the
 	// next request (ablation: every reply gets an immediate explicit
@@ -94,7 +106,7 @@ type User struct {
 	helper     *helper
 	iface      *helper // interface-layer daemon (ablation), nil normally
 	rpc        userRPC
-	grp        userGroup
+	grps       []*userGroup // indexed by gid; nil entries for groups not held
 	rawHandler RawHandler
 
 	mx *userMetrics // nil when metrics are disabled
@@ -116,7 +128,6 @@ type userMetrics struct {
 	grpSendRetrans  *metrics.Counter
 	grpDeliveries   *metrics.Counter
 	grpRetransReqs  *metrics.Counter
-	seqHistory      *metrics.Gauge // sequencer instance only
 }
 
 var _ Transport = (*User)(nil)
@@ -157,51 +168,101 @@ func NewUser(k *akernel.Kernel, cfg UserConfig) *User {
 	}
 	u.rpc.init(u)
 	k.RawRegister()
-	if u.groupEnabled() {
-		u.grp.init(u)
-		k.RawJoinGroup(pandaGroupAddr)
+	specs := cfg.Groups
+	if specs == nil && (len(cfg.Members) > 0 || cfg.HasGroup) {
+		// Legacy single-group configuration.
+		specs = []GroupSpec{{Members: cfg.Members, Sequencer: cfg.Sequencer}}
+	}
+	for _, gs := range specs {
+		g := &userGroup{}
+		g.init(u, gs)
+		for gs.GID >= len(u.grps) {
+			u.grps = append(u.grps, nil)
+		}
+		u.grps[gs.GID] = g
+		k.RawJoinGroup(groupAddr(gs.GID))
 	}
 	u.helper = newHelper(p)
 	if cfg.InterfaceDaemon {
 		u.iface = newNamedHelper(p, "pan-iface")
 	}
 	u.daemon = p.NewThread("pan-daemon", proc.PrioDaemon, u.daemonLoop)
-	if u.groupEnabled() && cfg.Sequencer == u.id {
-		u.grp.initSequencer()
-		// Time a packet spends queued for the sequencer thread is sequencer
+	var owned []*userGroup
+	for _, g := range u.grps {
+		if g != nil && g.spec.Sequencer == u.id {
+			owned = append(owned, g)
+		}
+	}
+	if len(owned) > 0 {
+		for _, g := range owned {
+			g.initSequencer()
+		}
+		// Time a packet spends queued for a sequencer thread is sequencer
 		// queueing, not ordinary receive-daemon queueing.
 		k.RawWaitPhase(func(pk *flip.Packet) sim.PhaseID {
-			if isSequencerTraffic(pk) {
+			if u.ownsSeqTraffic(pk) {
 				return sim.PhaseSeqQueue
 			}
 			return sim.PhaseRecvQueue
 		})
 		if u.mx != nil {
-			u.mx.seqHistory = u.sim.Metrics().Gauge("panda.seq_history", metrics.L("proc", p.Name()))
-			u.grp.seqReasm.SetTimeoutCounter(u.mx.reasmTimeouts)
+			for _, g := range owned {
+				ls := []metrics.Label{metrics.L("proc", p.Name())}
+				if g.gid > 0 {
+					ls = append(ls, metrics.L("gid", strconv.Itoa(g.gid)))
+				}
+				g.seqHistory = u.sim.Metrics().Gauge("panda.seq_history", ls...)
+				g.seqReasm.SetTimeoutCounter(u.mx.reasmTimeouts)
+			}
 		}
-		if !u.isMember() {
+		if !u.anyMember() {
 			// Dedicated sequencer machine: drop member traffic (ordered
 			// data, accepts, syncs) in the kernel so only the sequencer
-			// thread ever runs — keeping its context loaded (warm
+			// threads ever run — keeping their context loaded (warm
 			// dispatch, the paper's 60 µs instead of 110 µs).
-			k.RawDiscard(func(pk *flip.Packet) bool { return !isSequencerTraffic(pk) })
+			k.RawDiscard(func(pk *flip.Packet) bool { return !u.ownsSeqTraffic(pk) })
 		}
-		seq := p.NewThread("pan-sequencer", proc.PrioDaemon, u.grp.sequencerLoop)
-		// Everything the sequencer thread does — protocol work, crossings,
-		// dispatch — is sequencer service from the client's point of view.
-		seq.SetPhaseOverride(sim.PhaseSeqService)
+		for _, g := range owned {
+			g := g
+			name := "pan-sequencer"
+			if g.gid > 0 {
+				name = "pan-sequencer-g" + strconv.Itoa(g.gid)
+			}
+			seq := p.NewThread(name, proc.PrioDaemon, g.sequencerLoop)
+			// Everything a sequencer thread does — protocol work, crossings,
+			// dispatch — is sequencer service from the client's point of view.
+			seq.SetPhaseOverride(sim.PhaseSeqService)
+		}
 	}
 	return u
 }
 
-func (u *User) groupEnabled() bool {
-	return len(u.cfg.Members) > 0 || u.cfg.HasGroup
+func (u *User) groupEnabled() bool { return len(u.grps) > 0 }
+
+// groupByGID returns the group with the given id, or nil when this
+// instance does not hold it.
+func (u *User) groupByGID(gid int) *userGroup {
+	if gid < 0 || gid >= len(u.grps) {
+		return nil
+	}
+	return u.grps[gid]
 }
 
-func (u *User) isMember() bool {
-	for _, id := range u.cfg.Members {
-		if id == u.id {
+// ownsSeq reports whether this instance sequences any of its groups.
+func (u *User) ownsSeq() bool {
+	for _, g := range u.grps {
+		if g != nil && g.spec.Sequencer == u.id {
+			return true
+		}
+	}
+	return false
+}
+
+// anyMember reports whether this instance is a member of any of its
+// groups (false on a dedicated sequencer machine).
+func (u *User) anyMember() bool {
+	for _, g := range u.grps {
+		if g != nil && g.isMember() {
 			return true
 		}
 	}
@@ -220,8 +281,15 @@ func (u *User) HandleRaw(h RawHandler) { u.rawHandler = h }
 // HandleRPC registers the RPC request upcall.
 func (u *User) HandleRPC(h RPCHandler) { u.rpc.handler = h }
 
-// HandleGroup registers the ordered group delivery upcall.
-func (u *User) HandleGroup(h GroupHandler) { u.grp.handler = h }
+// HandleGroup registers the ordered group delivery upcall (shared by
+// every group of the instance).
+func (u *User) HandleGroup(h GroupHandler) {
+	for _, g := range u.grps {
+		if g != nil {
+			g.handler = h
+		}
+	}
+}
 
 // SystemSend is the Panda system-layer primitive of Table 1: a message
 // straight onto FLIP via a system call (unicast to a processor, or
@@ -247,9 +315,10 @@ const systemHeaderBytes = 16
 // completion without intermediate thread switches.
 func (u *User) daemonLoop(t *proc.Thread) {
 	var filter func(*flip.Packet) bool
-	if u.groupEnabled() && u.cfg.Sequencer == u.id {
-		// Sequencer traffic is consumed directly by the sequencer thread.
-		filter = func(pk *flip.Packet) bool { return !isSequencerTraffic(pk) }
+	if u.ownsSeq() {
+		// Sequencer traffic for owned groups is consumed directly by the
+		// sequencer threads.
+		filter = func(pk *flip.Packet) bool { return !u.ownsSeqTraffic(pk) }
 	}
 	for {
 		pk := u.k.RawReceiveMatch(t, filter)
@@ -288,13 +357,9 @@ func (u *User) dispatch(t *proc.Thread, w *uwire) {
 		u.rpc.handleREP(t, w)
 	case uACK:
 		u.rpc.handleACK(t, w)
-	case ugDATA, ugACCEPT, ugSYNC:
-		if u.groupEnabled() {
-			u.grp.memberHandle(t, w)
-		}
-	case ugBB:
-		if u.groupEnabled() {
-			u.grp.memberHandle(t, w)
+	case ugDATA, ugACCEPT, ugSYNC, ugBB:
+		if g := u.groupByGID(w.gid); g != nil {
+			g.memberHandle(t, w)
 		}
 	case uRAW:
 		if u.rawHandler != nil {
@@ -303,17 +368,31 @@ func (u *User) dispatch(t *proc.Thread, w *uwire) {
 	}
 }
 
-func isSequencerTraffic(pk *flip.Packet) bool {
-	w, ok := pk.Payload.(*uwire)
-	if !ok {
-		return false
+// seqTraffic reports whether pk carries sequencer-bound group protocol
+// traffic, and for which group.
+func seqTraffic(pk *flip.Packet) (gid int, ok bool) {
+	w, isW := pk.Payload.(*uwire)
+	if !isW {
+		return 0, false
 	}
 	switch w.kind {
 	case ugREQ, ugBB, ugRETR, ugSTATUS:
-		return true
+		return w.gid, true
 	default:
+		return 0, false
+	}
+}
+
+// ownsSeqTraffic reports whether pk is sequencer traffic for a group this
+// instance sequences. A co-located shard must not steal other groups'
+// sequencer traffic from the receive daemon.
+func (u *User) ownsSeqTraffic(pk *flip.Packet) bool {
+	gid, ok := seqTraffic(pk)
+	if !ok {
 		return false
 	}
+	g := u.groupByGID(gid)
+	return g != nil && g.spec.Sequencer == u.id
 }
 
 // helper is a protocol service thread that executes deferred actions

@@ -5,6 +5,7 @@ import (
 
 	"amoebasim/internal/akernel"
 	"amoebasim/internal/flip"
+	"amoebasim/internal/metrics"
 	"amoebasim/internal/proc"
 	"amoebasim/internal/sim"
 )
@@ -43,9 +44,15 @@ type gsend struct {
 // sequencer thread orders messages (PB method: point-to-point to the
 // sequencer which re-multicasts; BB method for large messages: the sender
 // multicasts the data and the sequencer multicasts a short accept). The
-// member side runs in the receive daemon.
+// member side runs in the receive daemon. An instance holds one userGroup
+// per group it participates in; each group has its own sequencer and an
+// independent sequence space.
 type userGroup struct {
 	u       *User
+	gid     int
+	spec    GroupSpec
+	addr    flip.Address // this group's FLIP multicast address
+	kind    string       // causal operation kind ("group", or per-shard label)
 	handler GroupHandler
 
 	// Member state.
@@ -56,6 +63,8 @@ type userGroup struct {
 	sends       map[uint64]*gsend
 	tmpSeq      uint64
 	retrArmed   bool
+	amMember    bool // cached membership test (hot on every delivery)
+	sinceAck    int  // deliveries since the last watermark report
 
 	// Nonblocking-send flow control.
 	outstandingNB int
@@ -69,16 +78,31 @@ type userGroup struct {
 	acked      map[int]uint64
 	lastStatus map[int]uint64 // ack seen at the previous status probe
 	watchdog   sim.Event
+	seqHistory *metrics.Gauge // nil when metrics are disabled
 }
 
-func (g *userGroup) init(u *User) {
+func (g *userGroup) init(u *User, spec GroupSpec) {
 	g.u = u
+	g.gid = spec.GID
+	g.spec = spec
+	g.addr = groupAddr(spec.GID)
+	g.kind = spec.CausalKind
+	if g.kind == "" {
+		g.kind = "group"
+	}
 	g.nextDeliver = 1
 	g.holdback = make(map[uint64]*uwire)
 	g.bbData = make(map[gkey]*uwire)
 	g.bbAccept = make(map[gkey]*uwire)
 	g.sends = make(map[uint64]*gsend)
+	for _, id := range spec.Members {
+		if id == u.id {
+			g.amMember = true
+		}
+	}
 }
+
+func (g *userGroup) isMember() bool { return g.amMember }
 
 func (g *userGroup) initSequencer() {
 	g.seqReasm = flip.NewReassembler(g.u.sim, g.u.m.RetransTimeout)
@@ -88,23 +112,35 @@ func (g *userGroup) initSequencer() {
 	g.lastStatus = make(map[int]uint64)
 }
 
-// GroupSend implements Transport.GroupSend: broadcast with total order,
-// blocking until the sender's own message is delivered back.
+// GroupSend implements Transport.GroupSend: broadcast on the default
+// group with total order, blocking until the sender's own message is
+// delivered back.
 func (u *User) GroupSend(t *proc.Thread, payload any, size int) error {
-	return u.grp.send(t, payload, size, true)
+	return u.GroupSendTo(t, 0, payload, size)
+}
+
+// GroupSendTo broadcasts on a specific group (total order within the
+// group; independent sequence spaces across groups).
+func (u *User) GroupSendTo(t *proc.Thread, group int, payload any, size int) error {
+	g := u.groupByGID(group)
+	if g == nil {
+		return errors.New("panda: group communication not configured")
+	}
+	return g.send(t, payload, size, true)
 }
 
 // GroupSendNB is the §6 extension: a totally-ordered broadcast that does
 // not wait for the sequencer round trip.
 func (u *User) GroupSendNB(t *proc.Thread, payload any, size int) error {
-	return u.grp.send(t, payload, size, false)
+	g := u.groupByGID(0)
+	if g == nil {
+		return errors.New("panda: group communication not configured")
+	}
+	return g.send(t, payload, size, false)
 }
 
 func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) error {
 	u := g.u
-	if !u.groupEnabled() {
-		return errors.New("panda: group communication not configured")
-	}
 	if !blocking {
 		for g.outstandingNB >= nbWindow {
 			g.nbWaiters = append(g.nbWaiters, t)
@@ -121,13 +157,17 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 	op := t.Op()
 	topLevel := op == 0 && blocking
 	if topLevel {
-		op = u.sim.CausalBegin("group")
+		op = u.sim.CausalBegin(g.kind)
 		t.SetOp(op)
 	}
 	w := &uwire{
-		kind: kind, from: u.id, tmpID: g.tmpSeq,
+		kind: kind, gid: g.gid, from: u.id, tmpID: g.tmpSeq,
 		ackSeq: g.nextDeliver - 1, payload: payload, size: size,
 	}
+	// The request piggybacks this member's watermark: an active sender
+	// needs no spontaneous acks (they would tax broadcast-heavy phases
+	// with pure overhead).
+	g.sinceAck = 0
 	ss := &gsend{tmpID: g.tmpSeq, msgID: u.k.RawNextMsgID(), op: op, wire: w, big: big}
 	if blocking {
 		ss.t = t
@@ -149,9 +189,9 @@ func (g *userGroup) send(t *proc.Thread, payload any, size int, blocking bool) e
 	t.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 	if big {
 		g.bbData[gkey{from: u.id, tmpID: ss.tmpID}] = w
-		u.k.RawSend(t, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, size, w, true)
+		u.k.RawSend(t, g.addr, ss.msgID, u.m.GroupHeaderUser, size, w, true)
 	} else {
-		u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), ss.msgID, u.m.GroupHeaderUser, size, w, false)
+		u.k.RawSend(t, akernel.RawAddress(g.spec.Sequencer), ss.msgID, u.m.GroupHeaderUser, size, w, false)
 	}
 	t.Return(pandaDepth)
 	ss.timer = u.sim.Schedule(u.m.RetransTimeout, func() { g.sendTimeout(ss) })
@@ -202,9 +242,9 @@ func (g *userGroup) sendTimeout(ss *gsend) {
 		ht.ChargeP(sim.PhaseProtoSend, u.m.ProtoGroup)
 		ht.ChargeP(sim.PhaseFrag, u.m.FragLayer)
 		if ss.big {
-			u.k.RawSend(ht, pandaGroupAddr, ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, true)
+			u.k.RawSend(ht, g.addr, ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, true)
 		} else {
-			u.k.RawSend(ht, akernel.RawAddress(u.cfg.Sequencer), ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, false)
+			u.k.RawSend(ht, akernel.RawAddress(g.spec.Sequencer), ss.msgID, u.m.GroupHeaderUser, ss.wire.size, ss.wire, false)
 		}
 		ht.Return(pandaDepth)
 		ht.SetOp(0)
@@ -245,9 +285,10 @@ func (g *userGroup) memberHandle(t *proc.Thread, w *uwire) {
 		g.bbData[key] = w
 		g.tryCompleteBB(t, key)
 	case ugSYNC:
-		if u.isMember() {
-			w := &uwire{kind: ugSTATUS, from: u.id, ackSeq: g.nextDeliver - 1}
-			u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), u.k.RawNextMsgID(),
+		if g.isMember() {
+			g.sinceAck = 0
+			w := &uwire{kind: ugSTATUS, gid: g.gid, from: u.id, ackSeq: g.nextDeliver - 1}
+			u.k.RawSend(t, akernel.RawAddress(g.spec.Sequencer), u.k.RawNextMsgID(),
 				u.m.GroupHeaderUser, 0, w, false)
 		}
 	}
@@ -260,7 +301,7 @@ func (g *userGroup) tryCompleteBB(t *proc.Thread, key gkey) {
 		return
 	}
 	g.onData(t, &uwire{
-		kind: ugDATA, from: data.from, seq: acc.seq, tmpID: data.tmpID,
+		kind: ugDATA, gid: g.gid, from: data.from, seq: acc.seq, tmpID: data.tmpID,
 		payload: data.payload, size: data.size,
 	})
 }
@@ -295,12 +336,16 @@ func (g *userGroup) deliver(t *proc.Thread, w *uwire) {
 	key := gkey{from: w.from, tmpID: w.tmpID}
 	delete(g.bbData, key)
 	delete(g.bbAccept, key)
-	if u.isMember() && g.handler != nil {
+	if g.isMember() && g.handler != nil {
 		g.handler(t, w.from, w.seq, w.payload, w.size)
 	}
 	if w.from != u.id {
+		g.maybeAck(t)
 		return
 	}
+	// Own broadcast delivered: an active sender piggybacks its watermark
+	// on every request, so it never acks spontaneously.
+	g.sinceAck = 0
 	ss := g.sends[w.tmpID]
 	if ss == nil || ss.done {
 		return
@@ -319,6 +364,26 @@ func (g *userGroup) deliver(t *proc.Thread, w *uwire) {
 	}
 }
 
+// maybeAck spontaneously reports this member's delivery watermark to the
+// sequencer after every ack batch of deliveries, so history trimming
+// under load does not depend on the sequencer probing every member. The
+// batch scales with the group size (model.GroupAckBatch), keeping the
+// sequencer's ack processing O(1) per sequenced message.
+func (g *userGroup) maybeAck(t *proc.Thread) {
+	u := g.u
+	if !g.isMember() || u.id == g.spec.Sequencer {
+		return // the sequencer's own watermark never blocks trimming
+	}
+	g.sinceAck++
+	if g.sinceAck < u.m.GroupAckBatch(len(g.spec.Members)) {
+		return
+	}
+	g.sinceAck = 0
+	w := &uwire{kind: ugSTATUS, gid: g.gid, from: u.id, ackSeq: g.nextDeliver - 1}
+	u.k.RawSend(t, akernel.RawAddress(g.spec.Sequencer), u.k.RawNextMsgID(),
+		u.m.GroupHeaderUser, 0, w, false)
+}
+
 func (g *userGroup) requestRetrans(t *proc.Thread, sawSeqno uint64) {
 	if g.retrArmed {
 		return
@@ -334,8 +399,8 @@ func (g *userGroup) requestRetrans(t *proc.Thread, sawSeqno uint64) {
 			hi = s
 		}
 	}
-	w := &uwire{kind: ugRETR, from: u.id, lo: g.nextDeliver, hi: hi}
-	u.k.RawSend(t, akernel.RawAddress(u.cfg.Sequencer), u.k.RawNextMsgID(),
+	w := &uwire{kind: ugRETR, gid: g.gid, from: u.id, lo: g.nextDeliver, hi: hi}
+	u.k.RawSend(t, akernel.RawAddress(g.spec.Sequencer), u.k.RawNextMsgID(),
 		u.m.GroupHeaderUser, 0, w, false)
 	u.sim.Schedule(u.m.RetransTimeout, func() {
 		g.retrArmed = false
@@ -361,8 +426,12 @@ func (g *userGroup) requestRetrans(t *proc.Thread, sawSeqno uint64) {
 // fetch it and one to multicast it with its sequence number.
 func (g *userGroup) sequencerLoop(t *proc.Thread) {
 	u := g.u
+	match := func(pk *flip.Packet) bool {
+		gid, ok := seqTraffic(pk)
+		return ok && gid == g.gid
+	}
 	for {
-		pk := u.k.RawReceiveMatch(t, isSequencerTraffic)
+		pk := u.k.RawReceiveMatch(t, match)
 		t.Call(pandaDepth)
 		if g.seqReasm.Add(pk) {
 			if w, ok := pk.Payload.(*uwire); ok {
@@ -384,40 +453,40 @@ func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
 		key := gkey{from: w.from, tmpID: w.tmpID}
 		if seqno, dup := g.seen[key]; dup {
 			if h := g.history[seqno]; h != nil {
-				u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, h.size, h, true)
+				u.k.RawSend(t, g.addr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, h.size, h, true)
 			}
 			return
 		}
 		g.seqno++
-		d := &uwire{kind: ugDATA, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
+		d := &uwire{kind: ugDATA, gid: g.gid, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
 		u.sim.Trace(u.p.Name(), "pgrp.seq", "seqno=%d sender=%d size=%d (PB)", g.seqno, w.from, w.size)
 		g.seen[key] = g.seqno
 		g.history[g.seqno] = d
-		if u.mx != nil {
-			u.mx.seqHistory.Set(int64(len(g.history)))
+		if g.seqHistory != nil {
+			g.seqHistory.Set(int64(len(g.history)))
 		}
-		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, true)
+		u.k.RawSend(t, g.addr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, true)
 		g.armWatchdog()
 	case ugBB:
 		g.updateAck(w.from, w.ackSeq)
 		key := gkey{from: w.from, tmpID: w.tmpID}
 		if seqno, dup := g.seen[key]; dup {
 			if h := g.history[seqno]; h != nil {
-				acc := &uwire{kind: ugACCEPT, from: h.from, seq: h.seq, tmpID: h.tmpID}
-				u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
+				acc := &uwire{kind: ugACCEPT, gid: g.gid, from: h.from, seq: h.seq, tmpID: h.tmpID}
+				u.k.RawSend(t, g.addr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
 			}
 			return
 		}
 		g.seqno++
-		d := &uwire{kind: ugDATA, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
+		d := &uwire{kind: ugDATA, gid: g.gid, from: w.from, seq: g.seqno, tmpID: w.tmpID, payload: w.payload, size: w.size}
 		g.seen[key] = g.seqno
 		g.history[g.seqno] = d
-		if u.mx != nil {
-			u.mx.seqHistory.Set(int64(len(g.history)))
+		if g.seqHistory != nil {
+			g.seqHistory.Set(int64(len(g.history)))
 		}
-		acc := &uwire{kind: ugACCEPT, from: w.from, seq: g.seqno, tmpID: w.tmpID}
-		u.k.RawSend(t, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
-		if u.isMember() {
+		acc := &uwire{kind: ugACCEPT, gid: g.gid, from: w.from, seq: g.seqno, tmpID: w.tmpID}
+		u.k.RawSend(t, g.addr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, acc, true)
+		if g.isMember() {
 			// Hand the full message to the local member (the data
 			// multicast was consumed by this sequencer thread).
 			u.k.RawSend(t, akernel.RawAddress(u.id), u.k.RawNextMsgID(), u.m.GroupHeaderUser, d.size, d, false)
@@ -434,8 +503,12 @@ func (g *userGroup) seqHandle(t *proc.Thread, w *uwire) {
 	case ugSTATUS:
 		g.updateAck(w.from, w.ackSeq)
 		// Resend the suffix only to members that made no progress since
-		// the previous probe (genuine tail loss, not mere lag).
-		stalled := g.lastStatus[w.from] == w.ackSeq
+		// the previous probe (genuine tail loss, not mere lag). A first
+		// report is never "stalled": with no earlier report to compare
+		// against, a member whose DATA is still in flight would otherwise
+		// trigger a spurious full-history resend.
+		last, seen := g.lastStatus[w.from]
+		stalled := seen && last == w.ackSeq
 		g.lastStatus[w.from] = w.ackSeq
 		if stalled && w.ackSeq < g.seqno {
 			for s := w.ackSeq + 1; s <= g.seqno; s++ {
@@ -458,7 +531,7 @@ func (g *userGroup) updateAck(memberID int, upTo uint64) {
 
 func (g *userGroup) minAck() uint64 {
 	min := g.seqno
-	for _, id := range g.u.cfg.Members {
+	for _, id := range g.spec.Members {
 		if id == g.u.id {
 			continue // local delivery is loss-free (loopback)
 		}
@@ -480,14 +553,18 @@ func (g *userGroup) trimHistory() {
 			delete(g.seen, gkey{from: h.from, tmpID: h.tmpID})
 		}
 	}
-	if g.u.mx != nil && g.u.mx.seqHistory != nil {
-		g.u.mx.seqHistory.Set(int64(len(g.history)))
+	if g.seqHistory != nil {
+		g.seqHistory.Set(int64(len(g.history)))
 	}
 }
 
-// armWatchdog keeps probing members while some have not acknowledged all
+// armWatchdog keeps probing while some member has not acknowledged all
 // sequenced messages (history overflow prevention and tail-loss recovery,
-// as in the kernel protocol).
+// as in the kernel protocol). Each tick unicasts ugSYNC only to members
+// pinned at the minimum acknowledged watermark — the ones actually
+// holding the history back — capped at GroupSyncFanout, so a probe round
+// costs O(stragglers) rather than triggering the group-wide SYNC/STATUS
+// implosion that saturates the sequencer in large groups.
 func (g *userGroup) armWatchdog() {
 	if g.watchdog.Pending() || g.minAck() >= g.seqno {
 		return
@@ -495,13 +572,39 @@ func (g *userGroup) armWatchdog() {
 	u := g.u
 	g.watchdog = u.sim.Schedule(u.m.RetransTimeout, func() {
 		g.watchdog = sim.Event{}
-		if g.minAck() >= g.seqno {
+		min := g.minAck()
+		if min >= g.seqno {
 			return
 		}
+		targets := g.stragglers(min)
 		u.helper.post(func(ht *proc.Thread) {
-			w := &uwire{kind: ugSYNC}
-			u.k.RawSend(ht, pandaGroupAddr, u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, w, true)
+			for _, id := range targets {
+				w := &uwire{kind: ugSYNC, gid: g.gid}
+				u.k.RawSend(ht, akernel.RawAddress(id), u.k.RawNextMsgID(), u.m.GroupHeaderUser, 0, w, false)
+			}
 		})
 		g.armWatchdog()
 	})
+}
+
+// stragglers lists the members whose acknowledged watermark equals min,
+// in member order, capped at GroupSyncFanout.
+func (g *userGroup) stragglers(min uint64) []int {
+	fan := g.u.m.GroupSyncFanout
+	if fan < 1 {
+		fan = 1
+	}
+	var ids []int
+	for _, id := range g.spec.Members {
+		if id == g.u.id {
+			continue
+		}
+		if g.acked[id] == min {
+			ids = append(ids, id)
+			if len(ids) >= fan {
+				break
+			}
+		}
+	}
+	return ids
 }

@@ -69,13 +69,14 @@ func TestWhiteboxBBFlow(t *testing.T) {
 	}
 	t.Logf("stopped at %v after %d events, pending %d", s.Now(), s.EventsRun(), s.Pending())
 	if sendErr != nil || sent != 3 || got[0] != 3 || got[1] != 3 || got[2] != 3 {
-		g0 := &users[0].grp
+		grp := func(i int) *userGroup { return users[i].grps[0] }
+		g0 := grp(0)
 		t.Fatalf("stall: sent=%d err=%v got=%v | seq: seqno=%d hist=%d acked=%v | members nextDeliver=%d,%d,%d holdback=%d,%d,%d bbData=%d,%d,%d bbAccept=%d,%d,%d pending=%d",
 			sent, sendErr, got, g0.seqno, len(g0.history), g0.acked,
-			users[0].grp.nextDeliver, users[1].grp.nextDeliver, users[2].grp.nextDeliver,
-			len(users[0].grp.holdback), len(users[1].grp.holdback), len(users[2].grp.holdback),
-			len(users[0].grp.bbData), len(users[1].grp.bbData), len(users[2].grp.bbData),
-			len(users[0].grp.bbAccept), len(users[1].grp.bbAccept), len(users[2].grp.bbAccept),
+			grp(0).nextDeliver, grp(1).nextDeliver, grp(2).nextDeliver,
+			len(grp(0).holdback), len(grp(1).holdback), len(grp(2).holdback),
+			len(grp(0).bbData), len(grp(1).bbData), len(grp(2).bbData),
+			len(grp(0).bbAccept), len(grp(1).bbAccept), len(grp(2).bbAccept),
 			s.Pending())
 	}
 }

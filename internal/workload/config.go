@@ -268,8 +268,19 @@ type Config struct {
 	// Mode selects the Panda implementation.
 	Mode panda.Mode
 	// DedicatedSequencer gives the group sequencer its own processor
-	// (user-space only).
+	// (user-space only). With SeqShards > 1, every shard gets one.
 	DedicatedSequencer bool
+	// SeqShards partitions the communication groups across this many
+	// sequencer processors (default 1, the paper's single sequencer).
+	SeqShards int
+	// Groups is the number of independent communication groups (default:
+	// one per sequencer shard). Clients pick their group by client index
+	// modulo Groups, so group traffic spreads deterministically.
+	Groups int
+	// Topology overrides the cluster's network shape (segment count,
+	// switch fan-in, uplink model, explicit placement). Nil keeps the
+	// cluster defaults.
+	Topology *cluster.Topology
 	// Loop is the generation discipline (default OpenLoop).
 	Loop Loop
 	// Clients is the client-population size (default 2·Procs).
@@ -303,6 +314,10 @@ type Config struct {
 	// memory (default 1<<16).
 	DecompMaxOps int
 }
+
+// WithDefaults returns the configuration with every unset field resolved
+// to the value Run would use, without running anything.
+func (cfg Config) WithDefaults() Config { return cfg.withDefaults() }
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Procs == 0 {
@@ -346,6 +361,11 @@ func (cfg Config) Validate() error {
 		Procs: cfg.Procs, Mode: cfg.Mode,
 		Group:              cfg.Mix.Group > 0 || cfg.Mix.Write > 0,
 		DedicatedSequencer: cfg.DedicatedSequencer,
+		SeqShards:          cfg.SeqShards,
+		Groups:             cfg.Groups,
+	}
+	if cfg.Topology != nil {
+		ccfg.Topology = *cfg.Topology
 	}
 	if err := ccfg.Validate(); err != nil {
 		return err

@@ -36,10 +36,23 @@ type Knee struct {
 	Unsustained float64
 	// Probes is how many full workload runs the search spent.
 	Probes int
+	// Bracketed reports whether the search actually pinned the knee
+	// between a sustained load and a saturated one. It is false only when
+	// the doubling phase exhausted its budget without ever saturating —
+	// there OpsPerSec is merely the highest load probed, not a knee, and
+	// Unsustained is 0. A Knee with OpsPerSec 0 and Bracketed true means
+	// even the floor saturated (the knee is below lo).
+	Bracketed bool
 }
 
 // maxExpand bounds the doubling phase that brackets the knee from above.
 const maxExpand = 12
+
+// kneeRelWidth stops the bisection once the bracket's relative width
+// drops below this fraction of the ceiling: further probes would refine
+// the knee past the resolution anyone reads it at, so their budget is
+// refunded (Probes reports only the runs actually spent).
+const kneeRelWidth = 0.01
 
 // FindKnee bisects to the saturation point of cfg's implementation under
 // open-loop load. The search brackets the knee between lo (which must be
@@ -49,24 +62,36 @@ const maxExpand = 12
 func FindKnee(cfg Config, lo, hi float64, probes int) (Knee, error) {
 	cfg = cfg.withDefaults()
 	cfg.Loop = OpenLoop
+	probe := func(load float64, i int) (bool, error) {
+		c := cfg
+		c.OfferedLoad = load
+		c.Seed = probeSeed(cfg.Seed, i)
+		r, err := Run(c)
+		if err != nil {
+			return false, err
+		}
+		return r.Saturated(), nil
+	}
+	return findKnee(ModeLabel(cfg.Mode, cfg.DedicatedSequencer), lo, hi, probes, probe)
+}
+
+// findKnee is the search skeleton behind FindKnee, factored over the probe
+// function so unit tests can drive it with synthetic saturation curves.
+// probe receives the offered load and the zero-based probe index (the
+// count of probes already spent, which FindKnee folds into the seed).
+func findKnee(label string, lo, hi float64, probes int, probe func(load float64, i int) (bool, error)) (Knee, error) {
 	if lo <= 0 || hi <= lo {
 		return Knee{}, fmt.Errorf("workload: bad knee bracket [%g, %g]", lo, hi)
 	}
 	if probes < 1 {
 		probes = 7
 	}
-	k := Knee{ModeLabel: ModeLabel(cfg.Mode, cfg.DedicatedSequencer)}
+	k := Knee{ModeLabel: label}
 
 	saturated := func(load float64) (bool, error) {
-		c := cfg
-		c.OfferedLoad = load
-		c.Seed = probeSeed(cfg.Seed, k.Probes)
+		sat, err := probe(load, k.Probes)
 		k.Probes++
-		r, err := Run(c)
-		if err != nil {
-			return false, err
-		}
-		return r.Saturated(), nil
+		return sat, err
 	}
 
 	sat, err := saturated(lo)
@@ -77,6 +102,7 @@ func FindKnee(cfg Config, lo, hi float64, probes int) (Knee, error) {
 		// Even the floor saturates: report the bracket as [0, lo].
 		k.OpsPerSec = 0
 		k.Unsustained = lo
+		k.Bracketed = true
 		return k, nil
 	}
 	// Expand the ceiling until it saturates.
@@ -94,13 +120,19 @@ func FindKnee(cfg Config, lo, hi float64, probes int) (Knee, error) {
 		expanded++
 		if expanded >= maxExpand {
 			// Nothing saturated within the expansion budget; report the
-			// highest sustained load with no upper bound.
+			// highest sustained load with no upper bound. Bracketed stays
+			// false: this is an "at least lo" statement, not a knee.
 			k.OpsPerSec = lo
 			return k, nil
 		}
 	}
 	// Bisect [sustained lo, saturated hi].
 	for i := 0; i < probes; i++ {
+		if hi-lo < kneeRelWidth*hi {
+			// Bracket already tighter than anyone reads it; refund the
+			// remaining probe budget.
+			break
+		}
 		mid := (lo + hi) / 2
 		sat, err := saturated(mid)
 		if err != nil {
@@ -114,6 +146,7 @@ func FindKnee(cfg Config, lo, hi float64, probes int) (Knee, error) {
 	}
 	k.OpsPerSec = lo
 	k.Unsustained = hi
+	k.Bracketed = true
 	return k, nil
 }
 

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+// thresholdProbe is a synthetic saturation curve: loads strictly above the
+// threshold saturate, everything else is sustained.
+func thresholdProbe(threshold float64) func(load float64, i int) (bool, error) {
+	return func(load float64, i int) (bool, error) {
+		return load > threshold, nil
+	}
+}
+
+// TestFindKneeSyntheticBrackets: the search skeleton pins a synthetic
+// threshold between a sustained and a saturated load and reports it
+// bracketed.
+func TestFindKneeSyntheticBrackets(t *testing.T) {
+	k, err := findKnee("synthetic", 100, 1600, 20, thresholdProbe(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Bracketed {
+		t.Fatalf("threshold curve not bracketed: %+v", k)
+	}
+	if k.OpsPerSec > 700 || k.Unsustained <= 700 {
+		t.Fatalf("bracket [%g, %g] does not straddle the threshold 700", k.OpsPerSec, k.Unsustained)
+	}
+	if k.ModeLabel != "synthetic" {
+		t.Fatalf("ModeLabel = %q", k.ModeLabel)
+	}
+}
+
+// TestFindKneeEarlyStopRefundsProbes: once the bracket's relative width
+// drops below kneeRelWidth, the remaining bisection budget is refunded —
+// Probes reports only the runs actually spent.
+func TestFindKneeEarlyStopRefundsProbes(t *testing.T) {
+	const budget = 1000
+	k, err := findKnee("synthetic", 100, 1600, budget, thresholdProbe(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Probes >= budget {
+		t.Fatalf("early stop did not refund probes: spent %d of %d", k.Probes, budget)
+	}
+	if width := k.Unsustained - k.OpsPerSec; width >= kneeRelWidth*k.Unsustained*2 {
+		t.Fatalf("stopped with a loose bracket [%g, %g]", k.OpsPerSec, k.Unsustained)
+	}
+	// The refund must not fire while the bracket is still loose: a tiny
+	// budget is spent in full.
+	k2, err := findKnee("synthetic", 100, 1600, 2, thresholdProbe(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Probes != 2+2 { // lo probe + hi probe + 2 bisections
+		t.Fatalf("tight budget spent %d probes, want 4", k2.Probes)
+	}
+}
+
+// TestFindKneeUnbracketedCeiling: when nothing within the expansion
+// budget saturates, the result is an "at least this" statement, flagged
+// by Bracketed == false with no upper bound.
+func TestFindKneeUnbracketedCeiling(t *testing.T) {
+	k, err := findKnee("synthetic", 100, 200, 5, func(load float64, i int) (bool, error) {
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bracketed {
+		t.Fatalf("nothing saturated, yet Bracketed: %+v", k)
+	}
+	if k.Unsustained != 0 {
+		t.Fatalf("unbracketed result claims an upper bound: %+v", k)
+	}
+	if k.OpsPerSec < 200 {
+		t.Fatalf("ceiling not expanded past hi: %+v", k)
+	}
+	if k.Probes != 1+maxExpand {
+		t.Fatalf("expansion spent %d probes, want %d", k.Probes, 1+maxExpand)
+	}
+}
+
+// TestFindKneeSaturatedFloor: a floor that already saturates reports the
+// bracket [0, lo] rather than inventing a knee — and it is Bracketed,
+// distinguishing "below lo" from "above everything probed".
+func TestFindKneeSaturatedFloor(t *testing.T) {
+	k, err := findKnee("synthetic", 100, 1600, 5, thresholdProbe(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Bracketed || k.OpsPerSec != 0 || k.Unsustained != 100 {
+		t.Fatalf("saturated floor should report bracketed [0, lo]: %+v", k)
+	}
+	if k.Probes != 1 {
+		t.Fatalf("saturated floor spent %d probes, want 1", k.Probes)
+	}
+}
+
+// TestFindKneeProbeIndices: the probe callback sees the zero-based count
+// of probes already spent, the seam FindKnee folds into each probe's seed.
+func TestFindKneeProbeIndices(t *testing.T) {
+	var indices []int
+	_, err := findKnee("synthetic", 100, 1600, 3, func(load float64, i int) (bool, error) {
+		indices = append(indices, i)
+		return load > 700, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, got := range indices {
+		if got != want {
+			t.Fatalf("probe indices not sequential: %v", indices)
+		}
+	}
+}
+
+// TestFindKneeProbeErrorPropagates: a failing probe aborts the search.
+func TestFindKneeProbeErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := findKnee("synthetic", 100, 1600, 3, func(load float64, i int) (bool, error) {
+		if i == 2 {
+			return false, boom
+		}
+		return load > 700, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("probe error not propagated: %v", err)
+	}
+}

@@ -151,8 +151,17 @@ func Run(cfg Config) (*Result, error) {
 		Mode:               cfg.Mode,
 		Group:              group,
 		DedicatedSequencer: cfg.DedicatedSequencer,
+		SeqShards:          cfg.SeqShards,
+		Groups:             cfg.Groups,
 		Seed:               cfg.Seed,
 		Model:              cfg.Model,
+		// The engine measures protocol steady state over short windows; a
+		// cold FLIP route cache would bill every mode's window for the
+		// pool-wide one-time locate broadcasts instead.
+		WarmRoutes: true,
+	}
+	if cfg.Topology != nil {
+		ccfg.Topology = *cfg.Topology
 	}
 	if cfg.Decompose {
 		col = causal.NewCollector(cfg.DecompMaxOps)
@@ -210,15 +219,23 @@ func Run(cfg Config) (*Result, error) {
 		perOp[op].Observe(lat)
 	}
 
+	// Each client has a fixed group affinity (client index modulo the
+	// group count), decided outside the RNG stream so a single-group run
+	// draws exactly what it always drew.
+	groups := c.Groups()
+	if groups < 1 {
+		groups = 1
+	}
 	root := sim.NewRand(cfg.Seed ^ seedSalt)
 	placement := c.PlaceClients(cfg.Clients)
 	for ci, procID := range placement {
 		rng := root.Fork()
+		grp := ci % groups
 		switch cfg.Loop {
 		case OpenLoop:
-			startOpenClient(c, cfg, ci, procID, rng, end, measStart, &issued, record)
+			startOpenClient(c, cfg, ci, procID, grp, rng, end, measStart, &issued, record)
 		case ClosedLoop:
-			startClosedClient(c, cfg, ci, procID, rng, end, measStart, &issued, record)
+			startClosedClient(c, cfg, ci, procID, grp, rng, end, measStart, &issued, record)
 		}
 	}
 
@@ -244,8 +261,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	window := cfg.Window
-	if seq := c.SequencerProc(); seq >= 0 {
-		res.SeqOccupancy = c.Occupancy(seq, baseStats[seq], window)
+	if seqs := c.SequencerProcs(); len(seqs) > 0 {
+		var busy float64
+		for _, seq := range seqs {
+			busy += c.Occupancy(seq, baseStats[seq], window)
+		}
+		res.SeqOccupancy = busy / float64(len(seqs))
 	}
 	var workerBusy float64
 	for i := 0; i < c.Workers(); i++ {
@@ -274,8 +295,9 @@ const seedSalt = 0x9e3779b97f4a7c15
 // startOpenClient schedules client ci's seeded arrival process: each
 // arrival draws (op, size, dest) and spawns a fresh thread on the client's
 // processor, so concurrency is unbounded and queueing delay from the
-// arrival instant is part of the measured latency.
-func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Rand,
+// arrival instant is part of the measured latency. Group operations go to
+// the client's fixed group grp.
+func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID, grp int, rng *sim.Rand,
 	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
 	mean := time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.OfferedLoad)
 	var arrive func()
@@ -296,7 +318,7 @@ func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Ra
 			*issued++
 		}
 		c.Procs[procID].NewThread(fmt.Sprintf("open%d", ci), proc.PrioNormal, func(t *proc.Thread) {
-			if execOp(c, t, procID, op, dest, size) == nil {
+			if execOp(c, t, procID, op, dest, size, grp) == nil {
 				record(op, start)
 			}
 		})
@@ -307,7 +329,7 @@ func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Ra
 
 // startClosedClient runs client ci as one persistent thread: think, issue,
 // wait, repeat. Latency excludes think time.
-func startClosedClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.Rand,
+func startClosedClient(c *cluster.Cluster, cfg Config, ci, procID, grp int, rng *sim.Rand,
 	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
 	c.Procs[procID].NewThread(fmt.Sprintf("closed%d", ci), proc.PrioNormal, func(t *proc.Thread) {
 		for {
@@ -323,7 +345,7 @@ func startClosedClient(c *cluster.Cluster, cfg Config, ci, procID int, rng *sim.
 			if start >= measStart {
 				*issued++
 			}
-			if execOp(c, t, procID, op, dest, size) != nil {
+			if execOp(c, t, procID, op, dest, size, grp) != nil {
 				return
 			}
 			record(op, start)
@@ -352,8 +374,9 @@ func drawDest(rng *sim.Rand, op Op, self, procs int) int {
 	}
 }
 
-// execOp performs one operation from thread context.
-func execOp(c *cluster.Cluster, t *proc.Thread, self int, op Op, dest, size int) error {
+// execOp performs one operation from thread context. Group operations go
+// to communication group grp.
+func execOp(c *cluster.Cluster, t *proc.Thread, self int, op Op, dest, size, grp int) error {
 	switch op {
 	case OpRPC, OpRead:
 		if dest == self {
@@ -365,7 +388,7 @@ func execOp(c *cluster.Cluster, t *proc.Thread, self int, op Op, dest, size int)
 		_, _, err := c.Transports[self].Call(t, dest, nil, size)
 		return err
 	case OpGroup, OpWrite:
-		return c.Transports[self].GroupSend(t, nil, size)
+		return c.Transports[self].GroupSendTo(t, grp, nil, size)
 	default:
 		return fmt.Errorf("workload: unknown op %d", op)
 	}
