@@ -131,6 +131,26 @@ type (
 	Knee = workload.Knee
 )
 
+// Multi-tenant populations and deterministic trace record/replay.
+type (
+	// WorkloadClass is one client class of a multi-tenant population (op
+	// mix, size distribution, arrival process, think time, SLO, load
+	// shape).
+	WorkloadClass = workload.Class
+	// WorkloadClassStats is one class's slice of a run result (latency
+	// percentiles, achieved vs. offered, SLO attainment).
+	WorkloadClassStats = workload.ClassStats
+	// ArrivalSpec is an arrival process with its Gamma/Weibull shape.
+	ArrivalSpec = workload.ArrivalSpec
+	// LoadShape modulates a class's offered load over time (steady,
+	// bursty on/off, diurnal).
+	LoadShape = workload.LoadShape
+	// Trace is a versioned deterministic recording of one run's operation
+	// stream, replayable bit-identically — including into the other
+	// implementation for paired comparisons.
+	Trace = workload.Trace
+)
+
 // Traffic-generation disciplines.
 const (
 	// OpenLoop issues on a seeded arrival process regardless of
@@ -206,3 +226,16 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) { return workload.
 func FindKnee(cfg WorkloadConfig, lo, hi float64, probes int) (Knee, error) {
 	return workload.FindKnee(cfg, lo, hi, probes)
 }
+
+// ParseWorkloadClasses parses a multi-tenant population spec
+// ("name:key=val,...;name:...", or "@file.json" for the committed scenario
+// format).
+func ParseWorkloadClasses(s string) ([]WorkloadClass, error) { return workload.ParseClasses(s) }
+
+// LoadTrace reads a recorded TRACE_*.json operation stream; set it as
+// WorkloadConfig.Replay to drive a run from it.
+func LoadTrace(path string) (*Trace, error) { return workload.LoadTrace(path) }
+
+// SaveTrace writes a recorded trace deterministically (re-recording an
+// identical run reproduces identical bytes).
+func SaveTrace(path string, t *Trace) error { return workload.SaveTrace(path, t) }

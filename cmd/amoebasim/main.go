@@ -87,7 +87,11 @@ func main() {
 		clients    = flag.Int("clients", 0, "workload client-population size (default 2x workers)")
 		mixFlag    = flag.String("mix", "group", "workload op mix: rpc, group, orca, mixed, or an op=weight list")
 		distFlag   = flag.String("dist", "fixed:256", "workload message-size distribution: fixed:N or uniform:LO-HI")
-		arrival    = flag.String("arrival", "poisson", "workload arrival process: poisson, uniform or fixed")
+		arrival    = flag.String("arrival", "poisson", "workload arrival process: poisson, uniform, fixed, gamma:K or weibull:K (K = shape; K<1 is heavy-tailed)")
+		classesF   = flag.String("classes", "", "multi-tenant population: 'name:key=val,...;name:...' or @file.json (keys: clients, load, mix, dist, arrival, think, slo, shape)")
+		shapeFlag  = flag.String("shape", "", "modulate offered load over time: bursty[:PERIOD[:DUTY[:AMP]]] or diurnal[:PERIOD[:AMP]] (classes without their own shape inherit it)")
+		recTrace   = flag.String("record-trace", "", "record the first workload cell's generated op stream to this TRACE_*.json ('auto': TRACE_<date>.json)")
+		repTrace   = flag.String("replay-trace", "", "replay a recorded TRACE_*.json instead of generating arrivals: one paired point per mode over identical arrivals")
 		think      = flag.Duration("think", 0, "closed-loop mean think time (default 2ms)")
 		wlProcs    = flag.Int("wl-procs", 0, "workload worker-pool size (default 4)")
 		wlWindow   = flag.Duration("wl-window", 0, "workload measurement window in simulated time (default 400ms)")
@@ -115,13 +119,15 @@ func main() {
 		if *scalab || *scalabJ != "" || *scalabBase != "" {
 			return runScalability(*scalabJ, *scalabBase, *mixFlag, *distFlag, *wlWindow, *wlFanIn, *seed, *jobs)
 		}
-		if *workloadF != "" || *workloadJ != "" {
+		if *workloadF != "" || *workloadJ != "" || *repTrace != "" || *recTrace != "" {
 			return runWorkload(workloadArgs{
 				loop: *workloadF, loads: *loads, clients: *clients, mix: *mixFlag,
 				dist: *distFlag, arrival: *arrival, think: *think, procs: *wlProcs,
 				window: *wlWindow, warmup: *wlWarmup, knee: *knee,
 				jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
 				seqShards: *seqShards, segments: *wlSegments, fanIn: *wlFanIn,
+				classes: *classesF, shape: *shapeFlag,
+				recordTrace: *recTrace, replayTrace: *repTrace,
 				decomp: *wlDecomp || *decompJSON != "", decompPath: *decompJSON,
 			})
 		}
@@ -421,6 +427,8 @@ func runBenchSweep(benchJSON, baseline, scale, appsFlag, procsFlag string, seed 
 // workloadArgs collects the -workload flag family.
 type workloadArgs struct {
 	loop, loads, mix, dist, arrival, jsonPath string
+	classes, shape                            string // multi-tenant population + load-shape specs
+	recordTrace, replayTrace                  string // TRACE_*.json record / replay paths
 	clients, procs, jobs                      int
 	seqShards, segments, fanIn                int
 	think, window, warmup                     time.Duration
@@ -449,11 +457,19 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 	if err != nil {
 		return bench.WorkloadSweepConfig{}, err
 	}
-	arr, err := workload.ParseArrival(a.arrival)
+	arr, err := workload.ParseArrivalSpec(a.arrival)
 	if err != nil {
 		return bench.WorkloadSweepConfig{}, err
 	}
 	loads, err := workload.ParseLoads(a.loads)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	classes, err := workload.ParseClasses(a.classes)
+	if err != nil {
+		return bench.WorkloadSweepConfig{}, err
+	}
+	shape, err := workload.ParseShape(a.shape)
 	if err != nil {
 		return bench.WorkloadSweepConfig{}, err
 	}
@@ -462,9 +478,25 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 		// one point per mode instead of the default grid.
 		loads = []float64{0}
 	}
+	kneeOK := a.knee && loop == workload.OpenLoop
+	if loop == workload.OpenLoop && loads == nil && len(classes) > 0 {
+		// A multi-tenant spec usually carries absolute per-class loads:
+		// run that one population point per mode rather than rescaling it
+		// across the default grid. An explicit -load grid still treats the
+		// class loads as relative shares of each grid point.
+		abs := 0.0
+		for _, c := range classes {
+			abs += c.OfferedLoad
+		}
+		if abs > 0 {
+			loads = []float64{0}
+			kneeOK = false // the knee search would rescale the absolute loads
+		}
+	}
 	base := workload.Config{
 		Procs: a.procs, Loop: loop, Clients: a.clients,
-		ThinkTime: a.think, Arrival: arr, Mix: mix, Sizes: dist,
+		ThinkTime: a.think, Arrival: arr.Kind, ArrivalShape: arr.Shape,
+		Mix: mix, Sizes: dist, Classes: classes, Shape: shape,
 		Warmup: a.warmup, Window: a.window, Seed: a.seed,
 		SeqShards: a.seqShards,
 		Decompose: a.decomp,
@@ -472,12 +504,21 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 	if a.segments > 0 || a.fanIn > 0 {
 		base.Topology = &cluster.Topology{Segments: a.segments, SwitchFanIn: a.fanIn}
 	}
-	return bench.WorkloadSweepConfig{
+	cfg := bench.WorkloadSweepConfig{
 		Base:    base,
 		Loads:   loads,
-		Knee:    a.knee && loop == workload.OpenLoop,
+		Knee:    kneeOK,
 		Workers: a.jobs,
-	}, nil
+		Record:  a.recordTrace != "",
+	}
+	if a.replayTrace != "" {
+		tr, err := workload.LoadTrace(a.replayTrace)
+		if err != nil {
+			return bench.WorkloadSweepConfig{}, err
+		}
+		cfg.Replay = tr
+	}
+	return cfg, nil
 }
 
 // runScalability drives the knee-vs-cluster-size sweep over the sequencer
@@ -551,6 +592,20 @@ func runWorkload(a workloadArgs) error {
 	bench.PrintWorkload(os.Stdout, res)
 	fmt.Printf("(%d jobs in %v on %d workers)\n",
 		len(res.Jobs), res.Wall.Round(time.Millisecond), a.jobs)
+
+	if a.recordTrace != "" {
+		if res.Trace == nil {
+			return fmt.Errorf("-record-trace: the sweep recorded no trace")
+		}
+		path := a.recordTrace
+		if path == "auto" {
+			path = "TRACE_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		if err := workload.SaveTrace(path, res.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, %s)\n", path, len(res.Trace.Events), res.Trace.RecordedMode)
+	}
 
 	if a.decompPath != "" {
 		// The workload-integrated decomposition artifact: the fixed

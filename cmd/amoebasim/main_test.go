@@ -1,11 +1,13 @@
 package main
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"amoebasim/internal/panda"
 	"amoebasim/internal/workload"
 )
 
@@ -107,6 +109,122 @@ func TestWorkloadSweepConfigAssembly(t *testing.T) {
 		{loop: "open", mix: "group", dist: "fixed:256", arrival: "bursty"},
 		{loop: "open", mix: "group", dist: "fixed:256", loads: "400,zero"},
 		{loop: "open", mix: "group", dist: "fixed:256", loads: "-5"},
+	} {
+		if _, err := workloadSweepConfig(bad); err == nil {
+			t.Errorf("workloadSweepConfig(%+v) accepted a malformed value", bad)
+		}
+	}
+}
+
+// TestWorkloadSweepConfigMixRejections: the -mix flag family must reject
+// malformed mixes with the named sentinel and the offending token intact
+// through the CLI assembly path.
+func TestWorkloadSweepConfigMixRejections(t *testing.T) {
+	cases := []struct {
+		name, mix string
+		token     string
+	}{
+		{"empty element", ",", "stray comma"},
+		{"trailing comma", "rpc=1,", "stray comma"},
+		{"negative weight", "rpc=1,group=-2", "group=-2"},
+		{"all-zero mix", "rpc=0,group=0", "rpc=0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := workloadSweepConfig(workloadArgs{loop: "open", mix: c.mix, dist: "fixed:256"})
+			if err == nil {
+				t.Fatalf("-mix %q accepted", c.mix)
+			}
+			if !errors.Is(err, workload.ErrInvalidMix) {
+				t.Errorf("-mix %q error %q does not wrap ErrInvalidMix", c.mix, err)
+			}
+			if !strings.Contains(err.Error(), c.token) {
+				t.Errorf("-mix %q error %q does not name %q", c.mix, err, c.token)
+			}
+		})
+	}
+}
+
+// TestWorkloadSweepConfigMultiTenant: -classes / -shape / -record-trace /
+// -replay-trace assemble into the sweep configuration.
+func TestWorkloadSweepConfigMultiTenant(t *testing.T) {
+	spec := "fe:clients=6,load=500,mix=rpc,dist=fixed:128,slo=4ms;" +
+		"batch:clients=4,load=300,mix=group,arrival=weibull:0.55;" +
+		"crawl:clients=4,load=200,mix=mixed,arrival=gamma:0.5,shape=bursty"
+	cfg, err := workloadSweepConfig(workloadArgs{
+		mix: "group", dist: "fixed:256",
+		classes: spec, shape: "diurnal", recordTrace: "TRACE_x.json",
+		knee: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Base.Classes) != 3 || cfg.Base.Classes[0].SLO != 4*time.Millisecond {
+		t.Fatalf("classes not assembled: %+v", cfg.Base.Classes)
+	}
+	if cfg.Base.Shape.Kind != workload.DiurnalShape {
+		t.Fatalf("shape not assembled: %+v", cfg.Base.Shape)
+	}
+	if !cfg.Record {
+		t.Fatal("-record-trace did not enable recording")
+	}
+	// Absolute class loads with no -load grid: one population point per
+	// mode, knee disabled (bisection would rescale the absolute loads).
+	if !reflect.DeepEqual(cfg.Loads, []float64{0}) || cfg.Knee {
+		t.Fatalf("absolute class loads should pin one point per mode, no knee: loads=%v knee=%v",
+			cfg.Loads, cfg.Knee)
+	}
+
+	// An explicit -load grid keeps the grid (class loads become shares).
+	grid, err := workloadSweepConfig(workloadArgs{
+		mix: "group", dist: "fixed:256", classes: spec, loads: "400,1400", knee: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grid.Loads, []float64{400, 1400}) || !grid.Knee {
+		t.Fatalf("explicit grid lost: loads=%v knee=%v", grid.Loads, grid.Knee)
+	}
+
+	// Heavy-tailed arrivals via the legacy single-population flag.
+	hv, err := workloadSweepConfig(workloadArgs{
+		mix: "group", dist: "fixed:256", arrival: "weibull:0.55",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Base.Arrival != workload.WeibullArrival || hv.Base.ArrivalShape != 0.55 {
+		t.Fatalf("-arrival weibull:0.55 not assembled: %+v", hv.Base)
+	}
+
+	// Replay: record a tiny trace, then load it through the flag path.
+	rec, err := workload.Run(workload.Config{
+		Mode: panda.UserSpace, Window: 50 * time.Millisecond, Seed: 3,
+		OfferedLoad: 400, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/TRACE_t.json"
+	if err := workload.SaveTrace(path, rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := workloadSweepConfig(workloadArgs{
+		mix: "group", dist: "fixed:256", replayTrace: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Replay == nil || len(rp.Replay.Events) != len(rec.Trace.Events) {
+		t.Fatal("-replay-trace did not load the trace")
+	}
+
+	for _, bad := range []workloadArgs{
+		{mix: "group", dist: "fixed:256", classes: "fe:clients=0"},
+		{mix: "group", dist: "fixed:256", classes: "fe:mix=rpc=0"},
+		{mix: "group", dist: "fixed:256", shape: "bursty:1s:2"},
+		{mix: "group", dist: "fixed:256", replayTrace: "/nonexistent/TRACE.json"},
+		{mix: "group", dist: "fixed:256", arrival: "gamma:-1"},
 	} {
 		if _, err := workloadSweepConfig(bad); err == nil {
 			t.Errorf("workloadSweepConfig(%+v) accepted a malformed value", bad)

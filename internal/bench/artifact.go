@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"strings"
 	"time"
+
+	"amoebasim/internal/workload"
 )
 
 // ArtifactSchemaVersion identifies the BENCH_*.json layout. Bump it when
@@ -63,7 +66,11 @@ type Table3Cell struct {
 }
 
 // WorkloadSchemaVersion identifies the layout of the workload section.
-const WorkloadSchemaVersion = 1
+// v2 added the multi-tenant fields: the resolved class spec on the
+// section, per-class cells and the fairness index on every point. v1
+// baselines still gate cleanly — the comparison falls back to the legacy
+// field subset — while a baseline newer than the build refuses outright.
+const WorkloadSchemaVersion = 2
 
 // WorkloadArtifact is the machine-readable form of a workload sweep: the
 // shape that was driven, one cell per (implementation, offered load), and
@@ -78,6 +85,12 @@ type WorkloadArtifact struct {
 	Procs    int     `json:"procs"`
 	WindowMS float64 `json:"window_ms"`
 	Seed     uint64  `json:"seed"`
+	// Classes is the canonical resolved multi-tenant population spec
+	// (empty for a legacy single-population sweep).
+	Classes string `json:"classes,omitempty"`
+	// Replayed marks a sweep driven from a recorded trace: every point
+	// saw the identical arrival stream.
+	Replayed bool               `json:"replayed,omitempty"`
 	Points   []WorkloadCell     `json:"points"`
 	Knees    []WorkloadKneeCell `json:"knees,omitempty"`
 }
@@ -96,6 +109,28 @@ type WorkloadCell struct {
 	MaxUS       int64   `json:"max_us"`
 	SeqOccPct   float64 `json:"seq_occ_pct"`
 	Saturated   bool    `json:"saturated"`
+	// Fairness is Jain's index over per-class achieved/offered ratios
+	// (v2; 0 in decoded v1 cells).
+	Fairness float64 `json:"fairness,omitempty"`
+	// PerClass breaks the point down by client class (v2).
+	PerClass []WorkloadClassCell `json:"per_class,omitempty"`
+}
+
+// WorkloadClassCell is one client class's slice of a curve point.
+type WorkloadClassCell struct {
+	Name         string  `json:"name"`
+	Clients      int     `json:"clients"`
+	OfferedOps   float64 `json:"offered_ops_per_sec,omitempty"`
+	AchievedOps  float64 `json:"achieved_ops_per_sec"`
+	Issued       int64   `json:"issued"`
+	Completed    int64   `json:"completed"`
+	P50US        int64   `json:"p50_us"`
+	P99US        int64   `json:"p99_us"`
+	P999US       int64   `json:"p999_us"`
+	MaxUS        int64   `json:"max_us"`
+	SLOUS        int64   `json:"slo_us,omitempty"`
+	SLOMet       int64   `json:"slo_met"`
+	SLOAttainPct float64 `json:"slo_attain_pct"`
 }
 
 // WorkloadKneeCell is one implementation's bisected saturation point.
@@ -126,9 +161,13 @@ func NewWorkloadArtifact(res *WorkloadSweepResult) *WorkloadArtifact {
 			wa.Procs = cfg.Procs
 			wa.WindowMS = msFloat(cfg.Window)
 			wa.Seed = res.Config.Base.Seed
+			if len(cfg.Classes) > 0 {
+				wa.Classes = workload.ClassesString(cfg.ResolvedClasses())
+			}
+			wa.Replayed = res.Config.Replay != nil
 		}
 		o := r.Overall
-		wa.Points = append(wa.Points, WorkloadCell{
+		cell := WorkloadCell{
 			Impl:        p.ModeLabel,
 			OfferedOps:  p.Load,
 			AchievedOps: r.Achieved,
@@ -141,7 +180,26 @@ func NewWorkloadArtifact(res *WorkloadSweepResult) *WorkloadArtifact {
 			MaxUS:       int64(o.Max / time.Microsecond),
 			SeqOccPct:   100 * r.SeqOccupancy,
 			Saturated:   r.Saturated(),
-		})
+			Fairness:    r.Fairness,
+		}
+		for _, cs := range r.PerClass {
+			cell.PerClass = append(cell.PerClass, WorkloadClassCell{
+				Name:         cs.Name,
+				Clients:      cs.Clients,
+				OfferedOps:   cs.Offered,
+				AchievedOps:  cs.Achieved,
+				Issued:       cs.Issued,
+				Completed:    cs.Completed,
+				P50US:        int64(cs.Latency.P50 / time.Microsecond),
+				P99US:        int64(cs.Latency.P99 / time.Microsecond),
+				P999US:       int64(cs.Latency.P999 / time.Microsecond),
+				MaxUS:        int64(cs.Latency.Max / time.Microsecond),
+				SLOUS:        int64(cs.SLO / time.Microsecond),
+				SLOMet:       cs.SLOMet,
+				SLOAttainPct: 100 * cs.SLOAttainment,
+			})
+		}
+		wa.Points = append(wa.Points, cell)
 	}
 	for _, k := range res.Knees {
 		wa.Knees = append(wa.Knees, WorkloadKneeCell{
@@ -333,13 +391,19 @@ func CompareArtifacts(baseline, current *Artifact, wallBudget time.Duration) err
 	// The workload section is optional: baselines written before the
 	// workload engine existed simply have none, and stay comparable.
 	if baseline.Workload != nil {
-		if current.Workload == nil {
+		switch {
+		case current.Workload == nil:
 			drift("workload: baseline has a workload section, current run has none")
-		} else if baseline.Workload.Version != current.Workload.Version {
+		case baseline.Workload.Version == current.Workload.Version:
+			compareWorkload(baseline.Workload, current.Workload, false, drift)
+		case baseline.Workload.Version == 1 && current.Workload.Version == WorkloadSchemaVersion:
+			// v1 baselines predate the multi-tenant fields; gate the
+			// legacy field subset so old baselines keep loading and
+			// comparing.
+			compareWorkload(baseline.Workload, current.Workload, true, drift)
+		default:
 			return fmt.Errorf("workload section v%d != current v%d: regenerate the baseline",
 				baseline.Workload.Version, current.Workload.Version)
-		} else {
-			compareWorkload(baseline.Workload, current.Workload, drift)
 		}
 	}
 
@@ -352,15 +416,21 @@ func CompareArtifacts(baseline, current *Artifact, wallBudget time.Duration) err
 	return nil
 }
 
-// compareWorkload diffs two same-version workload sections cell by cell
-// with zero drift tolerance.
-func compareWorkload(baseline, current *WorkloadArtifact, drift func(string, ...any)) {
+// compareWorkload diffs two workload sections cell by cell with zero
+// drift tolerance. legacy restricts the comparison to the v1 field
+// subset, so a v1 baseline still gates a v2 run.
+func compareWorkload(baseline, current *WorkloadArtifact, legacy bool, drift func(string, ...any)) {
 	if baseline.Loop != current.Loop || baseline.Mix != current.Mix ||
 		baseline.Dist != current.Dist || baseline.Clients != current.Clients ||
 		baseline.Procs != current.Procs || baseline.Seed != current.Seed {
 		drift("workload: shape mismatch: baseline (%s %s %s c=%d p=%d seed=%d) vs current (%s %s %s c=%d p=%d seed=%d)",
 			baseline.Loop, baseline.Mix, baseline.Dist, baseline.Clients, baseline.Procs, baseline.Seed,
 			current.Loop, current.Mix, current.Dist, current.Clients, current.Procs, current.Seed)
+		return
+	}
+	if !legacy && (baseline.Classes != current.Classes || baseline.Replayed != current.Replayed) {
+		drift("workload: population mismatch: baseline (classes=%q replayed=%t) vs current (classes=%q replayed=%t)",
+			baseline.Classes, baseline.Replayed, current.Classes, current.Replayed)
 		return
 	}
 	pts := make(map[string]WorkloadCell, len(baseline.Points))
@@ -377,7 +447,13 @@ func compareWorkload(baseline, current *WorkloadArtifact, drift func(string, ...
 			drift("workload/%s: point missing from baseline", key)
 			continue
 		}
-		if c != want {
+		if legacy {
+			// A v1 baseline has no per-class data: blank the v2-only
+			// fields on both sides before the exact compare.
+			c.Fairness, c.PerClass = 0, nil
+			want.Fairness, want.PerClass = 0, nil
+		}
+		if !reflect.DeepEqual(c, want) {
 			drift("workload/%s: %+v, baseline %+v", key, c, want)
 		}
 	}

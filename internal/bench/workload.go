@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"amoebasim/internal/panda"
+	"amoebasim/internal/sim"
 	"amoebasim/internal/workload"
 )
 
@@ -50,6 +51,14 @@ type WorkloadSweepConfig struct {
 	KneeProbes int
 	// Workers bounds the pool (<= 0: DefaultWorkers).
 	Workers int
+	// Record captures the first (mode, load) cell's generated operation
+	// stream into the sweep result's Trace for later replay.
+	Record bool
+	// Replay drives every mode from this recorded trace instead of the
+	// load grid: one point per mode over literally identical arrivals —
+	// the paired kernel-vs-user-space experiment. Loads and Knee are
+	// ignored.
+	Replay *workload.Trace
 }
 
 // WorkloadPoint is one (mode, offered load) cell of the curve.
@@ -68,6 +77,8 @@ type WorkloadSweepResult struct {
 	Knees  []workload.Knee
 	Jobs   []JobResult
 	Wall   time.Duration
+	// Trace is the recorded operation stream (nil unless Config.Record).
+	Trace *workload.Trace
 }
 
 // WorkloadSweep fans the curve points (and per-mode knee searches) out
@@ -75,6 +86,17 @@ type WorkloadSweepResult struct {
 // derives its seed from (base seed, mode, load index), so results are
 // bit-identical at any -jobs N.
 func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
+	if cfg.Replay != nil {
+		// A replay is one paired point per mode: the trace fixes the
+		// arrivals (and the offered load), so the grid and knee search
+		// don't apply.
+		offered := 0.0
+		for _, c := range cfg.Replay.Classes {
+			offered += c.OfferedOps
+		}
+		cfg.Loads = []float64{offered}
+		cfg.Knee = false
+	}
 	if cfg.Loads == nil {
 		cfg.Loads = QuickLoads
 	}
@@ -119,6 +141,12 @@ func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
 			c := point
 			c.OfferedLoad = load
 			c.Seed = pointSeed(cfg.Base.Seed, mi, li)
+			c.Replay = cfg.Replay
+			// Exactly one cell records (the first mode's first load), so
+			// the trace — and therefore the whole sweep result — stays
+			// bit-identical at any -jobs width.
+			recording := cfg.Record && mi == 0 && li == 0
+			c.Record = recording
 			slot := &res.Points[mi*len(cfg.Loads)+li]
 			jobs = append(jobs, Job{
 				Name: fmt.Sprintf("workload/%s/load=%g", m.Label, load),
@@ -128,6 +156,9 @@ func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
 						return err
 					}
 					*slot = WorkloadPoint{ModeLabel: m.Label, Load: load, Result: r}
+					if recording {
+						res.Trace = r.Trace
+					}
 					return nil
 				},
 			})
@@ -158,17 +189,11 @@ func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
 	return res, nil
 }
 
-// pointSeed decorrelates the sweep's cells: same splitmix64 finalizer the
-// cost model's other derived seeds use.
+// pointSeed decorrelates the sweep's cells: the same collision-resistant
+// (base, index) mix every derived seed in the tree uses, so no two cells —
+// and no cell and knee probe — ever share an RNG stream.
 func pointSeed(base uint64, mode, load int) uint64 {
-	z := base + 0x9e3779b97f4a7c15*uint64(mode*1024+load+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	if z == 0 {
-		z = 1
-	}
-	return z
+	return sim.MixSeed(base, uint64(mode*1024+load))
 }
 
 func usStr(d time.Duration) string {
@@ -191,6 +216,13 @@ func PrintWorkload(w io.Writer, res *WorkloadSweepResult) {
 	}
 	fmt.Fprintf(w, "Workload: %s loop, mix=%s, dist=%s, %d clients on %d workers, window=%v\n",
 		base.Loop, base.Mix, base.Sizes, base.Clients, base.Procs, base.Window)
+	if len(base.Classes) > 0 {
+		fmt.Fprintf(w, "Classes: %s\n", workload.ClassesString(base.ResolvedClasses()))
+	}
+	if res.Config.Replay != nil {
+		fmt.Fprintf(w, "Replaying a recorded %s-loop trace (seed %d, %d events): identical arrivals in every mode\n",
+			res.Config.Replay.Loop, res.Config.Replay.Seed, len(res.Config.Replay.Events))
+	}
 	fmt.Fprintf(w, "%-22s %10s %10s %9s %9s %9s %9s %9s %6s\n",
 		"mode", "offered/s", "achieved/s", "p50", "p90", "p99", "p99.9", "max", "seq%")
 	for _, p := range res.Points {
@@ -210,6 +242,23 @@ func PrintWorkload(w io.Writer, res *WorkloadSweepResult) {
 			p.ModeLabel, offered, r.Achieved,
 			usStr(r.Overall.P50), usStr(r.Overall.P90), usStr(r.Overall.P99),
 			usStr(r.Overall.P999), usStr(r.Overall.Max), 100*r.SeqOccupancy, sat)
+		if len(r.PerClass) > 1 {
+			for _, cs := range r.PerClass {
+				slo := "-"
+				if cs.SLO > 0 {
+					slo = fmt.Sprintf("%.1f%%", 100*cs.SLOAttainment)
+				}
+				off := fmt.Sprintf("%.0f", cs.Offered)
+				if cs.Offered <= 0 {
+					off = "-"
+				}
+				fmt.Fprintf(w, "  %-20s %10s %10.1f %9s %9s %9s %9s %9s %6s\n",
+					"· "+cs.Name, off, cs.Achieved,
+					usStr(cs.Latency.P50), usStr(cs.Latency.P90), usStr(cs.Latency.P99),
+					usStr(cs.Latency.P999), usStr(cs.Latency.Max), slo)
+			}
+			fmt.Fprintf(w, "  %-20s fairness(Jain)=%.3f  (slo column = per-class SLO attainment)\n", "·", r.Fairness)
+		}
 	}
 	if len(res.Knees) > 0 {
 		fmt.Fprintln(w, "(* = saturated: completions fell below 90% of arrivals)")

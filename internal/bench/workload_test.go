@@ -61,6 +61,114 @@ func TestWorkloadSweepBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// multiClassSweep is a 3-class population (SLO'd interactive RPC,
+// heavy-tailed batch, bursty crawler) over two modes, recording its trace.
+func multiClassSweep(workers int) WorkloadSweepConfig {
+	return WorkloadSweepConfig{
+		Base: workload.Config{
+			Procs:  4,
+			Window: 100_000_000, // 100ms
+			Seed:   11,
+			Classes: []workload.Class{
+				{Name: "interactive", Clients: 6, OfferedLoad: 500, Mix: workload.MixRPC,
+					SLO: 4_000_000}, // 4ms
+				{Name: "batch", Clients: 4, OfferedLoad: 300, Mix: workload.MixGroup,
+					Arrival: workload.ArrivalSpec{Kind: workload.WeibullArrival, Shape: 0.55}},
+				{Name: "bursty", Clients: 4, OfferedLoad: 200, Mix: workload.MixMixed,
+					Arrival: workload.ArrivalSpec{Kind: workload.GammaArrival, Shape: 0.5},
+					Shape:   workload.LoadShape{Kind: workload.BurstyShape}},
+			},
+		},
+		Loads:   []float64{0}, // absolute class loads; no grid
+		Modes:   WorkloadModes()[:2],
+		Workers: workers,
+		Record:  true,
+	}
+}
+
+// A multi-class recording sweep — and a replay of its trace — must both be
+// bit-identical at any worker count, including the recorded trace itself.
+func TestMultiClassSweepAndReplayBitIdenticalAcrossWorkers(t *testing.T) {
+	seq, err := WorkloadSweep(multiClassSweep(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := WorkloadSweep(multiClassSweep(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Trace == nil || par.Trace == nil {
+		t.Fatal("recording sweep produced no trace")
+	}
+	if err := workload.SameArrivals(seq.Trace, par.Trace); err != nil {
+		t.Fatalf("recorded trace differs across worker counts: %v", err)
+	}
+	aj, err := json.Marshal(NewWorkloadArtifact(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(NewWorkloadArtifact(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("multi-class artifacts differ across worker counts:\n%s\nvs\n%s", aj, bj)
+	}
+
+	// Replay the recorded trace at both widths; identical again.
+	replaySweep := func(workers int) *WorkloadSweepResult {
+		cfg := WorkloadSweepConfig{
+			Base:    workload.Config{Procs: 4},
+			Modes:   WorkloadModes()[:2],
+			Workers: workers,
+			Replay:  seq.Trace,
+			Record:  true,
+		}
+		res, err := WorkloadSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r4 := replaySweep(1), replaySweep(4)
+	if err := workload.SameArrivals(seq.Trace, r1.Trace); err != nil {
+		t.Fatalf("replay re-record changed arrivals: %v", err)
+	}
+	a1, err := json.Marshal(NewWorkloadArtifact(r1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4, err := json.Marshal(NewWorkloadArtifact(r4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a1) != string(a4) {
+		t.Fatalf("replay artifacts differ across worker counts:\n%s\nvs\n%s", a1, a4)
+	}
+
+	// The artifact carries the multi-tenant sections.
+	art := NewWorkloadArtifact(seq)
+	if art.Classes == "" {
+		t.Fatal("artifact missing the classes header")
+	}
+	for _, cell := range art.Points {
+		if len(cell.PerClass) != 3 {
+			t.Fatalf("cell %s has %d per-class rows", cell.Impl, len(cell.PerClass))
+		}
+		if cell.Fairness <= 0 || cell.Fairness > 1 {
+			t.Fatalf("cell %s fairness = %g outside (0, 1]", cell.Impl, cell.Fairness)
+		}
+		for _, pc := range cell.PerClass {
+			if pc.Name == "interactive" && pc.SLOUS == 0 {
+				t.Fatal("interactive class lost its SLO in the artifact")
+			}
+		}
+	}
+	if rart := NewWorkloadArtifact(r1); !rart.Replayed {
+		t.Fatal("replay artifact not marked replayed")
+	}
+}
+
 // TestWorkloadSweepShape asserts the sweep covers mode x load, the knees
 // carry the mode labels, and the flattened artifact is complete.
 func TestWorkloadSweepShape(t *testing.T) {

@@ -509,6 +509,22 @@ func (c *Cluster) PlaceClients(n int) []int {
 	return ids
 }
 
+// PlaceClientsAt places n clients round-robin starting at global client
+// offset: client offset+i lands on worker (offset+i) mod Procs. Placing
+// each class of a multi-tenant population contiguously with its
+// cumulative offset therefore composes to exactly the placement
+// PlaceClients would give the whole population at once.
+func (c *Cluster) PlaceClientsAt(n, offset int) []int {
+	if n < 1 {
+		return nil
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = (offset + i) % c.cfg.Procs
+	}
+	return ids
+}
+
 // Occupancy reports the fraction of the window that processor id spent
 // busy (computing, at interrupt level, or context switching), given a
 // stats snapshot taken at the start of the window. This is how the

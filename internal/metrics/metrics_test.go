@@ -120,6 +120,45 @@ func TestHistogramClampAndOverflow(t *testing.T) {
 	}
 }
 
+// Regression: with all mass in the top unbounded bucket, every percentile
+// must clamp to the observed max — never report the (infinite) bucket bound —
+// and stay monotone in p.
+func TestHistogramAllOverflowPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow")
+	maxBound := time.Duration(BucketBoundsUS[len(BucketBoundsUS)-1]) * time.Microsecond
+	samples := []time.Duration{
+		maxBound + time.Millisecond,
+		2 * maxBound,
+		10 * maxBound,
+	}
+	var max time.Duration
+	for _, s := range samples {
+		h.Observe(s)
+		if s > max {
+			max = s
+		}
+	}
+	ps := []float64{50, 99, 99.9}
+	var prev time.Duration
+	for _, p := range ps {
+		got := h.Percentile(p)
+		if got > max {
+			t.Errorf("P%v = %v exceeds observed max %v", p, got, max)
+		}
+		if got < prev {
+			t.Errorf("P%v = %v < P(previous) = %v; percentiles must be monotone", p, got, prev)
+		}
+		prev = got
+	}
+	if got := h.Percentile(100); got != max {
+		t.Errorf("P100 = %v, want exact max %v", got, max)
+	}
+	if h.Max() != max {
+		t.Errorf("Max() = %v, want %v", h.Max(), max)
+	}
+}
+
 func TestSnapshotDeterministicOrder(t *testing.T) {
 	build := func(flip bool) []byte {
 		r := NewRegistry()

@@ -53,3 +53,28 @@ func (r *Rand) Perm(n int) []int {
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64())
 }
+
+// splitmix finalizes z with the splitmix64 avalanche function.
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// MixSeed derives a child seed from (base, idx) so that distinct pairs
+// never share an RNG stream. The naive derivation finalize(base + γ·(idx+1))
+// is exactly the splitmix64 output sequence of base, so two bases that
+// differ by a multiple of γ alias each other's streams at shifted indices
+// (and a base that is itself a raw Rand state aliases that generator's
+// future outputs). Finalizing the base first breaks the additive structure:
+// the index offset is applied to an already-avalanched value, so adjacent
+// bases, γ-separated bases, and adjacent indices all land in unrelated
+// streams. The result is never 0, so it can seed layers that treat 0 as
+// "unset".
+func MixSeed(base uint64, idx uint64) uint64 {
+	z := splitmix(splitmix(base+0x9e3779b97f4a7c15) + 0x9e3779b97f4a7c15*(idx+1))
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -114,8 +115,18 @@ func (m Mix) String() string {
 	return strings.Join(parts, ",")
 }
 
+// ErrInvalidMix is the (wrapped) error ParseMix returns for a malformed
+// mix specification — an empty element, a zero or negative weight, or a
+// mix with no positive weight at all. The message names the offending
+// token, so `-mix "rpc=1,group=-2"` reports the `group=-2` entry, not a
+// generic failure.
+var ErrInvalidMix = errors.New("invalid operation mix")
+
 // ParseMix accepts a named mix (rpc, group, orca, mixed) or an explicit
-// "op=weight,..." list over rpc/group/read/write.
+// "op=weight,..." list over rpc/group/read/write. Every explicit weight
+// must be strictly positive — an op you don't want is omitted, not listed
+// at zero — and empty elements (stray or trailing commas) are rejected.
+// All rejections wrap ErrInvalidMix and name the offending token.
 func ParseMix(s string) (Mix, error) {
 	switch strings.TrimSpace(s) {
 	case "rpc":
@@ -129,13 +140,20 @@ func ParseMix(s string) (Mix, error) {
 	}
 	var m Mix
 	for _, part := range strings.Split(s, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Mix{}, fmt.Errorf("workload: %w: empty element in %q (stray comma?)", ErrInvalidMix, s)
+		}
+		k, v, ok := strings.Cut(part, "=")
 		if !ok {
-			return Mix{}, fmt.Errorf("workload: bad mix element %q (want op=weight or a named mix: rpc, group, orca, mixed)", part)
+			return Mix{}, fmt.Errorf("workload: %w: bad element %q (want op=weight or a named mix: rpc, group, orca, mixed)", ErrInvalidMix, part)
 		}
 		w, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-		if err != nil || w < 0 {
-			return Mix{}, fmt.Errorf("workload: bad mix weight %q for %q", v, k)
+		if err != nil {
+			return Mix{}, fmt.Errorf("workload: %w: unparseable weight in %q", ErrInvalidMix, part)
+		}
+		if w <= 0 {
+			return Mix{}, fmt.Errorf("workload: %w: weight in %q must be positive (omit the op instead of zeroing it)", ErrInvalidMix, part)
 		}
 		switch strings.TrimSpace(k) {
 		case "rpc":
@@ -147,11 +165,11 @@ func ParseMix(s string) (Mix, error) {
 		case "write":
 			m.Write = w
 		default:
-			return Mix{}, fmt.Errorf("workload: unknown mix op %q (rpc, group, read, write)", k)
+			return Mix{}, fmt.Errorf("workload: %w: unknown op in %q (rpc, group, read, write)", ErrInvalidMix, part)
 		}
 	}
 	if err := m.validate(); err != nil {
-		return Mix{}, err
+		return Mix{}, fmt.Errorf("workload: %w: %v", ErrInvalidMix, err)
 	}
 	return m, nil
 }
@@ -230,20 +248,6 @@ func ParseLoop(s string) (Loop, error) {
 	}
 }
 
-// ParseArrival accepts poisson, uniform or fixed.
-func ParseArrival(s string) (Arrival, error) {
-	switch strings.TrimSpace(s) {
-	case "", "poisson":
-		return Poisson, nil
-	case "uniform":
-		return UniformArrival, nil
-	case "fixed":
-		return FixedArrival, nil
-	default:
-		return 0, fmt.Errorf("workload: unknown arrival process %q (poisson, uniform, fixed)", s)
-	}
-}
-
 // ParseLoads parses a comma-separated list of offered loads in
 // operations/second.
 func ParseLoads(s string) ([]float64, error) {
@@ -292,10 +296,31 @@ type Config struct {
 	ThinkTime time.Duration
 	// Arrival shapes open-loop interarrival (and closed-loop think) times.
 	Arrival Arrival
+	// ArrivalShape is the Gamma/Weibull shape parameter k for Arrival
+	// (ignored by the shapeless processes; 0 defaults to 1, which makes
+	// both exactly exponential).
+	ArrivalShape float64
 	// Mix is the operation mix (default MixGroup).
 	Mix Mix
 	// Sizes is the message-size distribution (default fixed 256 bytes).
 	Sizes SizeDist
+	// Shape modulates offered load over the window (default steady).
+	// Classes without their own shape inherit it.
+	Shape LoadShape
+	// Classes is the multi-tenant population. Empty, the legacy
+	// single-population fields above describe one "default" class; set,
+	// they act as config-wide defaults the classes inherit (and, for
+	// OfferedLoad, as the total the class shares are rescaled to).
+	Classes []Class
+	// Record captures the generated operation stream into Result.Trace
+	// for later replay.
+	Record bool
+	// Replay drives the run from a recorded trace instead of generating
+	// arrivals. The trace overrides Seed, Procs, Groups, Warmup, Window
+	// and the population; Mode, DedicatedSequencer, SeqShards and
+	// Topology still come from this config, so one trace replays into
+	// either implementation.
+	Replay *Trace
 	// Warmup runs the generator without recording, letting FLIP locates
 	// and route caches settle (default Window/4).
 	Warmup time.Duration
@@ -357,9 +382,15 @@ func (cfg Config) withDefaults() Config {
 // errors are reported through cluster.Config.Validate so the messages
 // match the cluster's own.
 func (cfg Config) Validate() error {
+	group := cfg.Mix.Group > 0 || cfg.Mix.Write > 0
+	for _, c := range cfg.Classes {
+		if c.Mix.Group > 0 || c.Mix.Write > 0 {
+			group = true
+		}
+	}
 	ccfg := cluster.Config{
 		Procs: cfg.Procs, Mode: cfg.Mode,
-		Group:              cfg.Mix.Group > 0 || cfg.Mix.Write > 0,
+		Group:              group,
 		DedicatedSequencer: cfg.DedicatedSequencer,
 		SeqShards:          cfg.SeqShards,
 		Groups:             cfg.Groups,
@@ -373,26 +404,50 @@ func (cfg Config) Validate() error {
 	if cfg.Loop != OpenLoop && cfg.Loop != ClosedLoop {
 		return fmt.Errorf("workload: unknown loop discipline %d", cfg.Loop)
 	}
-	if cfg.Clients < 1 {
-		return fmt.Errorf("workload: need at least 1 client, got %d", cfg.Clients)
-	}
-	if cfg.Loop == OpenLoop && cfg.OfferedLoad <= 0 {
-		return fmt.Errorf("workload: open loop needs a positive offered load, got %g", cfg.OfferedLoad)
-	}
-	if cfg.Loop == ClosedLoop && cfg.ThinkTime < 0 {
-		return fmt.Errorf("workload: negative think time %v", cfg.ThinkTime)
-	}
-	if err := cfg.Mix.validate(); err != nil {
-		return err
-	}
-	if err := cfg.Sizes.validate(); err != nil {
-		return err
-	}
-	if (cfg.Mix.RPC > 0 || cfg.Mix.Read > 0) && cfg.Procs < 2 {
-		return fmt.Errorf("workload: point-to-point operations need at least 2 workers")
-	}
 	if cfg.Window <= 0 || cfg.Warmup < 0 {
 		return fmt.Errorf("workload: bad warmup/window (%v/%v)", cfg.Warmup, cfg.Window)
+	}
+	if len(cfg.Classes) == 0 {
+		if cfg.Clients < 1 {
+			return fmt.Errorf("workload: need at least 1 client, got %d", cfg.Clients)
+		}
+		if cfg.Loop == OpenLoop && cfg.OfferedLoad <= 0 {
+			return fmt.Errorf("workload: open loop needs a positive offered load, got %g", cfg.OfferedLoad)
+		}
+		if cfg.Loop == ClosedLoop && cfg.ThinkTime < 0 {
+			return fmt.Errorf("workload: negative think time %v", cfg.ThinkTime)
+		}
+		if err := cfg.Mix.validate(); err != nil {
+			return err
+		}
+		if err := cfg.Sizes.validate(); err != nil {
+			return err
+		}
+		if err := (ArrivalSpec{Kind: cfg.Arrival, Shape: cfg.ArrivalShape}).validate(); err != nil {
+			return err
+		}
+		if err := cfg.Shape.validate(); err != nil {
+			return err
+		}
+		if (cfg.Mix.RPC > 0 || cfg.Mix.Read > 0) && cfg.Procs < 2 {
+			return fmt.Errorf("workload: point-to-point operations need at least 2 workers")
+		}
+		return nil
+	}
+	// Multi-tenant population: validate each resolved class (inherited
+	// defaults applied) and the open-loop load as a whole — class loads
+	// may be relative shares when cfg.OfferedLoad carries the total.
+	classes := resolveClasses(cfg)
+	for _, c := range classes {
+		if err := c.validate(cfg.Procs); err != nil {
+			return err
+		}
+	}
+	if cfg.OfferedLoad < 0 {
+		return fmt.Errorf("workload: negative offered load %g", cfg.OfferedLoad)
+	}
+	if cfg.Loop == OpenLoop && totalOffered(classes) <= 0 {
+		return fmt.Errorf("workload: open loop needs a positive offered load (set Config.OfferedLoad or per-class loads)")
 	}
 	return nil
 }
@@ -406,6 +461,35 @@ type LatencyStats struct {
 	P99   time.Duration
 	P999  time.Duration
 	Max   time.Duration
+}
+
+// ClassStats is one client class's slice of a run's measurements.
+type ClassStats struct {
+	// Name is the class name ("default" for a legacy single-population
+	// run).
+	Name string
+	// Clients is the class population size.
+	Clients int
+	// Offered is the class's absolute open-loop target in ops/sec (0 in
+	// closed loop, where demand adapts to the system).
+	Offered float64
+	// Achieved is the class's completed-operation rate over the window.
+	Achieved float64
+	// Issued and Completed count the class's operations inside the
+	// window.
+	Issued    int64
+	Completed int64
+	// Latency summarizes the class's latency distribution.
+	Latency LatencyStats
+	// SLO is the class's latency objective (0: none).
+	SLO time.Duration
+	// SLOMet counts completed operations within the SLO (all of them when
+	// the class has no objective).
+	SLOMet int64
+	// SLOAttainment is SLOMet/Completed — the fraction of completed
+	// operations meeting the objective (1 with no objective; 0 when the
+	// class issued work under an objective but completed nothing).
+	SLOAttainment float64
 }
 
 // Result is one workload run's measurements.
@@ -430,6 +514,15 @@ type Result struct {
 	// PerOp summarizes each operation kind present in the mix, in fixed
 	// op order.
 	PerOp []LatencyStats
+	// PerClass summarizes each client class, in class order (one
+	// "default" entry for a legacy single-population run).
+	PerClass []ClassStats
+	// Fairness is Jain's index over per-class achieved/offered ratios:
+	// 1 when every class receives the same fraction of its demand,
+	// approaching 1/n when one class starves the rest.
+	Fairness float64
+	// Trace is the recorded operation stream (nil unless Config.Record).
+	Trace *Trace
 	// SeqOccupancy is the sequencer processor's busy fraction over the
 	// window (0 when the mix has no group traffic).
 	SeqOccupancy float64

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"fmt"
+
+	"amoebasim/internal/sim"
 )
 
 // SaturationThreshold defines saturation for the knee finder: a load is
@@ -150,15 +152,11 @@ func findKnee(label string, lo, hi float64, probes int, probe func(load float64,
 	return k, nil
 }
 
-// probeSeed derives the deterministic seed of probe i from the base seed
-// (splitmix64 finalizer over the pair).
+// probeSeed derives the deterministic seed of probe i from the base seed.
+// It must never alias another probe's stream — or a replay's — for any
+// (base, index) pair, so it uses sim.MixSeed's double-finalized mix rather
+// than the raw additive splitmix step (which aliases bases that differ by
+// a multiple of the golden-ratio increment).
 func probeSeed(base uint64, i int) uint64 {
-	z := base + 0x9e3779b97f4a7c15*(uint64(i)+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	if z == 0 {
-		z = 1
-	}
-	return z
+	return sim.MixSeed(base, uint64(i))
 }

@@ -1,0 +1,236 @@
+package workload
+
+// Deterministic trace record/replay. A recorded trace captures the exact
+// operation stream one run generated — every arrival's instant, client,
+// class, kind, size and destination, in global generation order — plus
+// the header needed to rebuild an equivalent population. Replaying a
+// trace schedules exactly that stream, so a replay of an open-loop run
+// is bit-identical to the original (same scheduler event order, same
+// latencies, same artifact bytes), and replaying the same trace into the
+// *other* implementation turns every kernel-vs-user-space comparison into
+// a paired experiment: identical arrivals, differing only in the protocol
+// stack under them.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// TraceVersion identifies the TRACE_*.json layout. Loaders refuse other
+// versions; bump it when a field changes meaning.
+const TraceVersion = 1
+
+// TraceClass is one class header of a recorded trace: enough to rebuild
+// the population shape (placement, SLO accounting, reported offered
+// loads) without re-running the generators.
+type TraceClass struct {
+	Name    string `json:"name"`
+	Clients int    `json:"clients"`
+	// OfferedOps is the class's resolved absolute offered load at record
+	// time (0 for closed-loop recordings).
+	OfferedOps float64 `json:"offered_ops_per_sec,omitempty"`
+	SLONS      int64   `json:"slo_ns,omitempty"`
+}
+
+// TraceEvent is one generated operation. Events are stored in generation
+// order (non-decreasing AtNS); replay preserves that order exactly, so
+// even same-instant arrivals fire in their recorded sequence.
+type TraceEvent struct {
+	// AtNS is the arrival instant in simulated ns from run start (warmup
+	// included — replay reproduces the whole run, not just the window).
+	AtNS int64 `json:"t"`
+	// Client is the global client index (class populations are laid out
+	// contiguously in class order).
+	Client int `json:"c"`
+	// Class is the index into the Classes header.
+	Class int `json:"k"`
+	// Op is the operation kind (the workload.Op code).
+	Op int `json:"o"`
+	// Size is the drawn message size in bytes.
+	Size int `json:"s"`
+	// Dest is the drawn destination worker (-1 for group operations).
+	Dest int `json:"d"`
+	// Group is the client's communication group.
+	Group int `json:"g"`
+}
+
+// Trace is a versioned, deterministic recording of one run's operation
+// stream. Everything in it is a pure function of the recording run's
+// configuration and seed; the informational RecordedMode names where it
+// came from and is excluded from replay semantics.
+type Trace struct {
+	Version int    `json:"trace_version"`
+	Seed    uint64 `json:"seed"`
+	// Procs/Groups pin the worker pool and group count the arrivals were
+	// drawn against; a replay must use the same (destinations and group
+	// ids index into them).
+	Procs  int `json:"procs"`
+	Groups int `json:"groups"`
+	// HasGroup records whether any event needs group communication.
+	HasGroup bool  `json:"has_group"`
+	WarmupNS int64 `json:"warmup_ns"`
+	WindowNS int64 `json:"window_ns"`
+	// Loop names the recording discipline (informational: replay is
+	// always a timed open stream).
+	Loop         string       `json:"loop"`
+	RecordedMode string       `json:"recorded_mode,omitempty"`
+	Classes      []TraceClass `json:"classes"`
+	Events       []TraceEvent `json:"events"`
+}
+
+// Validate checks the structural invariants a replay depends on.
+func (t *Trace) Validate() error {
+	if t.Version != TraceVersion {
+		return fmt.Errorf("workload: trace version %d, this build replays v%d", t.Version, TraceVersion)
+	}
+	if t.Procs < 1 {
+		return fmt.Errorf("workload: trace has no workers")
+	}
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("workload: trace has no classes")
+	}
+	if t.WindowNS <= 0 || t.WarmupNS < 0 {
+		return fmt.Errorf("workload: trace has bad warmup/window (%d/%d)", t.WarmupNS, t.WindowNS)
+	}
+	clients := 0
+	for _, c := range t.Classes {
+		if c.Clients < 1 {
+			return fmt.Errorf("workload: trace class %s has %d clients", c.Name, c.Clients)
+		}
+		clients += c.Clients
+	}
+	var prev int64
+	for i, e := range t.Events {
+		if e.AtNS < prev {
+			return fmt.Errorf("workload: trace event %d out of order (%dns after %dns)", i, e.AtNS, prev)
+		}
+		prev = e.AtNS
+		if e.Client < 0 || e.Client >= clients {
+			return fmt.Errorf("workload: trace event %d has client %d of %d", i, e.Client, clients)
+		}
+		if e.Class < 0 || e.Class >= len(t.Classes) {
+			return fmt.Errorf("workload: trace event %d has class %d of %d", i, e.Class, len(t.Classes))
+		}
+		if e.Op < 0 || Op(e.Op) >= numOps {
+			return fmt.Errorf("workload: trace event %d has unknown op %d", i, e.Op)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("workload: trace event %d has negative size %d", i, e.Size)
+		}
+		if e.Dest >= t.Procs {
+			return fmt.Errorf("workload: trace event %d has destination %d of %d workers", i, e.Dest, t.Procs)
+		}
+	}
+	return nil
+}
+
+// WriteTrace emits the trace as indented JSON. The encoding is
+// deterministic (fixed field order, no timestamps), so a re-recorded
+// identical run produces identical bytes.
+func WriteTrace(w io.Writer, t *Trace) error {
+	b, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SaveTrace writes the trace to path.
+func SaveTrace(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses and validates a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: parse trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTrace reads a TRACE_*.json file from disk.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// SameArrivals reports whether two traces carry the identical operation
+// stream (instants, clients, classes, ops, sizes, destinations, groups) —
+// the paired-experiment invariant: a trace re-recorded from a replay into
+// any implementation must satisfy SameArrivals with the original.
+func SameArrivals(a, b *Trace) error {
+	if len(a.Events) != len(b.Events) {
+		return fmt.Errorf("workload: %d events vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return fmt.Errorf("workload: event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	return nil
+}
+
+// traceHeader snapshots the recording run's shape into a fresh trace.
+func traceHeader(cfg Config, classes []Class, groups int, group bool, mode string) *Trace {
+	t := &Trace{
+		Version:      TraceVersion,
+		Seed:         cfg.Seed,
+		Procs:        cfg.Procs,
+		Groups:       groups,
+		HasGroup:     group,
+		WarmupNS:     int64(cfg.Warmup),
+		WindowNS:     int64(cfg.Window),
+		Loop:         cfg.Loop.String(),
+		RecordedMode: mode,
+	}
+	for _, c := range classes {
+		tc := TraceClass{Name: c.Name, Clients: c.Clients, SLONS: int64(c.SLO)}
+		if cfg.Loop == OpenLoop {
+			tc.OfferedOps = c.OfferedLoad
+		}
+		t.Classes = append(t.Classes, tc)
+	}
+	return t
+}
+
+// replayClasses rebuilds the population shape from a trace header: the
+// mix/size/arrival fields are irrelevant (every draw is recorded), only
+// the populations, SLOs and reported offered loads matter.
+func replayClasses(t *Trace) []Class {
+	classes := make([]Class, len(t.Classes))
+	for i, c := range t.Classes {
+		classes[i] = Class{
+			Name:        c.Name,
+			Clients:     c.Clients,
+			OfferedLoad: c.OfferedOps,
+			SLO:         time.Duration(c.SLONS),
+			Mix:         MixGroup, // placeholder; draws come from the trace
+		}
+	}
+	return classes
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"amoebasim/internal/panda"
+)
+
+// multiCfg is the test-scale multi-tenant population: an interactive RPC
+// class with an SLO, a heavy-tailed batch class, and a bursty crawler.
+func multiCfg(mode panda.Mode) Config {
+	return Config{
+		Mode:   mode,
+		Window: 100 * time.Millisecond,
+		Seed:   11,
+		Classes: []Class{
+			{Name: "interactive", Clients: 6, OfferedLoad: 500, Mix: MixRPC,
+				Sizes: SizeDist{Kind: "fixed", Lo: 128}, SLO: 4 * time.Millisecond},
+			{Name: "batch", Clients: 4, OfferedLoad: 300, Mix: MixGroup,
+				Sizes:   SizeDist{Kind: "uniform", Lo: 256, Hi: 4096},
+				Arrival: ArrivalSpec{Kind: WeibullArrival, Shape: 0.55}},
+			{Name: "bursty", Clients: 4, OfferedLoad: 200, Mix: MixMixed,
+				Arrival: ArrivalSpec{Kind: GammaArrival, Shape: 0.5},
+				Shape:   LoadShape{Kind: BurstyShape}},
+		},
+	}
+}
+
+// Record → replay must be bit-identical: same Result (per-class stats,
+// fairness, histograms) and a re-recorded trace with identical bytes.
+func TestTraceRecordReplayBitIdentical(t *testing.T) {
+	cfg := multiCfg(panda.UserSpace)
+	cfg.Record = true
+	orig, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Trace == nil || len(orig.Trace.Events) == 0 {
+		t.Fatal("recording run produced no trace")
+	}
+	if err := orig.Trace.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+
+	rep := Config{Mode: panda.UserSpace, Replay: orig.Trace, Record: true}
+	replayed, err := Run(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-recorded trace is byte-identical to the original.
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, orig.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, replayed.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-recorded trace differs from the original bytes")
+	}
+
+	// The run itself is bit-identical: same numbers, same histograms.
+	osnap, err := json.Marshal(orig.Registry.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsnap, err := json.Marshal(replayed.Registry.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(osnap, rsnap) {
+		t.Fatal("replay produced different metric histograms than the recording run")
+	}
+	oc, rc := *orig, *replayed
+	oc.Registry, rc.Registry = nil, nil
+	oc.Trace, rc.Trace = nil, nil
+	oc.Config, rc.Config = Config{}, Config{} // replay config differs by construction
+	if !reflect.DeepEqual(oc, rc) {
+		t.Fatalf("replay result differs:\n%+v\n%+v", oc, rc)
+	}
+}
+
+// The paired experiment: a trace recorded under the kernel-space
+// implementation replayed into user-space must present the identical
+// arrival sequence but measure different latencies.
+func TestTracePairedCrossImplementationReplay(t *testing.T) {
+	cfg := multiCfg(panda.KernelSpace)
+	cfg.Record = true
+	kern, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.Trace.RecordedMode == "" {
+		t.Fatal("trace did not record its implementation mode")
+	}
+
+	rep := Config{Mode: panda.UserSpace, Replay: kern.Trace, Record: true}
+	user, err := Run(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical arrivals...
+	if err := SameArrivals(kern.Trace, user.Trace); err != nil {
+		t.Fatalf("cross-implementation replay changed the arrival stream: %v", err)
+	}
+	if user.Issued != kern.Issued {
+		t.Fatalf("replay issued %d ops, recording issued %d", user.Issued, kern.Issued)
+	}
+	// ...different protocol stack underneath: latencies must differ.
+	if user.Overall == kern.Overall {
+		t.Fatal("user-space replay reproduced kernel-space latencies exactly; the mode is not being applied")
+	}
+	// Per-class structure carries over.
+	if len(user.PerClass) != len(kern.PerClass) {
+		t.Fatalf("replay has %d classes, recording %d", len(user.PerClass), len(kern.PerClass))
+	}
+	for i := range user.PerClass {
+		if user.PerClass[i].Name != kern.PerClass[i].Name ||
+			user.PerClass[i].Issued != kern.PerClass[i].Issued {
+			t.Fatalf("class %d arrival accounting differs: %+v vs %+v",
+				i, user.PerClass[i], kern.PerClass[i])
+		}
+	}
+}
+
+// A trace survives the disk round-trip bit-for-bit and revalidates.
+func TestTraceDiskRoundTrip(t *testing.T) {
+	cfg := multiCfg(panda.UserSpace)
+	cfg.Record = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/TRACE_test.json"
+	if err := SaveTrace(path, r.Trace); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, r.Trace) {
+		t.Fatal("trace changed across the disk round-trip")
+	}
+	// And writing the loaded trace reproduces the file bytes.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, loaded); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), disk) {
+		t.Fatal("WriteTrace of the loaded trace differs from the file bytes")
+	}
+}
+
+func TestTraceValidateRejectsCorruption(t *testing.T) {
+	cfg := multiCfg(panda.UserSpace)
+	cfg.Record = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Trace
+	mutate := []struct {
+		name string
+		fn   func(*Trace)
+	}{
+		{"wrong version", func(t *Trace) { t.Version = TraceVersion + 1 }},
+		{"no workers", func(t *Trace) { t.Procs = 0 }},
+		{"no classes", func(t *Trace) { t.Classes = nil }},
+		{"zero window", func(t *Trace) { t.WindowNS = 0 }},
+		{"empty class", func(t *Trace) { t.Classes[0].Clients = 0 }},
+		{"out-of-order events", func(t *Trace) {
+			t.Events[0].AtNS = t.Events[len(t.Events)-1].AtNS + 1
+		}},
+		{"client out of range", func(t *Trace) { t.Events[0].Client = 10000 }},
+		{"class out of range", func(t *Trace) { t.Events[0].Class = 99 }},
+		{"unknown op", func(t *Trace) { t.Events[0].Op = 99 }},
+		{"negative size", func(t *Trace) { t.Events[0].Size = -1 }},
+		{"dest out of range", func(t *Trace) { t.Events[0].Dest = base.Procs }},
+	}
+	for _, m := range mutate {
+		t.Run(m.name, func(t *testing.T) {
+			// Deep-copy via JSON so mutations don't leak between cases.
+			b, _ := json.Marshal(base)
+			var c Trace
+			if err := json.Unmarshal(b, &c); err != nil {
+				t.Fatal(err)
+			}
+			m.fn(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("corrupted trace (%s) validated", m.name)
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+}
+
+// Replay must be byte-identical regardless of what the replaying Config
+// says about seed, window or population — the trace pins them all.
+func TestTraceReplayIgnoresConflictingConfig(t *testing.T) {
+	cfg := multiCfg(panda.UserSpace)
+	cfg.Record = true
+	orig, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Config{
+		Mode:   panda.UserSpace,
+		Replay: orig.Trace,
+		Record: true,
+		Seed:   99999,                  // must be overridden by the trace
+		Window: 700 * time.Millisecond, // ditto
+	}
+	replayed, err := Run(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameArrivals(orig.Trace, replayed.Trace); err != nil {
+		t.Fatalf("conflicting replay config changed arrivals: %v", err)
+	}
+	if replayed.Config.Seed != orig.Trace.Seed {
+		t.Fatalf("replay kept its own seed %d, want trace seed %d",
+			replayed.Config.Seed, orig.Trace.Seed)
+	}
+}

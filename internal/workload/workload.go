@@ -7,20 +7,26 @@
 // load (one outstanding RPC, one streaming sender); its qualitative claims
 // about the user-space sequencer saturating under group traffic (§4.3) are
 // load-dependent. This package adds the missing axis: clients issue
-// operations in open loop (seeded Poisson/uniform/fixed interarrival at a
-// target offered load — queues grow without bound past saturation) or
-// closed loop (a fixed population with think time), over a configurable
+// operations in open loop (seeded interarrival processes at a target
+// offered load — queues grow without bound past saturation) or closed
+// loop (a fixed population with think time), over a configurable
 // operation mix (point-to-point RPC, totally-ordered group send, Orca-style
-// read/write) and message-size distribution. Every completed operation's
-// simulated-time latency lands in a metrics.Histogram, so one run reports
-// p50/p90/p99/p99.9/max, achieved vs. offered throughput, and sequencer /
-// worker CPU occupancy, and a sweep over loads produces a
-// latency-vs-offered-load curve per implementation.
+// read/write) and message-size distribution. The population is
+// multi-tenant: a list of client classes (Config.Classes), each with its
+// own mix, sizes, arrival process (Poisson/uniform/fixed/Gamma/Weibull),
+// think time, load shape (steady/bursty/diurnal) and latency SLO, so one
+// run models heterogeneous production traffic and reports per-class
+// percentiles, achieved-vs-offered throughput, SLO attainment and a
+// fairness index alongside the population-wide curves. A run can also
+// record its generated operation stream into a versioned Trace and any
+// later run can replay it — bit-identically for open-loop recordings,
+// including into the other Panda implementation, which turns every
+// kernel-vs-user-space comparison into a paired experiment over literally
+// identical arrivals.
 package workload
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"amoebasim/internal/causal"
@@ -91,49 +97,6 @@ func (o Op) String() string {
 	}
 }
 
-// Arrival selects the open-loop interarrival distribution.
-type Arrival int
-
-const (
-	// Poisson draws exponential interarrival times (a memoryless open
-	// stream, the default).
-	Poisson Arrival = iota
-	// UniformArrival draws uniform interarrival times in [0, 2·mean).
-	UniformArrival
-	// FixedArrival paces arrivals exactly mean apart.
-	FixedArrival
-)
-
-func (a Arrival) String() string {
-	switch a {
-	case UniformArrival:
-		return "uniform"
-	case FixedArrival:
-		return "fixed"
-	default:
-		return "poisson"
-	}
-}
-
-// draw produces one interarrival time with the given mean. The result is
-// floored at 1ns so an arrival process always advances.
-func (a Arrival) draw(r *sim.Rand, mean time.Duration) time.Duration {
-	var d time.Duration
-	switch a {
-	case UniformArrival:
-		d = time.Duration(2 * r.Float64() * float64(mean))
-	case FixedArrival:
-		d = mean
-	default: // Poisson
-		u := r.Float64()
-		d = time.Duration(-math.Log(1-u) * float64(mean))
-	}
-	if d < 1 {
-		d = 1
-	}
-	return d
-}
-
 // Run drives one workload against a fresh cluster and reports the
 // latency distribution, achieved throughput and CPU occupancies over the
 // measurement window. Deterministic: same Config, same Result, on any
@@ -141,10 +104,41 @@ func (a Arrival) draw(r *sim.Rand, mean time.Duration) time.Duration {
 // simulation).
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	var classes []Class
+	replay := cfg.Replay
+	if replay != nil {
+		if err := replay.Validate(); err != nil {
+			return nil, err
+		}
+		// The trace pins everything that shaped the recorded stream —
+		// population, seed, pool size, groups, warmup and window — so a
+		// replay differs from the recording run only in the implementation
+		// under test (Mode, DedicatedSequencer, SeqShards, Topology).
+		cfg.Seed = replay.Seed
+		cfg.Procs = replay.Procs
+		cfg.Groups = replay.Groups
+		cfg.Warmup = time.Duration(replay.WarmupNS)
+		cfg.Window = time.Duration(replay.WindowNS)
+		cfg.Loop = OpenLoop
+		classes = replayClasses(replay)
+		cfg.OfferedLoad = totalOffered(classes)
+	} else {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		classes = resolveClasses(cfg)
 	}
-	group := cfg.Mix.Group > 0 || cfg.Mix.Write > 0
+	cfg.Clients = totalClients(classes)
+
+	group := false
+	for _, cl := range classes {
+		if cl.Mix.Group > 0 || cl.Mix.Write > 0 {
+			group = true
+		}
+	}
+	if replay != nil {
+		group = replay.HasGroup
+	}
 	var col *causal.Collector
 	ccfg := cluster.Config{
 		Procs:              cfg.Procs,
@@ -179,6 +173,10 @@ func Run(cfg Config) (*Result, error) {
 	for op := Op(0); op < numOps; op++ {
 		perOp[op] = reg.Histogram("workload.latency_us", metrics.L("op", op.String()))
 	}
+	perClass := make([]*metrics.Histogram, len(classes))
+	for ci, cl := range classes {
+		perClass[ci] = reg.Histogram("workload.latency_us", metrics.L("class", cl.Name))
+	}
 
 	// Every worker answers RPCs from within the upcall and swallows group
 	// deliveries; the measured cost is the protocol stack itself.
@@ -193,10 +191,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		measStart = sim.Time(cfg.Warmup)
-		end       = sim.Time(cfg.Warmup + cfg.Window)
-		issued    int64 // operations issued inside the window
-		completed int64 // operations completed inside the window
+		measStart    = sim.Time(cfg.Warmup)
+		end          = sim.Time(cfg.Warmup + cfg.Window)
+		issued       int64 // operations issued inside the window
+		completed    int64 // operations completed inside the window
+		clsIssued    = make([]int64, len(classes))
+		clsCompleted = make([]int64, len(classes))
+		clsSLOMet    = make([]int64, len(classes))
 	)
 
 	// CPU occupancy is measured over the window only: snapshot the
@@ -208,34 +209,74 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 
-	record := func(op Op, start sim.Time) {
+	record := func(ci int, op Op, start sim.Time) {
 		now := c.Sim.Now()
 		if start < measStart || now > end {
 			return
 		}
 		completed++
+		clsCompleted[ci]++
 		lat := now.Sub(start)
 		overall.Observe(lat)
 		perOp[op].Observe(lat)
+		perClass[ci].Observe(lat)
+		if slo := classes[ci].SLO; slo > 0 && lat <= slo {
+			clsSLOMet[ci]++
+		}
+	}
+	onIssue := func(ci int, start sim.Time) {
+		if start >= measStart {
+			issued++
+			clsIssued[ci]++
+		}
 	}
 
-	// Each client has a fixed group affinity (client index modulo the
-	// group count), decided outside the RNG stream so a single-group run
-	// draws exactly what it always drew.
+	// Each client has a fixed group affinity (global client index modulo
+	// the group count), decided outside the RNG stream so a single-group
+	// run draws exactly what it always drew.
 	groups := c.Groups()
 	if groups < 1 {
 		groups = 1
 	}
-	root := sim.NewRand(cfg.Seed ^ seedSalt)
-	placement := c.PlaceClients(cfg.Clients)
-	for ci, procID := range placement {
-		rng := root.Fork()
-		grp := ci % groups
-		switch cfg.Loop {
-		case OpenLoop:
-			startOpenClient(c, cfg, ci, procID, grp, rng, end, measStart, &issued, record)
-		case ClosedLoop:
-			startClosedClient(c, cfg, ci, procID, grp, rng, end, measStart, &issued, record)
+	var rec *Trace
+	if cfg.Record {
+		if replay != nil {
+			// Re-recording a replay copies the header: a faithful replay
+			// must reproduce the stream byte-for-byte.
+			h := *replay
+			h.Events = nil
+			rec = &h
+		} else {
+			rec = traceHeader(cfg, classes, groups, group, ModeLabel(cfg.Mode, cfg.DedicatedSequencer))
+		}
+	}
+
+	if replay != nil {
+		startReplay(c, replay, rec, onIssue, record)
+	} else {
+		gci, offset := 0, 0
+		for ci := range classes {
+			cl := classes[ci]
+			// Every class owns a decorrelated RNG root (classSeed), and
+			// every client forks its private stream from it, so adding or
+			// resizing one class never perturbs another's draws.
+			croot := sim.NewRand(classSeed(cfg.Seed, ci))
+			for _, procID := range c.PlaceClientsAt(cl.Clients, offset) {
+				p := clientParams{
+					c: c, class: cl, ci: ci, gci: gci,
+					procID: procID, grp: gci % groups, procs: cfg.Procs,
+					window: cfg.Window, end: end,
+					rng: croot.Fork(), rec: rec,
+					onIssue: onIssue, record: record,
+				}
+				if cfg.Loop == OpenLoop {
+					p.startOpen()
+				} else {
+					p.startClosed()
+				}
+				gci++
+			}
+			offset += cl.Clients
 		}
 	}
 
@@ -249,10 +290,17 @@ func Run(cfg Config) (*Result, error) {
 		Achieved:  float64(completed) / cfg.Window.Seconds(),
 		Registry:  reg,
 		Overall:   summarize("all", overall),
+		Trace:     rec,
 	}
-	if cfg.Loop == OpenLoop {
+	switch {
+	case cfg.Loop != OpenLoop:
+		res.Offered = res.Achieved
+	case cfg.OfferedLoad > 0:
 		res.Offered = cfg.OfferedLoad
-	} else {
+	case totalOffered(classes) > 0:
+		res.Offered = totalOffered(classes)
+	default:
+		// Replaying a closed-loop recording: no open-loop target exists.
 		res.Offered = res.Achieved
 	}
 	for op := Op(0); op < numOps; op++ {
@@ -260,6 +308,34 @@ func Run(cfg Config) (*Result, error) {
 			res.PerOp = append(res.PerOp, summarize(op.String(), perOp[op]))
 		}
 	}
+	for ci, cl := range classes {
+		cs := ClassStats{
+			Name:      cl.Name,
+			Clients:   cl.Clients,
+			Offered:   cl.OfferedLoad,
+			Achieved:  float64(clsCompleted[ci]) / cfg.Window.Seconds(),
+			Issued:    clsIssued[ci],
+			Completed: clsCompleted[ci],
+			Latency:   summarize(cl.Name, perClass[ci]),
+			SLO:       cl.SLO,
+		}
+		switch {
+		case cl.SLO <= 0:
+			// No objective: vacuously met.
+			cs.SLOMet = cs.Completed
+			cs.SLOAttainment = 1
+		case cs.Completed > 0:
+			cs.SLOMet = clsSLOMet[ci]
+			cs.SLOAttainment = float64(cs.SLOMet) / float64(cs.Completed)
+		case cs.Issued > 0:
+			// Issued but nothing completed under an objective: starved.
+			cs.SLOAttainment = 0
+		default:
+			cs.SLOAttainment = 1
+		}
+		res.PerClass = append(res.PerClass, cs)
+	}
+	res.Fairness = fairness(res.PerClass)
 	window := cfg.Window
 	if seqs := c.SequencerProcs(); len(seqs) > 0 {
 		var busy float64
@@ -292,34 +368,78 @@ func Run(cfg Config) (*Result, error) {
 // loss-injection stream, which is seeded from the same Config.Seed.
 const seedSalt = 0x9e3779b97f4a7c15
 
-// startOpenClient schedules client ci's seeded arrival process: each
-// arrival draws (op, size, dest) and spawns a fresh thread on the client's
+// clientParams is the per-client generation context: the client's class,
+// indices, placement and private RNG stream, plus the run-wide sinks.
+type clientParams struct {
+	c       *cluster.Cluster
+	class   Class
+	ci      int // class index
+	gci     int // global client index
+	procID  int
+	grp     int
+	procs   int
+	window  time.Duration
+	end     sim.Time
+	rng     *sim.Rand
+	rec     *Trace
+	onIssue func(ci int, start sim.Time)
+	record  func(ci int, op Op, start sim.Time)
+}
+
+// gap applies the class's load shape to one drawn interarrival (or think)
+// gap: dividing by the instantaneous intensity compresses arrivals inside
+// bursts and stretches them through troughs, mean-preserving over whole
+// cycles.
+func (p clientParams) gap(d time.Duration) time.Duration {
+	if in := p.class.Shape.intensity(p.c.Sim.Now().Duration(), p.window); in != 1 {
+		d = time.Duration(float64(d) / in)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// append records one generated operation into the trace (no-op when not
+// recording). Appends happen in scheduler fire order, so the event list is
+// globally time-ordered.
+func (p clientParams) append(start sim.Time, op Op, size, dest int) {
+	if p.rec == nil {
+		return
+	}
+	p.rec.Events = append(p.rec.Events, TraceEvent{
+		AtNS: int64(start.Duration()), Client: p.gci, Class: p.ci,
+		Op: int(op), Size: size, Dest: dest, Group: p.grp,
+	})
+}
+
+// startOpen schedules the client's seeded arrival process: each arrival
+// draws (op, size, dest) and spawns a fresh thread on the client's
 // processor, so concurrency is unbounded and queueing delay from the
 // arrival instant is part of the measured latency. Group operations go to
-// the client's fixed group grp.
-func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID, grp int, rng *sim.Rand,
-	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
-	mean := time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.OfferedLoad)
+// the client's fixed group.
+func (p clientParams) startOpen() {
+	c, cl := p.c, p.class
+	mean := time.Duration(float64(time.Second) * float64(cl.Clients) / cl.OfferedLoad)
 	var arrive func()
 	schedule := func() {
-		d := cfg.Arrival.draw(rng, mean)
+		d := p.gap(cl.Arrival.draw(p.rng, mean))
 		at := c.Sim.Now().Add(d)
-		if at >= end {
+		if at >= p.end {
 			return // stop generating past the window
 		}
 		c.Sim.ScheduleAt(at, arrive)
 	}
 	arrive = func() {
 		start := c.Sim.Now()
-		op := cfg.Mix.draw(rng)
-		size := cfg.Sizes.draw(rng)
-		dest := drawDest(rng, op, procID, cfg.Procs)
-		if start >= measStart {
-			*issued++
-		}
-		c.Procs[procID].NewThread(fmt.Sprintf("open%d", ci), proc.PrioNormal, func(t *proc.Thread) {
-			if execOp(c, t, procID, op, dest, size, grp) == nil {
-				record(op, start)
+		op := cl.Mix.draw(p.rng)
+		size := cl.Sizes.draw(p.rng)
+		dest := drawDest(p.rng, op, p.procID, p.procs)
+		p.onIssue(p.ci, start)
+		p.append(start, op, size, dest)
+		c.Procs[p.procID].NewThread(fmt.Sprintf("open%d", p.gci), proc.PrioNormal, func(t *proc.Thread) {
+			if execOp(c, t, p.procID, op, dest, size, p.grp) == nil {
+				p.record(p.ci, op, start)
 			}
 		})
 		schedule()
@@ -327,30 +447,76 @@ func startOpenClient(c *cluster.Cluster, cfg Config, ci, procID, grp int, rng *s
 	schedule()
 }
 
-// startClosedClient runs client ci as one persistent thread: think, issue,
+// startClosed runs the client as one persistent thread: think, issue,
 // wait, repeat. Latency excludes think time.
-func startClosedClient(c *cluster.Cluster, cfg Config, ci, procID, grp int, rng *sim.Rand,
-	end, measStart sim.Time, issued *int64, record func(Op, sim.Time)) {
-	c.Procs[procID].NewThread(fmt.Sprintf("closed%d", ci), proc.PrioNormal, func(t *proc.Thread) {
+func (p clientParams) startClosed() {
+	c, cl := p.c, p.class
+	c.Procs[p.procID].NewThread(fmt.Sprintf("closed%d", p.gci), proc.PrioNormal, func(t *proc.Thread) {
 		for {
-			think := cfg.Arrival.draw(rng, cfg.ThinkTime)
+			think := p.gap(cl.Arrival.draw(p.rng, cl.ThinkTime))
 			t.Sleep(think)
 			start := c.Sim.Now()
-			if start >= end {
+			if start >= p.end {
 				return
 			}
-			op := cfg.Mix.draw(rng)
-			size := cfg.Sizes.draw(rng)
-			dest := drawDest(rng, op, procID, cfg.Procs)
-			if start >= measStart {
-				*issued++
-			}
-			if execOp(c, t, procID, op, dest, size, grp) != nil {
+			op := cl.Mix.draw(p.rng)
+			size := cl.Sizes.draw(p.rng)
+			dest := drawDest(p.rng, op, p.procID, p.procs)
+			p.onIssue(p.ci, start)
+			p.append(start, op, size, dest)
+			if execOp(c, t, p.procID, op, dest, size, p.grp) != nil {
 				return
 			}
-			record(op, start)
+			p.record(p.ci, op, start)
 		}
 	})
+}
+
+// startReplay schedules a recorded trace's operation stream verbatim. The
+// per-client chains mirror the generator's scheduler interactions exactly
+// — one initial ScheduleAt per client in global client order, then each
+// firing spawns the operation thread before scheduling that client's next
+// event — so a replay of an open-loop recording is event-for-event
+// identical to the run that recorded it, and two replays of one trace
+// into different implementations see literally identical arrivals.
+func startReplay(c *cluster.Cluster, t *Trace, rec *Trace,
+	onIssue func(ci int, start sim.Time), record func(ci int, op Op, start sim.Time)) {
+	n := 0
+	for _, cl := range t.Classes {
+		n += cl.Clients
+	}
+	placement := c.PlaceClients(n)
+	perClient := make([][]TraceEvent, n)
+	for _, e := range t.Events {
+		perClient[e.Client] = append(perClient[e.Client], e)
+	}
+	for i := 0; i < n; i++ {
+		evs := perClient[i]
+		if len(evs) == 0 {
+			continue
+		}
+		gci, procID := i, placement[i]
+		var fire func(k int)
+		fire = func(k int) {
+			e := evs[k]
+			start := c.Sim.Now()
+			onIssue(e.Class, start)
+			if rec != nil {
+				rec.Events = append(rec.Events, e)
+			}
+			op := Op(e.Op)
+			c.Procs[procID].NewThread(fmt.Sprintf("open%d", gci), proc.PrioNormal, func(th *proc.Thread) {
+				if execOp(c, th, procID, op, e.Dest, e.Size, e.Group) == nil {
+					record(e.Class, op, start)
+				}
+			})
+			if k+1 < len(evs) {
+				c.Sim.ScheduleAt(sim.Time(evs[k+1].AtNS), func() { fire(k + 1) })
+			}
+		}
+		first := evs[0]
+		c.Sim.ScheduleAt(sim.Time(first.AtNS), func() { fire(0) })
+	}
 }
 
 // drawDest picks the destination for point-to-point operations: a
@@ -405,6 +571,34 @@ func summarize(label string, h *metrics.Histogram) LatencyStats {
 		P999:  h.Percentile(99.9),
 		Max:   h.Max(),
 	}
+}
+
+// fairness is Jain's index over per-class achieved/offered throughput
+// ratios: 1 when every class receives the same fraction of what it asked
+// for (the max-min fair outcome for equal demands), approaching 1/n when
+// one class starves the rest. Classes with no offered target (closed
+// loop) contribute their per-client achieved rate instead.
+func fairness(per []ClassStats) float64 {
+	var s, s2 float64
+	n := 0
+	for _, cs := range per {
+		var x float64
+		switch {
+		case cs.Offered > 0:
+			x = cs.Achieved / cs.Offered
+		case cs.Clients > 0:
+			x = cs.Achieved / float64(cs.Clients)
+		default:
+			continue
+		}
+		s += x
+		s2 += x * x
+		n++
+	}
+	if n == 0 || s2 == 0 {
+		return 1
+	}
+	return s * s / (float64(n) * s2)
 }
 
 // ModeLabel names an implementation configuration the way the paper's

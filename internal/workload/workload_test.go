@@ -2,7 +2,9 @@ package workload
 
 import (
 	"encoding/json"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -289,6 +291,41 @@ func TestParseMix(t *testing.T) {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseMixInvalid: every malformed spec must wrap ErrInvalidMix and
+// name the offending token, so the CLI error points at what to fix.
+func TestParseMixInvalid(t *testing.T) {
+	cases := []struct {
+		name, in string
+		token    string // must appear in the error message
+	}{
+		{"empty string", "", ""},
+		{"empty element", ",", "stray comma"},
+		{"trailing comma", "rpc=1,", "stray comma"},
+		{"leading comma", ",rpc=1", "stray comma"},
+		{"negative weight", "rpc=1,group=-2", "group=-2"},
+		{"zero weight", "rpc=0", "rpc=0"},
+		{"all-zero mix", "rpc=0,group=0", "rpc=0"},
+		{"missing weight", "rpc=", "rpc="},
+		{"no equals", "read", "read"},
+		{"unknown op", "zap=1", "zap=1"},
+		{"unparseable weight", "rpc=abc", "rpc=abc"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseMix(c.in)
+			if err == nil {
+				t.Fatalf("ParseMix(%q) accepted", c.in)
+			}
+			if !errors.Is(err, ErrInvalidMix) {
+				t.Errorf("ParseMix(%q) error %q does not wrap ErrInvalidMix", c.in, err)
+			}
+			if c.token != "" && !strings.Contains(err.Error(), c.token) {
+				t.Errorf("ParseMix(%q) error %q does not name offending token %q", c.in, err, c.token)
+			}
+		})
 	}
 }
 
