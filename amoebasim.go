@@ -32,6 +32,7 @@ package amoebasim
 import (
 	"amoebasim/internal/apps"
 	"amoebasim/internal/bench"
+	"amoebasim/internal/bypass"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/model"
 	"amoebasim/internal/orca"
@@ -67,8 +68,12 @@ type (
 
 // Panda communication platform.
 type (
-	// Mode selects the kernel-space or user-space Panda implementation.
+	// Mode selects the Panda implementation: kernel-space, user-space,
+	// or kernel-bypass.
 	Mode = panda.Mode
+	// Dispatch selects the kernel-bypass receive dispatch discipline
+	// (poll, interrupt or hybrid); the other implementations ignore it.
+	Dispatch = bypass.Dispatch
 	// Transport is the Panda interface (RPC + totally-ordered groups).
 	Transport = panda.Transport
 	// RPCContext identifies an in-progress server-side RPC.
@@ -146,9 +151,12 @@ type (
 	// bursty on/off, diurnal).
 	LoadShape = workload.LoadShape
 	// Trace is a versioned deterministic recording of one run's operation
-	// stream, replayable bit-identically — including into the other
+	// stream, replayable bit-identically — including into another
 	// implementation for paired comparisons.
 	Trace = workload.Trace
+	// TraceEventSource yields a trace's events incrementally, in recorded
+	// order (see OpenTraceStream).
+	TraceEventSource = workload.EventSource
 )
 
 // Traffic-generation disciplines.
@@ -160,10 +168,25 @@ const (
 	ClosedLoop = workload.ClosedLoop
 )
 
-// The two Panda implementations compared by the paper.
+// The two Panda implementations compared by the paper, plus the modern
+// third column: user-space protocols over a user-mapped NIC queue pair
+// (no syscall crossings, zero-copy fragmentation).
 const (
 	KernelSpace = panda.KernelSpace
 	UserSpace   = panda.UserSpace
+	Bypass      = panda.Bypass
+)
+
+// Kernel-bypass receive dispatch disciplines.
+const (
+	// DispatchPoll spins on the completion ring (lowest latency, burns a
+	// core) — the canonical kernel-bypass configuration and the default.
+	DispatchPoll = bypass.Poll
+	// DispatchInterrupt parks the consumer and pays a wakeup dispatch per
+	// doorbell, like the paper's kernel receive path.
+	DispatchInterrupt = bypass.Interrupt
+	// DispatchHybrid polls briefly after traffic, then parks.
+	DispatchHybrid = bypass.Hybrid
 )
 
 // Thread priorities.
@@ -235,6 +258,19 @@ func ParseWorkloadClasses(s string) ([]WorkloadClass, error) { return workload.P
 // LoadTrace reads a recorded TRACE_*.json operation stream; set it as
 // WorkloadConfig.Replay to drive a run from it.
 func LoadTrace(path string) (*Trace, error) { return workload.LoadTrace(path) }
+
+// OpenTraceStream parses only a trace's header, returning it plus a
+// source factory that streams the events incrementally from disk. Set
+// the header as WorkloadConfig.Replay and the factory as
+// WorkloadConfig.ReplaySource; the streamed replay is bit-identical to
+// the in-memory one but never materializes the event array.
+func OpenTraceStream(path string) (*Trace, func() (TraceEventSource, error), error) {
+	return workload.OpenTraceStream(path)
+}
+
+// ParseDispatch parses a kernel-bypass dispatch mode name ("poll",
+// "interrupt", "hybrid"; empty defaults to poll).
+func ParseDispatch(s string) (Dispatch, error) { return bypass.ParseDispatch(s) }
 
 // SaveTrace writes a recorded trace deterministically (re-recording an
 // identical run reproduces identical bytes).

@@ -46,8 +46,8 @@ func mustF(b *testing.B) func(float64, error) float64 {
 // columns (Panda system-layer primitives, user space).
 func BenchmarkTable1SystemLayer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		uni := mustD(b)(bench.SystemLatency(0, false))
-		mc := mustD(b)(bench.SystemLatency(0, true))
+		uni := mustD(b)(bench.SystemLatency(panda.UserSpace, 0, false))
+		mc := mustD(b)(bench.SystemLatency(panda.UserSpace, 0, true))
 		reportMS(b, "unicast0k_sim_ms", uni)
 		reportMS(b, "multicast0k_sim_ms", mc)
 	}

@@ -53,6 +53,7 @@ import (
 
 	"amoebasim/internal/apps"
 	"amoebasim/internal/bench"
+	"amoebasim/internal/bypass"
 	"amoebasim/internal/causal"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/faults"
@@ -109,6 +110,7 @@ func main() {
 		chromeTr   = flag.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of a traced run to this file")
 		traceCap   = flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0: 65536 default)")
 		wlDecomp   = flag.Bool("wl-decomp", false, "with -workload: collect per-phase latency breakdowns at each load point")
+		dispatchF  = flag.String("dispatch", "poll", "bypass receive dispatch mode: poll, interrupt or hybrid (other implementations ignore it)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -116,8 +118,12 @@ func main() {
 	// Profiling teardown must run on every exit path, so the flag
 	// families dispatch through a closure that returns instead of exiting.
 	dispatch := func() error {
+		disp, err := bypass.ParseDispatch(*dispatchF)
+		if err != nil {
+			return err
+		}
 		if *scalab || *scalabJ != "" || *scalabBase != "" {
-			return runScalability(*scalabJ, *scalabBase, *mixFlag, *distFlag, *wlWindow, *wlFanIn, *seed, *jobs)
+			return runScalability(*scalabJ, *scalabBase, *mixFlag, *distFlag, *wlWindow, *wlFanIn, disp, *seed, *jobs)
 		}
 		if *workloadF != "" || *workloadJ != "" || *repTrace != "" || *recTrace != "" {
 			return runWorkload(workloadArgs{
@@ -126,7 +132,7 @@ func main() {
 				window: *wlWindow, warmup: *wlWarmup, knee: *knee,
 				jsonPath: *workloadJ, seed: *seed, jobs: *jobs,
 				seqShards: *seqShards, segments: *wlSegments, fanIn: *wlFanIn,
-				classes: *classesF, shape: *shapeFlag,
+				classes: *classesF, shape: *shapeFlag, dispatch: disp,
 				recordTrace: *recTrace, replayTrace: *repTrace,
 				decomp: *wlDecomp || *decompJSON != "", decompPath: *decompJSON,
 			})
@@ -207,7 +213,7 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 		did = true
 	}
 	if traceFlag {
-		for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+		for _, mode := range panda.AllModes() {
 			fmt.Printf("--- null RPC timeline, %v ---\n", mode)
 			log, err := rpcTrace(mode, traceCap)
 			if err != nil {
@@ -279,12 +285,14 @@ func run(table int, decompose, traceFlag, all bool, sweep, scale, appsFlag, proc
 		did = true
 	}
 	if all || decompose {
-		ds := make([]bench.Decomposition, 0, 4)
+		ds := make([]bench.Decomposition, 0, 6)
 		for _, f := range []func() (bench.Decomposition, error){
 			func() (bench.Decomposition, error) { return bench.DecomposeRPC(panda.KernelSpace) },
 			func() (bench.Decomposition, error) { return bench.DecomposeRPC(panda.UserSpace) },
+			func() (bench.Decomposition, error) { return bench.DecomposeRPC(panda.Bypass) },
 			func() (bench.Decomposition, error) { return bench.DecomposeGroup(panda.KernelSpace) },
 			func() (bench.Decomposition, error) { return bench.DecomposeGroup(panda.UserSpace) },
+			func() (bench.Decomposition, error) { return bench.DecomposeGroup(panda.Bypass) },
 		} {
 			d, err := f()
 			if err != nil {
@@ -434,6 +442,7 @@ type workloadArgs struct {
 	think, window, warmup                     time.Duration
 	knee                                      bool
 	seed                                      uint64
+	dispatch                                  bypass.Dispatch // bypass receive dispatch mode
 	decomp                                    bool   // collect per-load-point phase breakdowns
 	decompPath                                string // also write the DECOMP artifact (cells + load points)
 }
@@ -498,7 +507,7 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 		ThinkTime: a.think, Arrival: arr.Kind, ArrivalShape: arr.Shape,
 		Mix: mix, Sizes: dist, Classes: classes, Shape: shape,
 		Warmup: a.warmup, Window: a.window, Seed: a.seed,
-		SeqShards: a.seqShards,
+		SeqShards: a.seqShards, Dispatch: a.dispatch,
 		Decompose: a.decomp,
 	}
 	if a.segments > 0 || a.fanIn > 0 {
@@ -512,11 +521,14 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 		Record:  a.recordTrace != "",
 	}
 	if a.replayTrace != "" {
-		tr, err := workload.LoadTrace(a.replayTrace)
+		// Stream the events from disk: only the header is materialized,
+		// and each replayed point pulls its own incremental pass.
+		tr, src, err := workload.OpenTraceStream(a.replayTrace)
 		if err != nil {
 			return bench.WorkloadSweepConfig{}, err
 		}
 		cfg.Replay = tr
+		cfg.ReplaySource = src
 	}
 	return cfg, nil
 }
@@ -524,7 +536,7 @@ func workloadSweepConfig(a workloadArgs) (bench.WorkloadSweepConfig, error) {
 // runScalability drives the knee-vs-cluster-size sweep over the sequencer
 // strategies, prints the curves, and optionally writes the machine-readable
 // artifact and applies the zero-drift gate against a committed baseline.
-func runScalability(jsonPath, baseline, mixFlag, distFlag string, window time.Duration, fanIn int, seed uint64, jobs int) error {
+func runScalability(jsonPath, baseline, mixFlag, distFlag string, window time.Duration, fanIn int, disp bypass.Dispatch, seed uint64, jobs int) error {
 	mix, err := workload.ParseMix(mixFlag)
 	if err != nil {
 		return err
@@ -534,7 +546,7 @@ func runScalability(jsonPath, baseline, mixFlag, distFlag string, window time.Du
 		return err
 	}
 	res, err := bench.ScalabilitySweep(bench.ScalabilitySweepConfig{
-		Base:        workload.Config{Mix: mix, Sizes: dist, Window: window, Seed: seed},
+		Base:        workload.Config{Mix: mix, Sizes: dist, Window: window, Seed: seed, Dispatch: disp},
 		SwitchFanIn: fanIn,
 		Workers:     jobs,
 	})
@@ -704,16 +716,18 @@ func runFaults(name string, seed, faultSeed uint64, jobs int) error {
 func runSweep(kind, appsFlag, scale string, seed uint64) error {
 	switch kind {
 	case "latency":
-		fmt.Println("size_bytes,unicast_ms,multicast_ms,rpc_user_ms,rpc_kernel_ms,group_user_ms,group_kernel_ms")
+		fmt.Println("size_bytes,unicast_ms,multicast_ms,rpc_user_ms,rpc_kernel_ms,rpc_bypass_ms,group_user_ms,group_kernel_ms,group_bypass_ms")
 		for size := 0; size <= 8192; size += 512 {
-			var vals [6]time.Duration
+			var vals [8]time.Duration
 			for i, f := range []func() (time.Duration, error){
-				func() (time.Duration, error) { return bench.SystemLatency(size, false) },
-				func() (time.Duration, error) { return bench.SystemLatency(size, true) },
+				func() (time.Duration, error) { return bench.SystemLatency(panda.UserSpace, size, false) },
+				func() (time.Duration, error) { return bench.SystemLatency(panda.UserSpace, size, true) },
 				func() (time.Duration, error) { return bench.RPCLatency(panda.UserSpace, size) },
 				func() (time.Duration, error) { return bench.RPCLatency(panda.KernelSpace, size) },
+				func() (time.Duration, error) { return bench.RPCLatency(panda.Bypass, size) },
 				func() (time.Duration, error) { return bench.GroupLatency(panda.UserSpace, size, false) },
 				func() (time.Duration, error) { return bench.GroupLatency(panda.KernelSpace, size, false) },
+				func() (time.Duration, error) { return bench.GroupLatency(panda.Bypass, size, false) },
 			} {
 				d, err := f()
 				if err != nil {
@@ -721,8 +735,8 @@ func runSweep(kind, appsFlag, scale string, seed uint64) error {
 				}
 				vals[i] = d
 			}
-			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", size,
-				msF(vals[0]), msF(vals[1]), msF(vals[2]), msF(vals[3]), msF(vals[4]), msF(vals[5]))
+			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", size,
+				msF(vals[0]), msF(vals[1]), msF(vals[2]), msF(vals[3]), msF(vals[4]), msF(vals[5]), msF(vals[6]), msF(vals[7]))
 		}
 		return nil
 	case "speedup":
@@ -868,8 +882,9 @@ func writeTraceJSON(path string, cap int) error {
 	var docs struct {
 		KernelSpace json.RawMessage `json:"kernel-space"`
 		UserSpace   json.RawMessage `json:"user-space"`
+		Bypass      json.RawMessage `json:"bypass"`
 	}
-	for i, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+	for i, mode := range panda.AllModes() {
 		log, err := rpcTrace(mode, cap)
 		if err != nil {
 			return err
@@ -879,10 +894,13 @@ func writeTraceJSON(path string, cap int) error {
 			return err
 		}
 		raw := json.RawMessage(bytes.TrimSpace(buf.Bytes()))
-		if i == 0 {
+		switch i {
+		case 0:
 			docs.KernelSpace = raw
-		} else {
+		case 1:
 			docs.UserSpace = raw
+		default:
+			docs.Bypass = raw
 		}
 	}
 	f, err := os.Create(path)

@@ -215,8 +215,37 @@ func TestWorkloadSweepConfigMultiTenant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rp.Replay == nil || len(rp.Replay.Events) != len(rec.Trace.Events) {
-		t.Fatal("-replay-trace did not load the trace")
+	if rp.Replay == nil || rp.ReplaySource == nil {
+		t.Fatal("-replay-trace did not open the trace stream")
+	}
+	// The flag path streams: the header carries no materialized events;
+	// the factory yields exactly the recorded stream.
+	if len(rp.Replay.Events) != 0 {
+		t.Fatalf("streamed replay materialized %d events in the header", len(rp.Replay.Events))
+	}
+	if rp.Replay.Seed != rec.Trace.Seed || rp.Replay.Procs != rec.Trace.Procs {
+		t.Fatalf("trace header mismatch: %+v", rp.Replay)
+	}
+	src, err := rp.ReplaySource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e != rec.Trace.Events[n] {
+			t.Fatalf("streamed event %d = %+v, want %+v", n, e, rec.Trace.Events[n])
+		}
+		n++
+	}
+	if n != len(rec.Trace.Events) {
+		t.Fatalf("streamed %d events, recorded %d", n, len(rec.Trace.Events))
 	}
 
 	for _, bad := range []workloadArgs{

@@ -14,8 +14,9 @@ import (
 
 // ArtifactSchemaVersion identifies the BENCH_*.json layout. Bump it when
 // a field changes meaning; the regression gate refuses to compare
-// artifacts across versions.
-const ArtifactSchemaVersion = 1
+// artifacts across versions. v2 added the kernel-bypass implementation
+// column to every table.
+const ArtifactSchemaVersion = 2
 
 // Artifact is the machine-readable benchmark baseline (BENCH_*.json):
 // every Table 1-3 cell in simulated time, plus the host's wall-clock
@@ -245,17 +246,23 @@ func NewArtifact(res *SweepResult) *Artifact {
 		a.Table1 = append(a.Table1,
 			cell("unicast", r.Unicast),
 			cell("multicast", r.Multicast),
+			cell("unicast-bypass", r.UnicastBypass),
+			cell("multicast-bypass", r.MulticastBypass),
 			cell("rpc-user", r.RPCUser),
 			cell("rpc-kernel", r.RPCKernel),
+			cell("rpc-bypass", r.RPCBypass),
 			cell("group-user", r.GroupUser),
 			cell("group-kernel", r.GroupKernel),
+			cell("group-bypass", r.GroupBypass),
 		)
 	}
 	a.Table2 = []Table2Cell{
 		{Op: "rpc", Impl: "user-space", BytesPerSec: res.Table2.RPCUser},
 		{Op: "rpc", Impl: "kernel-space", BytesPerSec: res.Table2.RPCKernel},
+		{Op: "rpc", Impl: "bypass", BytesPerSec: res.Table2.RPCBypass},
 		{Op: "group", Impl: "user-space", BytesPerSec: res.Table2.GroupUser},
 		{Op: "group", Impl: "kernel-space", BytesPerSec: res.Table2.GroupKernel},
+		{Op: "group", Impl: "bypass", BytesPerSec: res.Table2.GroupBypass},
 	}
 	for ei, e := range res.Table3 {
 		for _, impl := range table3Impls(res.Config.Apps[ei]) {

@@ -77,15 +77,15 @@ func TestArtifactSchema(t *testing.T) {
 	if art.SchemaVersion != ArtifactSchemaVersion {
 		t.Errorf("schema version %d, want %d", art.SchemaVersion, ArtifactSchemaVersion)
 	}
-	if want := len(cfg.Sizes) * 6; len(art.Table1) != want {
+	if want := len(cfg.Sizes) * 10; len(art.Table1) != want {
 		t.Errorf("table1 cells = %d, want %d", len(art.Table1), want)
 	}
-	if len(art.Table2) != 4 {
-		t.Errorf("table2 cells = %d, want 4", len(art.Table2))
+	if len(art.Table2) != 6 {
+		t.Errorf("table2 cells = %d, want 6", len(art.Table2))
 	}
-	// 2 apps x 2 implementations x 2 processor counts (no LEQ in the
-	// reduced list, so no dedicated column).
-	if want := 2 * 2 * 2; len(art.Table3) != want {
+	// 2 apps x 3 implementations x 2 processor counts (no LEQ in the
+	// reduced list, so no dedicated columns).
+	if want := 2 * 3 * 2; len(art.Table3) != want {
 		t.Errorf("table3 cells = %d, want %d", len(art.Table3), want)
 	}
 	if len(art.Wall.PerJob) != len(res.Jobs) {

@@ -40,22 +40,30 @@ func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
 	return c, nil
 }
 
+// systemSender is the system-layer primitive of Table 1's
+// unicast/multicast columns, implemented by the user-space transport
+// (*panda.User) and the kernel-bypass transport (*bypass.Endpoint).
+type systemSender interface {
+	HandleRaw(panda.RawHandler)
+	SystemSend(t *proc.Thread, dest int, payload any, size int, multicast bool)
+}
+
 // SystemLatency measures the Panda system-layer primitive of Table 1's
 // unicast/multicast columns: a user-to-user pingpong where replies are
 // sent directly from within the receive upcall (no context switching in
 // the measured path), one-way time reported.
-func SystemLatency(size int, multicast bool) (time.Duration, error) {
-	c, err := newCluster(cluster.Config{Procs: 2, Mode: panda.UserSpace, Group: multicast})
+func SystemLatency(mode panda.Mode, size int, multicast bool) (time.Duration, error) {
+	c, err := newCluster(cluster.Config{Procs: 2, Mode: mode, Group: multicast})
 	if err != nil {
 		return 0, err
 	}
 	defer c.Shutdown()
-	u0, ok0 := c.Transports[0].(*panda.User)
-	u1, ok1 := c.Transports[1].(*panda.User)
+	u0, ok0 := c.Transports[0].(systemSender)
+	u1, ok1 := c.Transports[1].(systemSender)
 	if !ok0 || !ok1 {
-		return 0, errors.New("bench: user transports expected")
+		return 0, errors.New("bench: transports without a system-layer primitive")
 	}
-	send := func(u *panda.User, t *proc.Thread, dst int) {
+	send := func(u systemSender, t *proc.Thread, dst int) {
 		u.SystemSend(t, dst, nil, size, multicast)
 	}
 	u0.HandleRaw(func(t *proc.Thread, from int, payload any, sz int) {
@@ -155,15 +163,20 @@ func GroupLatency(mode panda.Mode, size int, dedicated bool) (time.Duration, err
 	return total / defaultRounds, nil
 }
 
-// Table1Row is one row of Table 1.
+// Table1Row is one row of Table 1, extended with the kernel-bypass
+// implementation as a third column per primitive.
 type Table1Row struct {
-	Size        int
-	Unicast     time.Duration
-	Multicast   time.Duration
-	RPCUser     time.Duration
-	RPCKernel   time.Duration
-	GroupUser   time.Duration
-	GroupKernel time.Duration
+	Size            int
+	Unicast         time.Duration
+	Multicast       time.Duration
+	UnicastBypass   time.Duration
+	MulticastBypass time.Duration
+	RPCUser         time.Duration
+	RPCKernel       time.Duration
+	RPCBypass       time.Duration
+	GroupUser       time.Duration
+	GroupKernel     time.Duration
+	GroupBypass     time.Duration
 }
 
 // table1Jobs fills rows (one per size, Size already set) cell by cell;
@@ -186,12 +199,16 @@ func table1Jobs(sizes []int, rows []Table1Row) []Job {
 			}
 		}
 		jobs = append(jobs,
-			cell("unicast", &rows[i].Unicast, func() (time.Duration, error) { return SystemLatency(s, false) }),
-			cell("multicast", &rows[i].Multicast, func() (time.Duration, error) { return SystemLatency(s, true) }),
+			cell("unicast", &rows[i].Unicast, func() (time.Duration, error) { return SystemLatency(panda.UserSpace, s, false) }),
+			cell("multicast", &rows[i].Multicast, func() (time.Duration, error) { return SystemLatency(panda.UserSpace, s, true) }),
+			cell("unicast-bypass", &rows[i].UnicastBypass, func() (time.Duration, error) { return SystemLatency(panda.Bypass, s, false) }),
+			cell("multicast-bypass", &rows[i].MulticastBypass, func() (time.Duration, error) { return SystemLatency(panda.Bypass, s, true) }),
 			cell("rpc-user", &rows[i].RPCUser, func() (time.Duration, error) { return RPCLatency(panda.UserSpace, s) }),
 			cell("rpc-kernel", &rows[i].RPCKernel, func() (time.Duration, error) { return RPCLatency(panda.KernelSpace, s) }),
+			cell("rpc-bypass", &rows[i].RPCBypass, func() (time.Duration, error) { return RPCLatency(panda.Bypass, s) }),
 			cell("group-user", &rows[i].GroupUser, func() (time.Duration, error) { return GroupLatency(panda.UserSpace, s, false) }),
 			cell("group-kernel", &rows[i].GroupKernel, func() (time.Duration, error) { return GroupLatency(panda.KernelSpace, s, false) }),
+			cell("group-bypass", &rows[i].GroupBypass, func() (time.Duration, error) { return GroupLatency(panda.Bypass, s, false) }),
 		)
 	}
 	return jobs
@@ -216,12 +233,15 @@ func Table1Sweep(sizes []int, workers int) ([]Table1Row, error) {
 	return rows, nil
 }
 
-// Table2 holds the throughput results of Table 2 in bytes/second.
+// Table2 holds the throughput results of Table 2 in bytes/second, with
+// the kernel-bypass implementation as a third column.
 type Table2 struct {
 	RPCUser     float64
 	RPCKernel   float64
+	RPCBypass   float64
 	GroupUser   float64
 	GroupKernel float64
+	GroupBypass float64
 }
 
 // throughputWindow is the simulated time over which throughput is
@@ -299,8 +319,10 @@ func table2Jobs(t2 *Table2) []Job {
 	return []Job{
 		cell("rpc-user", &t2.RPCUser, func() (float64, error) { return RPCThroughput(panda.UserSpace) }),
 		cell("rpc-kernel", &t2.RPCKernel, func() (float64, error) { return RPCThroughput(panda.KernelSpace) }),
+		cell("rpc-bypass", &t2.RPCBypass, func() (float64, error) { return RPCThroughput(panda.Bypass) }),
 		cell("group-user", &t2.GroupUser, func() (float64, error) { return GroupThroughput(panda.UserSpace) }),
 		cell("group-kernel", &t2.GroupKernel, func() (float64, error) { return GroupThroughput(panda.KernelSpace) }),
+		cell("group-bypass", &t2.GroupBypass, func() (float64, error) { return GroupThroughput(panda.Bypass) }),
 	}
 }
 

@@ -66,14 +66,23 @@ func decompScenarios() []decompScenario {
 		{"user-space", "rpc", func(cfg DecompConfig) (causal.Agg, error) {
 			return decompRPC(panda.UserSpace, cfg)
 		}},
+		{"bypass", "rpc", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompRPC(panda.Bypass, cfg)
+		}},
 		{"kernel-space", "group", func(cfg DecompConfig) (causal.Agg, error) {
 			return decompGroup(panda.KernelSpace, false, cfg)
 		}},
 		{"user-space", "group", func(cfg DecompConfig) (causal.Agg, error) {
 			return decompGroup(panda.UserSpace, false, cfg)
 		}},
+		{"bypass", "group", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompGroup(panda.Bypass, false, cfg)
+		}},
 		{"user-space-dedicated", "group", func(cfg DecompConfig) (causal.Agg, error) {
 			return decompGroup(panda.UserSpace, true, cfg)
+		}},
+		{"bypass-dedicated", "group", func(cfg DecompConfig) (causal.Agg, error) {
+			return decompGroup(panda.Bypass, true, cfg)
 		}},
 	}
 }
@@ -162,12 +171,14 @@ var decompPhaseCols = []struct {
 	{"cross", func(p causal.PhasesNS) int64 { return p.CrossingNS }},
 	{"sched", func(p causal.PhasesNS) int64 { return p.SchedNS }},
 	{"psend", func(p causal.PhasesNS) int64 { return p.ProtoSendNS }},
+	{"dbell", func(p causal.PhasesNS) int64 { return p.DoorbellNS }},
 	{"precv", func(p causal.PhasesNS) int64 { return p.ProtoRecvNS }},
 	{"frag", func(p causal.PhasesNS) int64 { return p.FragNS }},
 	{"wire", func(p causal.PhasesNS) int64 { return p.WireNS }},
 	{"seqq", func(p causal.PhasesNS) int64 { return p.SeqQueueNS }},
 	{"seqsvc", func(p causal.PhasesNS) int64 { return p.SeqServiceNS }},
 	{"recvq", func(p causal.PhasesNS) int64 { return p.RecvQueueNS }},
+	{"spin", func(p causal.PhasesNS) int64 { return p.PollSpinNS }},
 	{"retr", func(p causal.PhasesNS) int64 { return p.RetransNS }},
 }
 

@@ -71,6 +71,36 @@ func TestDecompositionQualitativeOrdering(t *testing.T) {
 	}
 }
 
+// TestDecompositionBypassNoCrossing is the kernel-bypass column's
+// defining decomposition signature: with the kernel off the data path
+// there are no user/kernel crossings at all — the crossing phase is
+// exactly zero, not merely small — while the costs that replaced them
+// (doorbell writes, completion-ring polls) are present, and the total
+// still beats both paper implementations.
+func TestDecompositionBypassNoCrossing(t *testing.T) {
+	a, err := RunDecomposition(quickDecomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uRPC := cellOf(t, a, "user-space", "rpc")
+	for _, op := range []string{"rpc", "group"} {
+		c := cellOf(t, a, "bypass", op)
+		if c.Phases.CrossingNS != 0 {
+			t.Errorf("bypass %s crossing = %dns, want exactly 0", op, c.Phases.CrossingNS)
+		}
+		if c.Phases.DoorbellNS <= 0 {
+			t.Errorf("bypass %s doorbell = %dns, want > 0", op, c.Phases.DoorbellNS)
+		}
+	}
+	bRPC := cellOf(t, a, "bypass", "rpc")
+	if bRPC.Phases.PollSpinNS <= 0 {
+		t.Errorf("bypass rpc poll-spin = %dns, want > 0", bRPC.Phases.PollSpinNS)
+	}
+	if bRPC.MeanNS() >= uRPC.MeanNS() {
+		t.Errorf("bypass rpc mean %dns !< user-space %dns", bRPC.MeanNS(), uRPC.MeanNS())
+	}
+}
+
 // TestDecompositionJobsInvariance: the artifact is byte-identical at any
 // -jobs width — cells land in job-order slots, so worker scheduling can
 // never reorder or perturb them.

@@ -13,27 +13,31 @@ func ms(d time.Duration) string {
 // PrintTable1 writes Table 1 in the paper's layout.
 func PrintTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintln(w, "Table 1: Communication Latencies")
-	fmt.Fprintf(w, "%-8s %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
-		"size", "unicast", "multicast", "RPC user", "RPC kern", "grp user", "grp kern")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-10s | %-10s %-10s %-10s | %-10s %-10s %-10s\n",
+		"size", "unicast", "multicast", "uni byp", "multi byp",
+		"RPC user", "RPC kern", "RPC byp", "grp user", "grp kern", "grp byp")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
+		fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-10s | %-10s %-10s %-10s | %-10s %-10s %-10s\n",
 			fmt.Sprintf("%d Kb", r.Size/1024),
 			ms(r.Unicast), ms(r.Multicast),
-			ms(r.RPCUser), ms(r.RPCKernel),
-			ms(r.GroupUser), ms(r.GroupKernel))
+			ms(r.UnicastBypass), ms(r.MulticastBypass),
+			ms(r.RPCUser), ms(r.RPCKernel), ms(r.RPCBypass),
+			ms(r.GroupUser), ms(r.GroupKernel), ms(r.GroupBypass))
 	}
 }
 
 // PrintTable2 writes Table 2 in the paper's layout (KB/s).
 func PrintTable2(w io.Writer, t Table2) {
 	fmt.Fprintln(w, "Table 2: Communication Throughputs")
-	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "", "user-space", "kernel-space")
-	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "RPC",
+	fmt.Fprintf(w, "%-8s %-14s %-14s %-14s\n", "", "user-space", "kernel-space", "bypass")
+	fmt.Fprintf(w, "%-8s %-14s %-14s %-14s\n", "RPC",
 		fmt.Sprintf("%.0f Kb/s", t.RPCUser/1000),
-		fmt.Sprintf("%.0f Kb/s", t.RPCKernel/1000))
-	fmt.Fprintf(w, "%-8s %-14s %-14s\n", "group",
+		fmt.Sprintf("%.0f Kb/s", t.RPCKernel/1000),
+		fmt.Sprintf("%.0f Kb/s", t.RPCBypass/1000))
+	fmt.Fprintf(w, "%-8s %-14s %-14s %-14s\n", "group",
 		fmt.Sprintf("%.0f Kb/s", t.GroupUser/1000),
-		fmt.Sprintf("%.0f Kb/s", t.GroupKernel/1000))
+		fmt.Sprintf("%.0f Kb/s", t.GroupKernel/1000),
+		fmt.Sprintf("%.0f Kb/s", t.GroupBypass/1000))
 }
 
 // PrintTable3 writes Table 3 in the paper's layout (seconds + max
@@ -42,7 +46,7 @@ func PrintTable3(w io.Writer, entries []*Table3Entry) {
 	fmt.Fprintln(w, "Table 3: Orca application execution times [s] and max speedup")
 	for _, e := range entries {
 		fmt.Fprintf(w, "%s\n", e.App)
-		order := []string{"kernel-space", "user-space", "user-space-dedicated"}
+		order := []string{"kernel-space", "user-space", "bypass", "user-space-dedicated", "bypass-dedicated"}
 		for _, impl := range order {
 			rs := e.Runs[impl]
 			if len(rs) == 0 {

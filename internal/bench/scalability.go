@@ -14,23 +14,30 @@ import (
 )
 
 // ScalabilityStrategy is one sequencer organization of the scalability
-// sweep: how many sequencer shards the groups are partitioned across, and
-// whether each shard gets a dedicated machine.
+// sweep: which Panda implementation runs it, how many sequencer shards
+// the groups are partitioned across, and whether each shard gets a
+// dedicated machine.
 type ScalabilityStrategy struct {
 	Label     string
 	Shards    int
 	Dedicated bool
+	// Mode selects the implementation (zero: user-space, the paper's
+	// subject).
+	Mode panda.Mode
 }
 
 // ScalabilityStrategies are the sequencer organizations the sweep
 // compares: the paper's single co-located sequencer, the same pool with
-// the groups sharded across 8 co-located sequencers, and 8 dedicated
-// sequencer machines.
+// the groups sharded across 8 co-located sequencers, 8 dedicated
+// sequencer machines, and the kernel-bypass implementation at both ends
+// of that spectrum.
 func ScalabilityStrategies() []ScalabilityStrategy {
 	return []ScalabilityStrategy{
-		{"single", 1, false},
-		{"sharded", 8, false},
-		{"sharded-dedicated", 8, true},
+		{"single", 1, false, panda.UserSpace},
+		{"sharded", 8, false, panda.UserSpace},
+		{"sharded-dedicated", 8, true, panda.UserSpace},
+		{"bypass-single", 1, false, panda.Bypass},
+		{"bypass-sharded-dedicated", 8, true, panda.Bypass},
 	}
 }
 
@@ -128,7 +135,10 @@ func ScalabilitySweep(cfg ScalabilitySweepConfig) (*ScalabilitySweepResult, erro
 			}
 			c := cfg.Base
 			c.Procs = size
-			c.Mode = panda.UserSpace
+			c.Mode = st.Mode
+			if c.Mode == 0 {
+				c.Mode = panda.UserSpace
+			}
 			c.DedicatedSequencer = st.Dedicated
 			c.SeqShards = shards
 			fanIn := cfg.SwitchFanIn

@@ -23,8 +23,8 @@ func quickScalability(workers int) ScalabilitySweepConfig {
 		},
 		Sizes: []int{8},
 		Strategies: []ScalabilityStrategy{
-			{"single", 1, false},
-			{"sharded", 2, false},
+			{"single", 1, false, panda.UserSpace},
+			{"sharded", 2, false, panda.UserSpace},
 		},
 		KneeLo:     400,
 		KneeHi:     3200,
@@ -155,7 +155,7 @@ func TestCommittedScalabilityBaselineShardedScaling(t *testing.T) {
 	if !ok {
 		t.Fatalf("baseline lacks single/p=%d", maxProcs)
 	}
-	for _, strategy := range []string{"sharded", "sharded-dedicated"} {
+	for _, strategy := range []string{"sharded", "sharded-dedicated", "bypass-sharded-dedicated"} {
 		c, ok := knee[strategy][maxProcs]
 		if !ok {
 			t.Fatalf("baseline lacks %s/p=%d", strategy, maxProcs)
@@ -164,6 +164,17 @@ func TestCommittedScalabilityBaselineShardedScaling(t *testing.T) {
 			t.Errorf("%s knee %.0f does not exceed the single-sequencer knee %.0f at %d processors",
 				strategy, c.KneeOps, single.KneeOps, maxProcs)
 		}
+	}
+	// The bypass column's scalability claim: dedicated + sharded bypass
+	// sequencers beat the best user-space strategy at the largest cluster.
+	bypDed, ok := knee["bypass-sharded-dedicated"][maxProcs]
+	if !ok {
+		t.Fatalf("baseline lacks bypass-sharded-dedicated/p=%d", maxProcs)
+	}
+	userDed := knee["sharded-dedicated"][maxProcs]
+	if bypDed.KneeOps <= userDed.KneeOps {
+		t.Errorf("bypass-sharded-dedicated knee %.0f does not exceed sharded-dedicated %.0f at %d processors",
+			bypDed.KneeOps, userDed.KneeOps, maxProcs)
 	}
 }
 

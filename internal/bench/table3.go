@@ -57,15 +57,19 @@ type table3Impl struct {
 }
 
 // table3Impls returns the implementations measured for an application:
-// kernel-space and user-space for all, plus the user-space-dedicated
-// configuration for LEQ (the paper's sequencer-overload case).
+// kernel-space, user-space and kernel-bypass for all, plus the dedicated
+// sequencer configurations for LEQ (the paper's sequencer-overload case).
 func table3Impls(app apps.App) []table3Impl {
 	impls := []table3Impl{
 		{"kernel-space", panda.KernelSpace, false},
 		{"user-space", panda.UserSpace, false},
+		{"bypass", panda.Bypass, false},
 	}
 	if app.Name() == "leq" {
-		impls = append(impls, table3Impl{"user-space-dedicated", panda.UserSpace, true})
+		impls = append(impls,
+			table3Impl{"user-space-dedicated", panda.UserSpace, true},
+			table3Impl{"bypass-dedicated", panda.Bypass, true},
+		)
 	}
 	return impls
 }

@@ -17,13 +17,17 @@ type WorkloadMode struct {
 	Dedicated bool
 }
 
-// WorkloadModes are the three configurations the paper's Table 3 compares,
-// in its order.
+// WorkloadModes are the three configurations the paper's Table 3
+// compares, in its order, plus the kernel-bypass implementation in both
+// sequencer placements (appended so the paper's mode/seed derivations are
+// untouched).
 func WorkloadModes() []WorkloadMode {
 	return []WorkloadMode{
 		{"kernel-space", panda.KernelSpace, false},
 		{"user-space", panda.UserSpace, false},
 		{"user-space-dedicated", panda.UserSpace, true},
+		{"bypass", panda.Bypass, false},
+		{"bypass-dedicated", panda.Bypass, true},
 	}
 }
 
@@ -59,6 +63,11 @@ type WorkloadSweepConfig struct {
 	// the paired kernel-vs-user-space experiment. Loads and Knee are
 	// ignored.
 	Replay *workload.Trace
+	// ReplaySource streams the replayed events from disk instead of
+	// Replay.Events (which then carries only the header). Each point's
+	// run opens its own pass over the stream, so the sweep stays
+	// bit-identical at any -jobs width.
+	ReplaySource func() (workload.EventSource, error)
 }
 
 // WorkloadPoint is one (mode, offered load) cell of the curve.
@@ -142,6 +151,7 @@ func WorkloadSweep(cfg WorkloadSweepConfig) (*WorkloadSweepResult, error) {
 			c.OfferedLoad = load
 			c.Seed = pointSeed(cfg.Base.Seed, mi, li)
 			c.Replay = cfg.Replay
+			c.ReplaySource = cfg.ReplaySource
 			// Exactly one cell records (the first mode's first load), so
 			// the trace — and therefore the whole sweep result — stays
 			// bit-identical at any -jobs width.
@@ -220,8 +230,12 @@ func PrintWorkload(w io.Writer, res *WorkloadSweepResult) {
 		fmt.Fprintf(w, "Classes: %s\n", workload.ClassesString(base.ResolvedClasses()))
 	}
 	if res.Config.Replay != nil {
-		fmt.Fprintf(w, "Replaying a recorded %s-loop trace (seed %d, %d events): identical arrivals in every mode\n",
-			res.Config.Replay.Loop, res.Config.Replay.Seed, len(res.Config.Replay.Events))
+		events := fmt.Sprintf("%d events", len(res.Config.Replay.Events))
+		if len(res.Config.Replay.Events) == 0 {
+			events = "streamed events"
+		}
+		fmt.Fprintf(w, "Replaying a recorded %s-loop trace (seed %d, %s): identical arrivals in every mode\n",
+			res.Config.Replay.Loop, res.Config.Replay.Seed, events)
 	}
 	fmt.Fprintf(w, "%-22s %10s %10s %9s %9s %9s %9s %9s %6s\n",
 		"mode", "offered/s", "achieved/s", "p50", "p90", "p99", "p99.9", "max", "seq%")

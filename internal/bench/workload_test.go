@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"amoebasim/internal/panda"
 	"amoebasim/internal/workload"
 )
 
@@ -213,6 +214,46 @@ func TestWorkloadSweepShape(t *testing.T) {
 	}
 	if wa.Loop == "" || wa.Mix == "" || wa.Dist == "" || wa.Clients == 0 || wa.Procs == 0 {
 		t.Errorf("artifact shape fields not filled from defaulted config: %+v", wa)
+	}
+}
+
+// TestBypassKneeOrdering is the tentpole's throughput claim, measured:
+// with a co-located sequencer the kernel-bypass group knee lands between
+// the user-space knee (the sequencer pays crossings and copies) and the
+// kernel-space knee (sequencing at interrupt priority dodges the
+// time-shared consumer dispatch bypass pays); giving the bypass sequencer
+// its own machine removes that dispatch contention and pushes the knee
+// past both.
+func TestBypassKneeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full knee searches")
+	}
+	base := workload.Config{Seed: 5} // defaults: 4 procs, group mix, fixed:256, 400ms
+	knee := func(m WorkloadMode) float64 {
+		c := base
+		c.Mode = m.Mode
+		c.DedicatedSequencer = m.Dedicated
+		k, err := workload.FindKnee(c, 400, 3200, 8)
+		if err != nil {
+			t.Fatalf("%s knee search: %v", m.Label, err)
+		}
+		if !k.Bracketed {
+			t.Fatalf("%s never saturated below 3200 ops/sec", m.Label)
+		}
+		t.Logf("%-22s knee %6.0f ops/sec", m.Label, k.OpsPerSec)
+		return k.OpsPerSec
+	}
+	user := knee(WorkloadMode{"user-space", panda.UserSpace, false})
+	kern := knee(WorkloadMode{"kernel-space", panda.KernelSpace, false})
+	byp := knee(WorkloadMode{"bypass", panda.Bypass, false})
+	bypDed := knee(WorkloadMode{"bypass-dedicated", panda.Bypass, true})
+	if !(user < byp && byp < kern) {
+		t.Errorf("co-located bypass knee %.0f not between user-space %.0f and kernel-space %.0f",
+			byp, user, kern)
+	}
+	if bypDed <= kern || bypDed <= user {
+		t.Errorf("dedicated bypass knee %.0f does not exceed both kernel-space %.0f and user-space %.0f",
+			bypDed, kern, user)
 	}
 }
 

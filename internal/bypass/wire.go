@@ -1,0 +1,161 @@
+package bypass
+
+import (
+	"time"
+
+	"amoebasim/internal/sim"
+)
+
+type wireKind uint8
+
+const (
+	bREQ wireKind = iota + 1
+	bREP
+	bACK
+	bgREQ    // member → sequencer ordering request (PB method)
+	bgDATA   // sequencer → members: ordered data
+	bgRETR   // member → sequencer: retransmission request
+	bgSYNC   // sequencer → member: status probe
+	bgSTATUS // member → sequencer: delivery watermark
+	bRAW     // system-layer test message (Table 1 unicast/multicast)
+)
+
+// bwire is one logical Panda protocol message carried over the bypass
+// transport: the same header fields as the user-space library, minus the
+// FLIP encapsulation.
+type bwire struct {
+	kind    wireKind
+	gid     int // group id (group protocol kinds only)
+	from    int
+	seq     uint64
+	ackSeq  uint64
+	tmpID   uint64
+	lo, hi  uint64
+	payload any
+	size    int
+}
+
+// bfrag is one wire frame of a message: the NIC gather-reads the payload
+// straight out of the application buffer (w.payload is carried by
+// reference), so fragmentation never copies.
+type bfrag struct {
+	w      *bwire
+	src    int // sender processor id
+	dst    int // destination processor id, or -1 for multicast
+	msgID  uint64
+	frag   int
+	nfrags int
+	length int
+	hdr    int // protocol header bytes (first fragment only)
+	op     uint64
+}
+
+// seqTraffic reports whether f carries sequencer-bound group traffic, and
+// for which group.
+func seqTraffic(f *bfrag) (gid int, ok bool) {
+	switch f.w.kind {
+	case bgREQ, bgRETR, bgSTATUS:
+		return f.w.gid, true
+	default:
+		return 0, false
+	}
+}
+
+// reassembler rebuilds messages from bypass fragments, mirroring the FLIP
+// reassembler's behavior: Add returns true exactly once per message, stale
+// partials are evicted after the timeout, and an occupancy cap bounds the
+// buffer pool when senders give up (one-sided loss).
+type reassembler struct {
+	sim     *sim.Sim
+	timeout time.Duration
+	limit   int
+	seq     uint64
+	partial map[reasmKey]*reasmState
+
+	// Timeouts counts stale partial-message evictions.
+	Timeouts int64
+}
+
+const maxPartial = 64
+
+type reasmKey struct {
+	src   int
+	msgID uint64
+}
+
+type reasmState struct {
+	have     map[int]bool
+	count    int
+	total    int
+	deadline sim.Time
+	seq      uint64
+}
+
+func newReassembler(s *sim.Sim, timeout time.Duration) *reassembler {
+	return &reassembler{
+		sim:     s,
+		timeout: timeout,
+		limit:   maxPartial,
+		partial: make(map[reasmKey]*reasmState),
+	}
+}
+
+// add consumes a fragment, returning true when it completes its message.
+func (r *reassembler) add(f *bfrag) bool {
+	if f.nfrags <= 1 {
+		return true
+	}
+	key := reasmKey{src: f.src, msgID: f.msgID}
+	stt := r.partial[key]
+	now := r.sim.Now()
+	if stt != nil && now > stt.deadline {
+		delete(r.partial, key)
+		stt = nil
+		r.Timeouts++
+	}
+	if stt == nil {
+		if len(r.partial) >= r.limit {
+			r.reclaim(now)
+		}
+		r.seq++
+		stt = &reasmState{have: make(map[int]bool, f.nfrags), total: f.nfrags, seq: r.seq}
+		r.partial[key] = stt
+	}
+	stt.deadline = now.Add(r.timeout)
+	if stt.have[f.frag] {
+		return false
+	}
+	stt.have[f.frag] = true
+	stt.count++
+	if stt.count == stt.total {
+		delete(r.partial, key)
+		return true
+	}
+	return false
+}
+
+// reclaim evicts expired partials, then (if still full) the oldest by
+// (deadline, creation order) — deterministic regardless of map order.
+func (r *reassembler) reclaim(now sim.Time) {
+	for key, stt := range r.partial {
+		if now > stt.deadline {
+			delete(r.partial, key)
+			r.Timeouts++
+		}
+	}
+	if len(r.partial) < r.limit {
+		return
+	}
+	var victim reasmKey
+	var vs *reasmState
+	for key, stt := range r.partial {
+		if vs == nil || stt.deadline < vs.deadline ||
+			(stt.deadline == vs.deadline && stt.seq < vs.seq) {
+			victim, vs = key, stt
+		}
+	}
+	if vs != nil {
+		delete(r.partial, victim)
+		r.Timeouts++
+	}
+}

@@ -1,0 +1,47 @@
+package bypass
+
+import (
+	"testing"
+	"time"
+
+	"amoebasim/internal/sim"
+)
+
+// TestReassemblerSingleFragmentZeroAlloc: the steady-state receive path —
+// one frame per message, by far the common case at the paper's sizes —
+// must not touch the partial-message pool or allocate at all.
+func TestReassemblerSingleFragmentZeroAlloc(t *testing.T) {
+	s := sim.New()
+	r := newReassembler(s, 500*time.Millisecond)
+	w := &bwire{kind: bgDATA, from: 1, size: 256}
+	f := &bfrag{w: w, src: 1, msgID: 7, frag: 0, nfrags: 1, length: 256}
+	avg := testing.AllocsPerRun(1000, func() {
+		if !r.add(f) {
+			t.Fatal("single-fragment message did not complete")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("single-fragment add allocates %.2f objects/op, budget is 0", avg)
+	}
+	if len(r.partial) != 0 {
+		t.Fatalf("single-fragment messages left %d partials", len(r.partial))
+	}
+}
+
+// TestSeqTrafficClassifierZeroAlloc: the NIC-side discard filter runs on
+// every frame a dedicated sequencer machine receives; it must be free.
+func TestSeqTrafficClassifierZeroAlloc(t *testing.T) {
+	seq := &bfrag{w: &bwire{kind: bgREQ, gid: 3}}
+	data := &bfrag{w: &bwire{kind: bgDATA, gid: 3}}
+	avg := testing.AllocsPerRun(1000, func() {
+		if gid, ok := seqTraffic(seq); !ok || gid != 3 {
+			t.Fatal("sequencer-bound frame not classified")
+		}
+		if _, ok := seqTraffic(data); ok {
+			t.Fatal("data frame misclassified as sequencer-bound")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("seqTraffic allocates %.2f objects/op, budget is 0", avg)
+	}
+}

@@ -12,8 +12,9 @@ import (
 
 // SchemaVersion identifies the decomposition artifact layout
 // (DECOMP_*.json). Bump it when a field changes meaning; the comparison
-// gate refuses to diff artifacts across versions.
-const SchemaVersion = 1
+// gate refuses to diff artifacts across versions. v2 added the
+// kernel-bypass phases (doorbell, poll-spin) and the bypass cells.
+const SchemaVersion = 2
 
 // PhasesNS is the closed phase set in nanoseconds of simulated time. The
 // struct is flat and `==`-comparable on purpose: the comparison gate
@@ -30,13 +31,16 @@ type PhasesNS struct {
 	SeqServiceNS int64 `json:"seq_service_ns"`
 	RecvQueueNS  int64 `json:"recv_queue_ns"`
 	RetransNS    int64 `json:"retrans_ns"`
+	DoorbellNS   int64 `json:"doorbell_ns,omitempty"`
+	PollSpinNS   int64 `json:"poll_spin_ns,omitempty"`
 }
 
 // Sum totals the phase durations; conservation requires it to equal the
 // cell's TotalNS exactly.
 func (p PhasesNS) Sum() int64 {
 	return p.ClientNS + p.CrossingNS + p.SchedNS + p.ProtoSendNS + p.ProtoRecvNS +
-		p.FragNS + p.WireNS + p.SeqQueueNS + p.SeqServiceNS + p.RecvQueueNS + p.RetransNS
+		p.FragNS + p.WireNS + p.SeqQueueNS + p.SeqServiceNS + p.RecvQueueNS +
+		p.RetransNS + p.DoorbellNS + p.PollSpinNS
 }
 
 // NewPhasesNS flattens a resolver output array into the artifact form.
@@ -53,6 +57,8 @@ func NewPhasesNS(d [sim.NumPhases]int64) PhasesNS {
 		SeqServiceNS: d[sim.PhaseSeqService],
 		RecvQueueNS:  d[sim.PhaseRecvQueue],
 		RetransNS:    d[sim.PhaseRetrans],
+		DoorbellNS:   d[sim.PhaseDoorbell],
+		PollSpinNS:   d[sim.PhasePollSpin],
 	}
 }
 
@@ -60,7 +66,7 @@ func NewPhasesNS(d [sim.NumPhases]int64) PhasesNS {
 // over Ops successful operations. TotalNS is the summed end-to-end
 // latency; Phases.Sum() == TotalNS is asserted by CheckConservation.
 type Cell struct {
-	Impl    string   `json:"impl"` // kernel-space, user-space, user-space-dedicated
+	Impl    string   `json:"impl"` // kernel-space, user-space, user-space-dedicated, bypass, ...
 	Op      string   `json:"op"`   // rpc, group, orca.read, orca.write
 	Ops     int64    `json:"ops"`
 	Failed  int64    `json:"failed,omitempty"`

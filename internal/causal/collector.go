@@ -161,14 +161,16 @@ func (c *Collector) OrphanEnds() int64 { return c.orphanEnds }
 // idle), and the sequencer's own service outranks everything — it is the
 // contended resource the paper's §4.3 analysis centers on.
 var phasePriority = [sim.NumPhases]int{
-	sim.PhaseSeqService: 11,
-	sim.PhaseProtoRecv:  10,
-	sim.PhaseProtoSend:  9,
-	sim.PhaseFrag:       8,
-	sim.PhaseCrossing:   7,
-	sim.PhaseSched:      6,
-	sim.PhaseWire:       5,
-	sim.PhaseSeqQueue:   4,
+	sim.PhaseSeqService: 13,
+	sim.PhaseProtoRecv:  12,
+	sim.PhaseProtoSend:  11,
+	sim.PhaseFrag:       10,
+	sim.PhaseDoorbell:   9,
+	sim.PhaseCrossing:   8,
+	sim.PhaseSched:      7,
+	sim.PhaseWire:       6,
+	sim.PhaseSeqQueue:   5,
+	sim.PhasePollSpin:   4,
 	sim.PhaseRecvQueue:  3,
 	sim.PhaseRetrans:    2,
 	sim.PhaseClient:     1,

@@ -1,7 +1,7 @@
 // Package cluster assembles a complete simulated Amoeba processor pool:
 // the Ethernet, one kernel per processor board, and a Panda instance
-// (kernel-space or user-space) on each. It is the entry point the
-// benchmarks, the Orca runtime and the examples build on.
+// (kernel-space, user-space, or kernel-bypass) on each. It is the entry
+// point the benchmarks, the Orca runtime and the examples build on.
 package cluster
 
 import (
@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"amoebasim/internal/akernel"
+	"amoebasim/internal/bypass"
 	"amoebasim/internal/ether"
 	"amoebasim/internal/faults"
 	"amoebasim/internal/flip"
@@ -52,14 +53,20 @@ type Topology struct {
 type Config struct {
 	// Procs is the number of worker processors.
 	Procs int
-	// Mode selects the Panda implementation (kernel-space or user-space).
+	// Mode selects the Panda implementation (kernel-space, user-space, or
+	// kernel-bypass).
 	Mode panda.Mode
+	// Dispatch selects the completion-queue dispatch mode of the bypass
+	// implementation (zero: poll). Ignored by the other modes.
+	Dispatch bypass.Dispatch
 	// Group enables totally-ordered group communication among all
 	// workers.
 	Group bool
 	// DedicatedSequencer adds one extra processor per sequencer shard that
-	// runs only the group sequencer (user-space mode only; the paper's
-	// "User-space-dedicated" configuration).
+	// runs only the group sequencer (the paper's "User-space-dedicated"
+	// configuration; also available to the bypass implementation). The
+	// kernel-space protocols process sequencing at interrupt level, so a
+	// dedicated machine would buy them nothing.
 	DedicatedSequencer bool
 	// SeqShards partitions the sequencer across k processors (default 1,
 	// the paper's single sequencer). Groups are routed to shards
@@ -192,11 +199,11 @@ func (cfg Config) Validate() error {
 	if cfg.Procs < 1 {
 		return fmt.Errorf("cluster: need at least 1 processor, got %d", cfg.Procs)
 	}
-	if cfg.Mode != panda.KernelSpace && cfg.Mode != panda.UserSpace {
+	if cfg.Mode != panda.KernelSpace && cfg.Mode != panda.UserSpace && cfg.Mode != panda.Bypass {
 		return fmt.Errorf("cluster: unknown mode %v", cfg.Mode)
 	}
-	if cfg.DedicatedSequencer && cfg.Mode != panda.UserSpace {
-		return fmt.Errorf("cluster: dedicated sequencer requires user-space mode, not %v", cfg.Mode)
+	if cfg.DedicatedSequencer && cfg.Mode == panda.KernelSpace {
+		return fmt.Errorf("cluster: dedicated sequencer requires user-space or bypass mode, not %v", cfg.Mode)
 	}
 	if cfg.DedicatedSequencer && !cfg.Group {
 		return fmt.Errorf("cluster: dedicated sequencer requires group communication")
@@ -258,6 +265,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.LossRate < 0 || cfg.LossRate > 1 {
 		return fmt.Errorf("cluster: loss rate %g outside [0, 1]", cfg.LossRate)
+	}
+	if cfg.Dispatch != 0 && (cfg.Dispatch < bypass.Poll || cfg.Dispatch > bypass.Hybrid) {
+		return fmt.Errorf("cluster: unknown dispatch mode %v", cfg.Dispatch)
 	}
 	return nil
 }
@@ -394,7 +404,18 @@ func New(cfg Config) (*Cluster, error) {
 					owned = append(owned, gs)
 				}
 			}
-			panda.NewUser(c.Kernels[id], panda.UserConfig{Groups: owned})
+			if cfg.Mode == panda.Bypass {
+				if _, err := bypass.New(c.Procs[id], c.Net, c.placement[id], bypass.Config{
+					NICBase:   total,
+					Groups:    owned,
+					Dispatch:  cfg.Dispatch,
+					Dedicated: true,
+				}); err != nil {
+					return nil, fmt.Errorf("cluster: bypass sequencer %d: %w", id, err)
+				}
+			} else {
+				panda.NewUser(c.Kernels[id], panda.UserConfig{Groups: owned})
+			}
 		}
 	}
 
@@ -442,6 +463,15 @@ func (c *Cluster) newTransport(i int, specs []panda.GroupSpec) (panda.Transport,
 			NoPiggyback:     c.cfg.NoPiggyback,
 			InterfaceDaemon: c.cfg.InterfaceDaemon,
 		}), nil
+	case panda.Bypass:
+		// Bypass queue-pair NICs are created after the kernels' FLIP NICs
+		// in processor order, so processor j's QP answers at NIC id
+		// totalProcs + j (static routing, no locate traffic).
+		return bypass.New(c.Procs[i], c.Net, c.placement[i], bypass.Config{
+			NICBase:  c.cfg.totalProcs(),
+			Groups:   specs,
+			Dispatch: c.cfg.Dispatch,
+		})
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %v", c.cfg.Mode)
 	}
@@ -526,7 +556,8 @@ func (c *Cluster) PlaceClientsAt(n, offset int) []int {
 }
 
 // Occupancy reports the fraction of the window that processor id spent
-// busy (computing, at interrupt level, or context switching), given a
+// busy (computing, at interrupt level, context switching, or spinning on
+// a bypass completion queue), given a
 // stats snapshot taken at the start of the window. This is how the
 // workload engine measures sequencer and worker CPU occupancy.
 func (c *Cluster) Occupancy(id int, atStart proc.Stats, window time.Duration) float64 {
@@ -561,6 +592,7 @@ func (c *Cluster) Stats() proc.Stats {
 		total.ComputeTime += st.ComputeTime
 		total.IntrTime += st.IntrTime
 		total.SwitchTime += st.SwitchTime
+		total.SpinTime += st.SpinTime
 	}
 	return total
 }

@@ -135,7 +135,7 @@ func TestStatsAggregate(t *testing.T) {
 }
 
 func TestModesProduceDistinctTransports(t *testing.T) {
-	for _, mode := range []panda.Mode{panda.KernelSpace, panda.UserSpace} {
+	for _, mode := range panda.AllModes() {
 		c, err := New(Config{Procs: 1, Mode: mode})
 		if err != nil {
 			t.Fatal(err)

@@ -99,6 +99,48 @@ type CostModel struct {
 	// Table 1's unicast/multicast difference (~0.05-0.09 ms).
 	MulticastExtra time.Duration
 
+	// ---- Kernel-bypass transport (fitted; RDMA/DPDK-style user NIC) ----
+	// The bypass implementation maps a NIC queue pair into the process:
+	// sends post descriptors pointing straight at application buffers (no
+	// syscall, no kernel copy) and ring a doorbell; receives are consumed
+	// from a completion queue by polling or by a NIC interrupt.
+
+	// DoorbellWrite is the cost of posting one descriptor and ringing the
+	// user-mapped doorbell register — the only per-packet send-side device
+	// cost left once the kernel is out of the path.
+	DoorbellWrite time.Duration
+
+	// BypassTxPacket is the user-level per-packet send processing:
+	// building the descriptor and the inline header (the NIC DMA-reads the
+	// payload from the application buffer, so no per-byte copy is charged).
+	BypassTxPacket time.Duration
+
+	// BypassRxPacket is the user-level per-packet receive processing:
+	// completion-queue entry parse and demultiplex, replacing the kernel's
+	// IntrEntry + FLIPRecv path.
+	BypassRxPacket time.Duration
+
+	// PollCheck is one completion-queue poll probe.
+	PollCheck time.Duration
+
+	// PollSpinBudget is how long the poll-mode consumer spins on an empty
+	// completion queue before parking (real CPU, stolen from whatever else
+	// the processor runs — the price of polling without a dedicated core).
+	// Hybrid dispatch also uses it as the idle threshold past which it
+	// re-arms the NIC interrupt instead of spinning.
+	PollSpinBudget time.Duration
+
+	// BypassSharedDispatch is the per-pickup scheduling cost of running
+	// the QP consumer as an ordinary time-shared thread on a worker
+	// machine: poll-slot acquisition plus the cold microarchitectural
+	// state from competing application threads. A dedicated sequencer
+	// machine keeps the consumer context loaded and pays nothing.
+	BypassSharedDispatch time.Duration
+
+	// BypassHeaderBytes is the total transport header on bypass data
+	// packets: no FLIP encapsulation, just the QP transport header.
+	BypassHeaderBytes int
+
 	// ---- Ethernet (paper-given physical parameters) ----
 
 	// WireBytePerSec is the raw wire rate: 10 Mbit/s.
@@ -216,6 +258,14 @@ func Calibrated() *CostModel {
 		ProtoGroup:     110 * time.Microsecond,
 		FragLayer:      20 * time.Microsecond,
 		MulticastExtra: 70 * time.Microsecond,
+
+		DoorbellWrite:        2 * time.Microsecond,
+		BypassTxPacket:       8 * time.Microsecond,
+		BypassRxPacket:       6 * time.Microsecond,
+		PollCheck:            2 * time.Microsecond,
+		PollSpinBudget:       200 * time.Microsecond,
+		BypassSharedDispatch: 350 * time.Microsecond,
+		BypassHeaderBytes:    24,
 
 		WireBitsPerSec:      10_000_000,
 		FrameOverheadBytes:  24,

@@ -1,0 +1,64 @@
+package panda
+
+import "testing"
+
+func TestParseImpl(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Mode
+		wantErr bool
+	}{
+		{"", UserSpace, false}, // default: the paper's primary subject
+		{"kernel-space", KernelSpace, false},
+		{"kernel", KernelSpace, false},
+		{"user-space", UserSpace, false},
+		{"user", UserSpace, false},
+		{"bypass", Bypass, false},
+		{"kernel-bypass", Bypass, false},
+		{"  Bypass ", Bypass, false}, // case- and space-insensitive
+		{"USER-SPACE", UserSpace, false},
+		{"userspace", 0, true},
+		{"rdma", 0, true},
+		{"3", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseImpl(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseImpl(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseImpl(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseImpl(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		KernelSpace: "kernel-space",
+		UserSpace:   "user-space",
+		Bypass:      "bypass",
+		Mode(0):     "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if got := AllModes(); len(got) != 3 || got[0] != KernelSpace || got[1] != UserSpace || got[2] != Bypass {
+		t.Errorf("AllModes() = %v", got)
+	}
+	// Every listed mode round-trips through ParseImpl.
+	for _, m := range AllModes() {
+		back, err := ParseImpl(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseImpl(%q) = %v, %v; want %v", m.String(), back, err, m)
+		}
+	}
+}

@@ -15,16 +15,25 @@
 package panda
 
 import (
+	"fmt"
+	"strings"
+
 	"amoebasim/internal/proc"
 )
 
-// Mode selects a Panda implementation.
+// Mode selects a Panda implementation: the paper's two columns plus the
+// modern kernel-bypass transport.
 type Mode int
 
-// The two Panda implementations compared in the paper.
 const (
+	// KernelSpace wraps Amoeba's in-kernel protocols.
 	KernelSpace Mode = iota + 1
+	// UserSpace runs Panda's own protocols over the kernel FLIP interface.
 	UserSpace
+	// Bypass runs Panda's protocols over a user-mapped NIC queue pair:
+	// no syscall crossing, no kernel copy, poll/interrupt/hybrid dispatch
+	// (implemented by internal/bypass).
+	Bypass
 )
 
 func (m Mode) String() string {
@@ -33,8 +42,31 @@ func (m Mode) String() string {
 		return "kernel-space"
 	case UserSpace:
 		return "user-space"
+	case Bypass:
+		return "bypass"
 	default:
 		return "unknown"
+	}
+}
+
+// AllModes lists every implementation in the tables' column order.
+func AllModes() []Mode { return []Mode{KernelSpace, UserSpace, Bypass} }
+
+// ParseImpl resolves an implementation name ("kernel-space"/"kernel",
+// "user-space"/"user", "bypass") to its Mode. The empty string defaults
+// to UserSpace, the paper's primary subject.
+func ParseImpl(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "":
+		return UserSpace, nil
+	case "kernel-space", "kernel":
+		return KernelSpace, nil
+	case "user-space", "user":
+		return UserSpace, nil
+	case "bypass", "kernel-bypass":
+		return Bypass, nil
+	default:
+		return 0, fmt.Errorf("panda: unknown implementation %q (kernel-space, user-space or bypass)", s)
 	}
 }
 
@@ -49,6 +81,17 @@ type RPCContext struct {
 
 	impl any
 }
+
+// NewRPCContext builds a context for a Transport implementation living
+// outside this package (the kernel-bypass transport): impl is the
+// implementation's private per-call state, recovered with Impl at Reply
+// time.
+func NewRPCContext(from int, impl any) *RPCContext {
+	return &RPCContext{From: from, impl: impl}
+}
+
+// Impl returns the implementation-private state the context carries.
+func (c *RPCContext) Impl() any { return c.impl }
 
 // RPCHandler is the implicit-receipt upcall for incoming RPC requests. It
 // runs in a daemon thread (t) and must run to completion quickly; long

@@ -130,6 +130,15 @@ func (p *Processor) Now() sim.Time { return p.sim.Now() }
 // Stats returns a copy of the processor's accounting counters.
 func (p *Processor) Stats() Stats { return p.stats }
 
+// AddSpin charges d of polling CPU to the processor. The kernel-bypass
+// transport calls it at completion-queue pickup with the poll time spent
+// since the queue went idle, so occupancy reflects the burn.
+func (p *Processor) AddSpin(d time.Duration) {
+	if d > 0 {
+		p.stats.SpinTime += d
+	}
+}
+
 // Running returns the thread currently owning the CPU, or nil.
 func (p *Processor) Running() *Thread { return p.running }
 

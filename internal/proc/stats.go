@@ -20,11 +20,12 @@ type Stats struct {
 	ComputeTime time.Duration // CPU time spent in thread computes
 	IntrTime    time.Duration // CPU time spent at interrupt level
 	SwitchTime  time.Duration // CPU time spent switching/dispatching
+	SpinTime    time.Duration // CPU burned polling (kernel-bypass poll dispatch)
 }
 
 // Busy returns total accounted CPU time.
 func (s Stats) Busy() time.Duration {
-	return s.ComputeTime + s.IntrTime + s.SwitchTime
+	return s.ComputeTime + s.IntrTime + s.SwitchTime + s.SpinTime
 }
 
 // ThreadStats collects per-thread accounting.

@@ -44,6 +44,14 @@ const (
 	// PhaseRetrans is idle time waiting out retransmission timers and
 	// backoff — the operation is stalled, not processing.
 	PhaseRetrans
+	// PhaseDoorbell is the user-mapped NIC doorbell write and descriptor
+	// post of the kernel-bypass transport — the only per-packet send-side
+	// device cost left once the syscall crossing is gone.
+	PhaseDoorbell
+	// PhasePollSpin is receive-side poll time of the kernel-bypass
+	// transport: the consumer checking the completion queue before the
+	// packet is picked up (the latency price of not taking an interrupt).
+	PhasePollSpin
 
 	// NumPhases bounds the enum for array-indexed accounting.
 	NumPhases
@@ -73,6 +81,10 @@ func (p PhaseID) String() string {
 		return "recv-queue"
 	case PhaseRetrans:
 		return "retrans"
+	case PhaseDoorbell:
+		return "doorbell"
+	case PhasePollSpin:
+		return "poll-spin"
 	default:
 		return "none"
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"amoebasim/internal/bypass"
 	"amoebasim/internal/causal"
 	"amoebasim/internal/cluster"
 	"amoebasim/internal/metrics"
@@ -285,6 +286,9 @@ type Config struct {
 	// switch fan-in, uplink model, explicit placement). Nil keeps the
 	// cluster defaults.
 	Topology *cluster.Topology
+	// Dispatch is the kernel-bypass receive dispatch mode (zero: poll).
+	// The other implementations ignore it.
+	Dispatch bypass.Dispatch
 	// Loop is the generation discipline (default OpenLoop).
 	Loop Loop
 	// Clients is the client-population size (default 2·Procs).
@@ -321,6 +325,13 @@ type Config struct {
 	// Topology still come from this config, so one trace replays into
 	// either implementation.
 	Replay *Trace
+	// ReplaySource, when set alongside Replay, streams the events
+	// incrementally instead of reading them from Replay.Events — the
+	// factory (from OpenTraceStream) is called once per run, so one
+	// opened trace drives a whole sweep's runs independently. Replay then
+	// carries only the header. The streamed replay is bit-identical to
+	// the in-memory path.
+	ReplaySource func() (EventSource, error)
 	// Warmup runs the generator without recording, letting FLIP locates
 	// and route caches settle (default Window/4).
 	Warmup time.Duration
@@ -394,6 +405,7 @@ func (cfg Config) Validate() error {
 		DedicatedSequencer: cfg.DedicatedSequencer,
 		SeqShards:          cfg.SeqShards,
 		Groups:             cfg.Groups,
+		Dispatch:           cfg.Dispatch,
 	}
 	if cfg.Topology != nil {
 		ccfg.Topology = *cfg.Topology

@@ -104,25 +104,35 @@ func (t *Trace) Validate() error {
 	}
 	var prev int64
 	for i, e := range t.Events {
-		if e.AtNS < prev {
-			return fmt.Errorf("workload: trace event %d out of order (%dns after %dns)", i, e.AtNS, prev)
+		if err := validateTraceEvent(i, e, prev, clients, len(t.Classes), t.Procs); err != nil {
+			return err
 		}
 		prev = e.AtNS
-		if e.Client < 0 || e.Client >= clients {
-			return fmt.Errorf("workload: trace event %d has client %d of %d", i, e.Client, clients)
-		}
-		if e.Class < 0 || e.Class >= len(t.Classes) {
-			return fmt.Errorf("workload: trace event %d has class %d of %d", i, e.Class, len(t.Classes))
-		}
-		if e.Op < 0 || Op(e.Op) >= numOps {
-			return fmt.Errorf("workload: trace event %d has unknown op %d", i, e.Op)
-		}
-		if e.Size < 0 {
-			return fmt.Errorf("workload: trace event %d has negative size %d", i, e.Size)
-		}
-		if e.Dest >= t.Procs {
-			return fmt.Errorf("workload: trace event %d has destination %d of %d workers", i, e.Dest, t.Procs)
-		}
+	}
+	return nil
+}
+
+// validateTraceEvent checks one event's invariants against the header.
+// Shared between the whole-trace Validate and the streaming reader, so a
+// streamed replay rejects exactly what an in-memory one would.
+func validateTraceEvent(i int, e TraceEvent, prev int64, clients, classes, procs int) error {
+	if e.AtNS < prev {
+		return fmt.Errorf("workload: trace event %d out of order (%dns after %dns)", i, e.AtNS, prev)
+	}
+	if e.Client < 0 || e.Client >= clients {
+		return fmt.Errorf("workload: trace event %d has client %d of %d", i, e.Client, clients)
+	}
+	if e.Class < 0 || e.Class >= classes {
+		return fmt.Errorf("workload: trace event %d has class %d of %d", i, e.Class, classes)
+	}
+	if e.Op < 0 || Op(e.Op) >= numOps {
+		return fmt.Errorf("workload: trace event %d has unknown op %d", i, e.Op)
+	}
+	if e.Size < 0 {
+		return fmt.Errorf("workload: trace event %d has negative size %d", i, e.Size)
+	}
+	if e.Dest >= procs {
+		return fmt.Errorf("workload: trace event %d has destination %d of %d workers", i, e.Dest, procs)
 	}
 	return nil
 }

@@ -1,0 +1,230 @@
+package workload
+
+// Streaming trace replay. LoadTrace materializes every event — O(events)
+// memory, flagged in ROADMAP once traces outgrew the window they were
+// recorded in. OpenTraceStream instead parses only the header eagerly and
+// hands the replay an EventSource that decodes events incrementally from
+// disk, with a bounded lookahead buffer inside startReplay absorbing the
+// skew between recorded (global time) order and per-client consumption
+// order. The streamed replay issues byte-identical scheduler interactions
+// to the in-memory path — asserted by tests — so the two are
+// interchangeable everywhere a *Trace is.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// EventSource yields a trace's events one at a time in recorded order.
+// Next returns ok=false at the end of the stream; the source releases its
+// underlying file on end-of-stream and on the first error.
+type EventSource interface {
+	Next() (TraceEvent, bool, error)
+}
+
+// maxReplayLookahead bounds the events startReplay may hold buffered
+// while it looks ahead for one client's next arrival. Recorded streams
+// interleave clients at the pace they generated, so the buffer stays
+// near the population size; the cap only trips on degenerate traces
+// (one client's whole stream recorded after another's), which the
+// in-memory path still replays.
+const maxReplayLookahead = 1 << 16
+
+// OpenTraceStream parses a TRACE_*.json header without materializing its
+// events and returns the header plus a source factory. Each call to the
+// factory opens an independent pass over the event stream, so one opened
+// trace can drive every mode of a sweep concurrently. The header carries
+// no events (replay pulls them from the source); everything else —
+// population, seed, pool shape, warmup, window — is validated exactly as
+// LoadTrace would.
+func OpenTraceStream(path string) (*Trace, func() (EventSource, error), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr, err := readTraceHeader(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	factory := func() (EventSource, error) {
+		return openEventStream(path, hdr)
+	}
+	return hdr, factory, nil
+}
+
+// readTraceHeader token-decodes the trace object up to (and excluding)
+// the "events" array. WriteTrace always emits "events" last (Go struct
+// field order), so by the time the array starts every header field has
+// been seen.
+func readTraceHeader(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	var hdr Trace
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, fmt.Errorf("workload: parse trace: %w", err)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("workload: parse trace: %w", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, fmt.Errorf("workload: parse trace: key %v is not a string", tok)
+		}
+		if key == "events" {
+			// Header complete; the stream pass re-seeks to this point.
+			if err := hdr.Validate(); err != nil {
+				return nil, err
+			}
+			return &hdr, nil
+		}
+		var dst any
+		switch key {
+		case "trace_version":
+			dst = &hdr.Version
+		case "seed":
+			dst = &hdr.Seed
+		case "procs":
+			dst = &hdr.Procs
+		case "groups":
+			dst = &hdr.Groups
+		case "has_group":
+			dst = &hdr.HasGroup
+		case "warmup_ns":
+			dst = &hdr.WarmupNS
+		case "window_ns":
+			dst = &hdr.WindowNS
+		case "loop":
+			dst = &hdr.Loop
+		case "recorded_mode":
+			dst = &hdr.RecordedMode
+		case "classes":
+			dst = &hdr.Classes
+		default:
+			dst = new(json.RawMessage) // tolerate unknown fields, like Decode
+		}
+		if err := dec.Decode(dst); err != nil {
+			return nil, fmt.Errorf("workload: parse trace %q: %w", key, err)
+		}
+	}
+	// No "events" key at all: an empty recording. Still a valid trace.
+	if err := hdr.Validate(); err != nil {
+		return nil, err
+	}
+	return &hdr, nil
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("got %v, want %v", tok, want)
+	}
+	return nil
+}
+
+// fileEventSource streams one pass over a trace file's events array,
+// validating each event against the header with the same checks
+// Trace.Validate applies, so a streamed replay rejects exactly what an
+// in-memory one would.
+type fileEventSource struct {
+	f       *os.File
+	dec     *json.Decoder
+	hdr     *Trace
+	clients int
+	index   int
+	prevNS  int64
+	done    bool
+}
+
+func openEventStream(path string, hdr *Trace) (EventSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(f)
+	// Skip header tokens until the top-level "events" key, then enter the
+	// array.
+	if err := expectDelim(dec, '{'); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: workload: parse trace: %w", path, err)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: workload: parse trace: %w", path, err)
+		}
+		key, _ := tok.(string)
+		if key == "events" {
+			if err := expectDelim(dec, '['); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s: workload: events is not an array: %w", path, err)
+			}
+			clients := 0
+			for _, c := range hdr.Classes {
+				clients += c.Clients
+			}
+			return &fileEventSource{f: f, dec: dec, hdr: hdr, clients: clients}, nil
+		}
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: workload: parse trace: %w", path, err)
+		}
+	}
+	// No events array: an empty stream.
+	f.Close()
+	return &fileEventSource{done: true}, nil
+}
+
+func (s *fileEventSource) Next() (TraceEvent, bool, error) {
+	if s.done {
+		return TraceEvent{}, false, nil
+	}
+	if !s.dec.More() {
+		s.close()
+		return TraceEvent{}, false, nil
+	}
+	var e TraceEvent
+	if err := s.dec.Decode(&e); err != nil {
+		s.close()
+		return TraceEvent{}, false, fmt.Errorf("workload: parse trace event %d: %w", s.index, err)
+	}
+	if err := validateTraceEvent(s.index, e, s.prevNS, s.clients, len(s.hdr.Classes), s.hdr.Procs); err != nil {
+		s.close()
+		return TraceEvent{}, false, err
+	}
+	s.prevNS = e.AtNS
+	s.index++
+	return e, true, nil
+}
+
+func (s *fileEventSource) close() {
+	s.done = true
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// sliceEventSource adapts an in-memory event slice to the streaming
+// interface, so replay has exactly one scheduling code path.
+type sliceEventSource struct {
+	events []TraceEvent
+	i      int
+}
+
+func (s *sliceEventSource) Next() (TraceEvent, bool, error) {
+	if s.i >= len(s.events) {
+		return TraceEvent{}, false, nil
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, true, nil
+}

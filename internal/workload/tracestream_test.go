@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"amoebasim/internal/panda"
+)
+
+// recordToDisk runs the multi-tenant recording scenario and saves its
+// trace, returning the path and the recording result.
+func recordToDisk(t *testing.T, mode panda.Mode) (string, *Result) {
+	t.Helper()
+	cfg := multiCfg(mode)
+	cfg.Record = true
+	orig, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Trace == nil || len(orig.Trace.Events) == 0 {
+		t.Fatal("recording run produced no trace")
+	}
+	path := t.TempDir() + "/TRACE_stream.json"
+	if err := SaveTrace(path, orig.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return path, orig
+}
+
+// TestOpenTraceStreamMatchesLoadTrace: the streamed header equals the
+// in-memory header (minus the events), and the event source yields the
+// identical event sequence.
+func TestOpenTraceStreamMatchesLoadTrace(t *testing.T) {
+	path, _ := recordToDisk(t, panda.UserSpace)
+	full, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, factory, err := OpenTraceStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hdr.Events) != 0 {
+		t.Fatalf("streamed header materialized %d events", len(hdr.Events))
+	}
+	want := *full
+	want.Events = nil
+	if !reflect.DeepEqual(*hdr, want) {
+		t.Fatalf("streamed header differs:\n%+v\n%+v", *hdr, want)
+	}
+	// Two independent passes both yield the full recorded sequence.
+	for pass := 0; pass < 2; pass++ {
+		src, err := factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []TraceEvent
+		for {
+			e, ok, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		if !reflect.DeepEqual(got, full.Events) {
+			t.Fatalf("pass %d: streamed events differ from LoadTrace's", pass)
+		}
+		// Next after end-of-stream stays a clean end-of-stream.
+		if _, ok, err := src.Next(); ok || err != nil {
+			t.Fatalf("pass %d: Next after EOF = (%v, %v)", pass, ok, err)
+		}
+	}
+}
+
+// TestStreamedReplayBitIdenticalWithInMemory is the satellite's acceptance
+// invariant: replaying a trace through the incremental disk reader is
+// bit-identical to replaying the fully materialized trace — identical
+// re-recorded bytes, identical histograms, identical result.
+func TestStreamedReplayBitIdenticalWithInMemory(t *testing.T) {
+	path, _ := recordToDisk(t, panda.UserSpace)
+
+	full, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Run(Config{Mode: panda.UserSpace, Replay: full, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, factory, err := OpenTraceStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Run(Config{Mode: panda.UserSpace, Replay: hdr, ReplaySource: factory, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical re-recorded traces.
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, mem.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, streamed.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("streamed replay re-recorded different trace bytes than the in-memory replay")
+	}
+
+	// Byte-identical metric histograms.
+	msnap, err := json.Marshal(mem.Registry.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssnap, err := json.Marshal(streamed.Registry.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msnap, ssnap) {
+		t.Fatal("streamed replay produced different metric histograms")
+	}
+
+	// Identical results (the configs differ by construction: one carries
+	// the events, the other carried the source).
+	mc, sc := *mem, *streamed
+	mc.Registry, sc.Registry = nil, nil
+	mc.Trace, sc.Trace = nil, nil
+	mc.Config, sc.Config = Config{}, Config{}
+	if !reflect.DeepEqual(mc, sc) {
+		t.Fatalf("streamed replay result differs:\n%+v\n%+v", mc, sc)
+	}
+}
+
+// TestStreamedReplayAcrossImplementations: the paired experiment holds
+// through the streaming path too — a streamed replay into another
+// implementation sees the identical arrival stream.
+func TestStreamedReplayAcrossImplementations(t *testing.T) {
+	path, kern := recordToDisk(t, panda.KernelSpace)
+	for _, mode := range []panda.Mode{panda.UserSpace, panda.Bypass} {
+		hdr, factory, err := OpenTraceStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(Config{Mode: mode, Replay: hdr, ReplaySource: factory, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameArrivals(kern.Trace, r.Trace); err != nil {
+			t.Fatalf("%v: streamed cross-implementation replay changed arrivals: %v", mode, err)
+		}
+		if r.Issued != kern.Issued {
+			t.Fatalf("%v: streamed replay issued %d ops, recording issued %d", mode, r.Issued, kern.Issued)
+		}
+	}
+}
+
+// TestStreamedReplayRejectsCorruption: the incremental validator applies
+// the same per-event checks as Trace.Validate, surfacing mid-stream
+// corruption as a run error.
+func TestStreamedReplayRejectsCorruption(t *testing.T) {
+	_, orig := recordToDisk(t, panda.UserSpace)
+	corrupt := func(name string, fn func(*Trace), want string) {
+		t.Run(name, func(t *testing.T) {
+			b, _ := json.Marshal(orig.Trace)
+			var c Trace
+			if err := json.Unmarshal(b, &c); err != nil {
+				t.Fatal(err)
+			}
+			fn(&c)
+			p := t.TempDir() + "/TRACE_bad.json"
+			if err := SaveTrace(p, &c); err != nil {
+				t.Fatal(err)
+			}
+			hdr, factory, err := OpenTraceStream(p)
+			if err == nil {
+				_, err = Run(Config{Mode: panda.UserSpace, Replay: hdr, ReplaySource: factory})
+			}
+			if err == nil || !strings.Contains(err.Error(), want) {
+				t.Fatalf("corruption %q not rejected: %v", name, err)
+			}
+		})
+	}
+	last := len(orig.Trace.Events) - 1
+	corrupt("out of order", func(tr *Trace) { tr.Events[last].AtNS = 0 }, "out of order")
+	corrupt("client out of range", func(tr *Trace) { tr.Events[last].Client = 10000 }, "client")
+	corrupt("unknown op", func(tr *Trace) { tr.Events[last].Op = 99 }, "unknown op")
+	corrupt("bad header", func(tr *Trace) { tr.Procs = 0 }, "no workers")
+}
+
+// TestStreamedReplayBoundedLookahead: a degenerate interleaving — one
+// client's entire stream recorded before another's first event — cannot
+// buffer without bound; the replay refuses past the lookahead cap instead
+// of silently materializing the trace.
+func TestStreamedReplayBoundedLookahead(t *testing.T) {
+	n := maxReplayLookahead + 8
+	hdr := &Trace{
+		Version:  TraceVersion,
+		Seed:     1,
+		Procs:    2,
+		Groups:   1,
+		WindowNS: int64(time.Second),
+		Loop:     "open",
+		Classes:  []TraceClass{{Name: "deg", Clients: 2}},
+	}
+	events := make([]TraceEvent, 0, n+1)
+	for i := 0; i < n; i++ {
+		events = append(events, TraceEvent{AtNS: int64(i), Client: 0, Op: int(OpRPC), Size: 64, Dest: 1})
+	}
+	events = append(events, TraceEvent{AtNS: int64(n), Client: 1, Op: int(OpRPC), Size: 64, Dest: 0})
+	factory := func() (EventSource, error) {
+		return &sliceEventSource{events: events}, nil
+	}
+	_, err := Run(Config{Mode: panda.UserSpace, Replay: hdr, ReplaySource: factory})
+	if err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("degenerate interleaving not refused: %v", err)
+	}
+}

@@ -147,6 +147,7 @@ func Run(cfg Config) (*Result, error) {
 		DedicatedSequencer: cfg.DedicatedSequencer,
 		SeqShards:          cfg.SeqShards,
 		Groups:             cfg.Groups,
+		Dispatch:           cfg.Dispatch,
 		Seed:               cfg.Seed,
 		Model:              cfg.Model,
 		// The engine measures protocol steady state over short windows; a
@@ -251,8 +252,22 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var rbuf *replayBuffer
 	if replay != nil {
-		startReplay(c, replay, rec, onIssue, record)
+		var src EventSource
+		if cfg.ReplaySource != nil {
+			src, err = cfg.ReplaySource()
+			if err != nil {
+				return nil, err
+			}
+			// The factory is a func: keep it out of the Result so results
+			// stay comparable (and serializable) field-for-field.
+			cfg.ReplaySource = nil
+		}
+		rbuf, err = startReplay(c, replay, src, rec, onIssue, record)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		gci, offset := 0, 0
 		for ci := range classes {
@@ -281,6 +296,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	c.RunUntil(end)
+	if rbuf != nil && rbuf.err != nil {
+		return nil, rbuf.err
+	}
 
 	res := &Result{
 		Config:    cfg,
@@ -472,33 +490,118 @@ func (p clientParams) startClosed() {
 	})
 }
 
-// startReplay schedules a recorded trace's operation stream verbatim. The
-// per-client chains mirror the generator's scheduler interactions exactly
-// — one initial ScheduleAt per client in global client order, then each
-// firing spawns the operation thread before scheduling that client's next
-// event — so a replay of an open-loop recording is event-for-event
-// identical to the run that recorded it, and two replays of one trace
-// into different implementations see literally identical arrivals.
-func startReplay(c *cluster.Cluster, t *Trace, rec *Trace,
-	onIssue func(ci int, start sim.Time), record func(ci int, op Op, start sim.Time)) {
+// replayBuffer is the bounded lookahead between a trace's global
+// (time-ordered) event stream and the replay's per-client consumption. A
+// client pulling its next event buffers any interleaved events of other
+// clients it reads past; those are exactly the events those clients are
+// about to fire, so the buffer's population tracks the client count, not
+// the trace length. The cap turns a degenerate interleaving (one client's
+// whole stream recorded after another's) into an error instead of an
+// unbounded buffer; such traces still replay through the in-memory path.
+type replayBuffer struct {
+	src      EventSource
+	queues   [][]TraceEvent
+	buffered int
+	eof      bool
+	// err is the first mid-stream failure (decode or validation). It is
+	// sticky: every client's chain stops scheduling once set, and Run
+	// reports it after the simulation drains.
+	err error
+}
+
+// readOne pulls one event from the stream into its client's queue and
+// reports the client it landed on.
+func (b *replayBuffer) readOne() (int, bool, error) {
+	e, ok, err := b.src.Next()
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		b.eof = true
+		return 0, false, nil
+	}
+	if b.buffered >= maxReplayLookahead {
+		return 0, false, fmt.Errorf("workload: replay lookahead exceeded %d buffered events (degenerate client interleaving); replay this trace in-memory", maxReplayLookahead)
+	}
+	b.queues[e.Client] = append(b.queues[e.Client], e)
+	b.buffered++
+	return e.Client, true, nil
+}
+
+// fill pulls until client i has a buffered event or the stream ends.
+func (b *replayBuffer) fill(i int) error {
+	for len(b.queues[i]) == 0 && !b.eof {
+		if _, _, err := b.readOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillAll pulls until every client has a buffered event or the stream
+// ends — the initial per-client schedules must land in global client
+// order, so every client's first event has to be known up front.
+func (b *replayBuffer) fillAll() error {
+	waiting := 0
+	for _, q := range b.queues {
+		if len(q) == 0 {
+			waiting++
+		}
+	}
+	for waiting > 0 && !b.eof {
+		ci, ok, err := b.readOne()
+		if err != nil {
+			return err
+		}
+		if ok && len(b.queues[ci]) == 1 {
+			waiting--
+		}
+	}
+	return nil
+}
+
+func (b *replayBuffer) pop(i int) TraceEvent {
+	e := b.queues[i][0]
+	b.queues[i] = b.queues[i][1:]
+	b.buffered--
+	return e
+}
+
+// startReplay schedules a recorded trace's operation stream verbatim,
+// pulling events through a bounded-lookahead buffer — from the in-memory
+// slice, or incrementally from disk when src is non-nil. The per-client
+// chains mirror the generator's scheduler interactions exactly — one
+// initial ScheduleAt per client in global client order, then each firing
+// spawns the operation thread before scheduling that client's next event
+// — so a replay of an open-loop recording is event-for-event identical to
+// the run that recorded it, two replays of one trace into different
+// implementations see literally identical arrivals, and the streamed and
+// in-memory paths are bit-identical by construction.
+func startReplay(c *cluster.Cluster, t *Trace, src EventSource, rec *Trace,
+	onIssue func(ci int, start sim.Time), record func(ci int, op Op, start sim.Time)) (*replayBuffer, error) {
 	n := 0
 	for _, cl := range t.Classes {
 		n += cl.Clients
 	}
 	placement := c.PlaceClients(n)
-	perClient := make([][]TraceEvent, n)
-	for _, e := range t.Events {
-		perClient[e.Client] = append(perClient[e.Client], e)
+	if src == nil {
+		src = &sliceEventSource{events: t.Events}
+	}
+	buf := &replayBuffer{src: src, queues: make([][]TraceEvent, n)}
+	if err := buf.fillAll(); err != nil {
+		return nil, err
 	}
 	for i := 0; i < n; i++ {
-		evs := perClient[i]
-		if len(evs) == 0 {
+		if len(buf.queues[i]) == 0 {
 			continue
 		}
 		gci, procID := i, placement[i]
-		var fire func(k int)
-		fire = func(k int) {
-			e := evs[k]
+		var fire func()
+		fire = func() {
+			if buf.err != nil {
+				return
+			}
+			e := buf.pop(gci)
 			start := c.Sim.Now()
 			onIssue(e.Class, start)
 			if rec != nil {
@@ -510,13 +613,17 @@ func startReplay(c *cluster.Cluster, t *Trace, rec *Trace,
 					record(e.Class, op, start)
 				}
 			})
-			if k+1 < len(evs) {
-				c.Sim.ScheduleAt(sim.Time(evs[k+1].AtNS), func() { fire(k + 1) })
+			if err := buf.fill(gci); err != nil {
+				buf.err = err
+				return
+			}
+			if q := buf.queues[gci]; len(q) > 0 {
+				c.Sim.ScheduleAt(sim.Time(q[0].AtNS), fire)
 			}
 		}
-		first := evs[0]
-		c.Sim.ScheduleAt(sim.Time(first.AtNS), func() { fire(0) })
+		c.Sim.ScheduleAt(sim.Time(buf.queues[i][0].AtNS), fire)
 	}
+	return buf, nil
 }
 
 // drawDest picks the destination for point-to-point operations: a
@@ -605,7 +712,7 @@ func fairness(per []ClassStats) float64 {
 // Table 3 does.
 func ModeLabel(mode panda.Mode, dedicated bool) string {
 	if dedicated {
-		return "user-space-dedicated"
+		return mode.String() + "-dedicated"
 	}
 	return mode.String()
 }
