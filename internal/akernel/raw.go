@@ -134,6 +134,12 @@ func (r *rawModule) queueWaitPhase(pk *flip.Packet) sim.PhaseID {
 // RawPending reports queued packets not yet picked up by the daemon.
 func (k *Kernel) RawPending() int { return len(k.raw.queue) }
 
+// RawRelease recycles a packet returned by RawReceive/RawReceiveMatch
+// once the user-space protocol has extracted its payload. Skipping it is
+// safe (the packet falls back to the garbage collector) but gives up the
+// free-list recycling.
+func (k *Kernel) RawRelease(pk *flip.Packet) { k.flip.ReleasePacket(pk) }
+
 // onPacket queues an incoming FLIP packet for user space and wakes the
 // receive daemon. The dispatch of the daemon thread out of interrupt
 // context is the cost the paper's user-space analysis centers on.
@@ -141,6 +147,9 @@ func (r *rawModule) onPacket(pk *flip.Packet) {
 	if r.discard != nil && r.discard(pk) {
 		return
 	}
+	// The packet outlives this upcall — it sits in the raw queue or rides
+	// a waiter handoff until a daemon thread picks it up.
+	pk.Retain()
 	for i, w := range r.waiters {
 		if w.match != nil && !w.match(pk) {
 			continue

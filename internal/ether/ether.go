@@ -88,6 +88,7 @@ type NIC struct {
 // Segment is one shared Ethernet cable.
 type Segment struct {
 	id        int
+	sm        *sim.Sim // partition simulator owning this segment
 	busyUntil sim.Time
 	nics      []*NIC
 
@@ -129,6 +130,7 @@ const (
 // earlier traffic for their transmission time, then pay the link latency.
 type uplink struct {
 	group     int
+	sm        *sim.Sim // partition simulator owning this switch group
 	busyUntil sim.Time
 
 	frames int64
@@ -146,8 +148,9 @@ type Network struct {
 	segments []*Segment
 	nics     []*NIC
 	rng      *sim.Rand
-	lossRate float64
-	fault    FaultHook
+	lossRate  float64
+	fault     FaultHook
+	faultEver bool // a hook was installed at some point (sticky)
 
 	// Hierarchical mode (uplinks non-nil): fanIn segments per leaf switch,
 	// one uplink per group, upPerByte ns of uplink serialization per byte.
@@ -191,7 +194,7 @@ func New(s *sim.Sim, m *model.CostModel, segments int, seed uint64) *Network {
 		}
 	}
 	for i := 0; i < segments; i++ {
-		seg := &Segment{id: i}
+		seg := &Segment{id: i, sm: s}
 		if reg := s.Metrics(); reg != nil {
 			l := metrics.L("seg", strconv.Itoa(i))
 			seg.mxFrames = reg.Counter("ether.segment_frames", l)
@@ -223,7 +226,7 @@ func NewWithTopology(s *sim.Sim, m *model.CostModel, topo Topology, seed uint64)
 	n.upPerByte = 8000.0 / mbps // ns per byte at mbps Mbit/s
 	groups := (segs + n.fanIn - 1) / n.fanIn
 	for g := 0; g < groups; g++ {
-		u := &uplink{group: g}
+		u := &uplink{group: g, sm: s}
 		if reg := s.Metrics(); reg != nil {
 			l := metrics.L("uplink", strconv.Itoa(g))
 			u.mxFrames = reg.Counter("ether.uplink_frames", l)
@@ -236,6 +239,51 @@ func NewWithTopology(s *sim.Sim, m *model.CostModel, topo Topology, seed uint64)
 
 // Hierarchical reports whether the network runs the two-level topology.
 func (n *Network) Hierarchical() bool { return n.uplinks != nil }
+
+// Partition assigns each segment (and, hierarchically, each switch
+// group's uplink) to a partition simulator for conservative parallel
+// execution: segment state is then only touched from events running on
+// its own simulator, and the switch's cross-segment forwards become
+// cross-partition ScheduleOn sends. segSim must have one entry per
+// segment; upSim one per switch group (ignored when flat). In a
+// hierarchy every segment of one switch group must map to that group's
+// uplink simulator — the group is the unit of parallelism.
+func (n *Network) Partition(segSim, upSim []*sim.Sim) {
+	if len(segSim) != len(n.segments) {
+		panic(fmt.Sprintf("ether: Partition with %d segment sims for %d segments", len(segSim), len(n.segments)))
+	}
+	for i, seg := range n.segments {
+		seg.sm = segSim[i]
+	}
+	if n.uplinks == nil {
+		return
+	}
+	if len(upSim) != len(n.uplinks) {
+		panic(fmt.Sprintf("ether: Partition with %d uplink sims for %d switch groups", len(upSim), len(n.uplinks)))
+	}
+	for g, u := range n.uplinks {
+		u.sm = upSim[g]
+		for _, seg := range n.groupSegments(g) {
+			if seg.sm != u.sm {
+				panic(fmt.Sprintf("ether: segment %d not on its switch group %d's simulator", seg.id, g))
+			}
+		}
+	}
+}
+
+// PartitionLookahead returns a lower bound on the simulated delay of any
+// cross-partition interaction, computable statically from the topology
+// and cost model: in the flat pool the switch forwards a frame only
+// after its full transmission on the source segment (at least one
+// minimum-size frame time); in a hierarchy every cross-group hop is a
+// ScheduleOn issued at least the uplink latency before it lands. This is
+// the conservative window size for sim.NewGroup.
+func (n *Network) PartitionLookahead() time.Duration {
+	if n.uplinks != nil {
+		return n.upLatency
+	}
+	return n.m.WireTime(0)
+}
 
 // SwitchGroups returns the number of leaf switch groups (1 when flat).
 func (n *Network) SwitchGroups() int {
@@ -252,8 +300,22 @@ func (n *Network) UplinkFrames(g int) int64 { return n.uplinks[g].frames }
 // dropped. Zero (the default) is a reliable wire.
 func (n *Network) SetLossRate(rate float64) { n.lossRate = rate }
 
-// SetFaultHook installs a fault-injection hook (nil removes it).
-func (n *Network) SetFaultHook(h FaultHook) { n.fault = h }
+// SetFaultHook installs a fault-injection hook (nil removes it). Arming
+// a hook at any point permanently marks the network as fault-prone (see
+// FaultEverArmed) — a duplicating hook delivers one frame payload
+// pointer twice, so single-owner payload recycling must stay off for the
+// network's whole lifetime once any hook has existed.
+func (n *Network) SetFaultHook(h FaultHook) {
+	n.fault = h
+	if h != nil {
+		n.faultEver = true
+	}
+}
+
+// FaultEverArmed reports whether a fault hook was ever installed.
+// Payload-pooling layers (internal/flip) consult it to fall back to
+// garbage-collected packets on fault-injected networks.
+func (n *Network) FaultEverArmed() bool { return n.faultEver }
 
 // Dropped reports how many deliveries the loss injector discarded.
 func (n *Network) Dropped() int64 { return n.dropped }
@@ -320,7 +382,10 @@ func (c *NIC) Send(fr Frame) {
 	// Local deliveries.
 	n.deliverOnSegment(c.seg, fr, arrive, c)
 
-	// Switch forwarding.
+	// Switch forwarding. Forwards to another segment land on that
+	// segment's partition simulator (ScheduleOn — a plain ScheduleAt when
+	// unpartitioned); the lookahead bound holds because arrive is at least
+	// one full frame transmission past now.
 	if fr.Dst == Broadcast {
 		if n.uplinks != nil {
 			n.broadcastHier(c.seg, fr, arrive)
@@ -332,7 +397,7 @@ func (c *NIC) Send(fr Frame) {
 			}
 			seg := seg
 			src := c.seg.id
-			n.sim.ScheduleAt(arrive, func() {
+			c.seg.sm.ScheduleOn(seg.sm, arrive, func() {
 				if n.fault != nil && n.fault.ForwardCut(arrive, src, seg.id) {
 					return
 				}
@@ -355,7 +420,7 @@ func (c *NIC) Send(fr Frame) {
 	}
 	seg := dst.seg
 	src := c.seg.id
-	n.sim.ScheduleAt(arrive, func() {
+	c.seg.sm.ScheduleOn(seg.sm, arrive, func() {
 		if n.fault != nil && n.fault.ForwardCut(arrive, src, seg.id) {
 			return
 		}
@@ -392,7 +457,7 @@ func (n *Network) uplinkTransit(u *uplink, at sim.Time, fr Frame) sim.Time {
 	tx := time.Duration(float64(fr.Size+n.m.EthernetHeaderBytes) * n.upPerByte)
 	u.busyUntil = start.Add(tx)
 	out := u.busyUntil.Add(n.upLatency)
-	n.sim.CausalSpan(fr.Op, sim.PhaseWire, at, out)
+	u.sm.CausalSpan(fr.Op, sim.PhaseWire, at, out)
 	u.frames++
 	u.bytes += int64(fr.Size)
 	if u.mxFrames != nil {
@@ -408,7 +473,7 @@ func (n *Network) uplinkTransit(u *uplink, at sim.Time, fr Frame) sim.Time {
 // crosses the backbone, and descends the destination group's uplink before
 // transmitting on the destination segment.
 func (n *Network) unicastHier(src, dst *Segment, fr Frame, arrive sim.Time) {
-	n.sim.ScheduleAt(arrive, func() {
+	src.sm.ScheduleAt(arrive, func() {
 		if n.fault != nil && n.fault.ForwardCut(arrive, src.id, dst.id) {
 			return
 		}
@@ -421,10 +486,13 @@ func (n *Network) unicastHier(src, dst *Segment, fr Frame, arrive sim.Time) {
 			n.deliverOnSegment(dst, fr, a2, nil)
 			return
 		}
-		up := n.uplinkTransit(n.uplinks[sg], n.sim.Now(), fr)
-		n.sim.ScheduleAt(up, func() {
-			down := n.uplinkTransit(n.uplinks[dg], n.sim.Now(), fr)
-			n.sim.ScheduleAt(down, func() {
+		// The climb stays on the source group's simulator; the descent —
+		// touching the destination group's uplink — crosses partitions at
+		// least the uplink latency in the future.
+		up := n.uplinkTransit(n.uplinks[sg], src.sm.Now(), fr)
+		src.sm.ScheduleOn(dst.sm, up, func() {
+			down := n.uplinkTransit(n.uplinks[dg], dst.sm.Now(), fr)
+			dst.sm.ScheduleAt(down, func() {
 				a2 := n.transmitOn(dst, fr)
 				n.deliverOnSegment(dst, fr, a2, nil)
 			})
@@ -443,7 +511,7 @@ func (n *Network) broadcastHier(src *Segment, fr Frame, arrive sim.Time) {
 			continue
 		}
 		seg := seg
-		n.sim.ScheduleAt(arrive, func() {
+		src.sm.ScheduleAt(arrive, func() {
 			if n.fault != nil && n.fault.ForwardCut(arrive, src.id, seg.id) {
 				return
 			}
@@ -457,18 +525,19 @@ func (n *Network) broadcastHier(src *Segment, fr Frame, arrive sim.Time) {
 	if len(n.uplinks) < 2 {
 		return
 	}
-	n.sim.ScheduleAt(arrive, func() {
-		up := n.uplinkTransit(n.uplinks[sg], n.sim.Now(), fr)
+	src.sm.ScheduleAt(arrive, func() {
+		up := n.uplinkTransit(n.uplinks[sg], src.sm.Now(), fr)
 		for g := range n.uplinks {
 			if g == sg {
 				continue
 			}
+			u := n.uplinks[g]
 			g := g
-			n.sim.ScheduleAt(up, func() {
-				down := n.uplinkTransit(n.uplinks[g], n.sim.Now(), fr)
-				n.sim.ScheduleAt(down, func() {
+			src.sm.ScheduleOn(u.sm, up, func() {
+				down := n.uplinkTransit(u, u.sm.Now(), fr)
+				u.sm.ScheduleAt(down, func() {
 					for _, seg := range n.groupSegments(g) {
-						if n.fault != nil && n.fault.ForwardCut(n.sim.Now(), src.id, seg.id) {
+						if n.fault != nil && n.fault.ForwardCut(u.sm.Now(), src.id, seg.id) {
 							continue
 						}
 						if n.mx != nil {
@@ -486,7 +555,7 @@ func (n *Network) broadcastHier(src *Segment, fr Frame, arrive sim.Time) {
 // transmitOn reserves the segment for the frame's wire time starting no
 // earlier than now, returning the arrival instant.
 func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
-	start := n.sim.Now()
+	start := seg.sm.Now()
 	queued := seg.busyUntil > start
 	if queued {
 		start = seg.busyUntil
@@ -495,7 +564,7 @@ func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
 	seg.busyUntil = start.Add(tx)
 	// Wire time covers waiting out earlier frames plus serialization, per
 	// hop; the stitcher unions overlapping hops of one operation.
-	n.sim.CausalSpan(fr.Op, sim.PhaseWire, n.sim.Now(), seg.busyUntil)
+	seg.sm.CausalSpan(fr.Op, sim.PhaseWire, seg.sm.Now(), seg.busyUntil)
 	seg.frames++
 	seg.bytes += int64(fr.Size)
 	if seg.mxFrames != nil {
@@ -509,6 +578,23 @@ func (n *Network) transmitOn(seg *Segment, fr Frame) sim.Time {
 }
 
 func (n *Network) deliverOnSegment(seg *Segment, fr Frame, at sim.Time, exclude *NIC) {
+	// Fault-free broadcast coalesces the whole segment into one scheduler
+	// event walking the NICs in attachment order — the order the per-NIC
+	// events would have fired in anyway (they were scheduled back to back,
+	// and a receive upcall only schedules further work, so nothing can
+	// interleave between them). One event per frame per segment instead
+	// of one per NIC is the difference between O(frames x stations) and
+	// O(frames) scheduler work on a loaded cable.
+	if fr.Dst == Broadcast && n.fault == nil {
+		seg.sm.ScheduleAt(at, func() {
+			for _, nic := range seg.nics {
+				if nic != exclude {
+					n.deliverTo(nic, fr)
+				}
+			}
+		})
+		return
+	}
 	for _, nic := range seg.nics {
 		if nic == exclude {
 			continue
@@ -524,13 +610,13 @@ func (n *Network) deliverOnSegment(seg *Segment, fr Frame, at sim.Time, exclude 
 				continue
 			}
 			if fate.Dup {
-				n.sim.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
+				seg.sm.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
 			}
 			if fate.Delay > 0 {
 				at = at.Add(fate.Delay)
 			}
 		}
-		n.sim.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
+		seg.sm.ScheduleAt(at, func() { n.deliverTo(nic, fr) })
 	}
 }
 

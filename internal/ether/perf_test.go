@@ -1,0 +1,55 @@
+package ether
+
+import (
+	"testing"
+
+	"amoebasim/internal/model"
+	"amoebasim/internal/sim"
+)
+
+// benchSegment builds one segment with n silent receivers.
+func benchSegment(tb testing.TB, nics int) (*sim.Sim, *Network) {
+	tb.Helper()
+	s := sim.New()
+	n := New(s, model.Calibrated(), 1, 1)
+	for i := 0; i < nics; i++ {
+		if _, err := n.AddNIC(0, func(fr Frame) {}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s, n
+}
+
+// broadcastDeliveryBudget bounds the allocations of one broadcast
+// delivered to a 32-station segment. Batched delivery walks every NIC
+// from a single event, so the cost is a handful of closures independent
+// of the station count — not one scheduled event per NIC.
+const broadcastDeliveryBudget = 8
+
+// TestBroadcastBatchDeliveryBudget: delivering a broadcast frame to 32
+// stations stays within the per-frame budget (pre-batching it cost one
+// event allocation per station).
+func TestBroadcastBatchDeliveryBudget(t *testing.T) {
+	s, n := benchSegment(t, 32)
+	send := func() {
+		n.NIC(0).Send(Frame{Dst: Broadcast, Size: 128})
+		s.Run()
+	}
+	send() // warm the event queue
+	if avg := testing.AllocsPerRun(200, send); avg > broadcastDeliveryBudget {
+		t.Fatalf("broadcast to 32 stations allocates %.2f objects/frame, budget is %d",
+			avg, broadcastDeliveryBudget)
+	}
+}
+
+// BenchmarkSegmentBatchDelivery measures one broadcast frame delivered
+// to a 32-station segment end to end.
+func BenchmarkSegmentBatchDelivery(b *testing.B) {
+	s, n := benchSegment(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.NIC(0).Send(Frame{Dst: Broadcast, Size: 128})
+		s.Run()
+	}
+}

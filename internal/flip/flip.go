@@ -66,6 +66,23 @@ type Packet struct {
 	Op uint64
 
 	srcNIC int
+
+	// Pool bookkeeping. Only unicast data packets are pooled: a multicast
+	// packet is delivered by reference to every station on the broadcast
+	// medium, so its lifetime has no single owner and it is left to the
+	// garbage collector (Retain/ReleasePacket are no-ops on it).
+	poolable bool
+	refs     int32
+}
+
+// Retain adds a reference to a pooled packet, for receivers that queue
+// the packet past the dispatch upcall (the raw-receive queue). Each
+// Retain must be balanced by one Stack.ReleasePacket. No-op on unpooled
+// packets.
+func (pk *Packet) Retain() {
+	if pk.poolable {
+		pk.refs++
+	}
 }
 
 // Message is a FLIP-level send request.
@@ -117,6 +134,7 @@ type Stack struct {
 	m    *model.CostModel
 	p    *proc.Processor
 	nic  *ether.NIC
+	net  *ether.Network
 	name string
 
 	local    map[Address]bool
@@ -128,10 +146,23 @@ type Stack struct {
 
 	msgSeq uint64
 
+	// pool is the free list for unicast data packets; a packet released
+	// on this stack (the consuming side) is recycled by this stack's next
+	// sends, so under partitioned execution each free list stays
+	// partition-local. noPool disables pooling when a fault hook may
+	// duplicate deliveries (two deliveries of one pointer would
+	// double-release).
+	pool   []*Packet
+	noPool bool
+
 	// Stats
 	SentPackets int64
 	RecvPackets int64
 	SentBytes   int64
+	// DroppedPending counts messages evicted from the bounded
+	// pending-locate queue (each counts as a FLIP timeout: the message is
+	// silently gone, exactly as if its locate had failed).
+	DroppedPending int64
 
 	mx *stackMetrics // nil when metrics are disabled
 }
@@ -146,6 +177,7 @@ type stackMetrics struct {
 	locates     *metrics.Counter
 	locateFails *metrics.Counter
 	routeDrops  *metrics.Counter // route-cache invalidations
+	queueDrops  *metrics.Counter // bounded pending-locate queue evictions
 }
 
 // NewStack creates the FLIP instance for processor p, attaching a NIC on
@@ -155,6 +187,7 @@ func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error
 		sim:      p.Sim(),
 		m:        p.Model(),
 		p:        p,
+		net:      net,
 		name:     p.Name(),
 		local:    make(map[Address]bool),
 		groups:   make(map[Address]bool),
@@ -179,9 +212,48 @@ func NewStack(p *proc.Processor, net *ether.Network, segment int) (*Stack, error
 			locates:     reg.Counter("flip.locates_sent", l),
 			locateFails: reg.Counter("flip.locate_failures", l),
 			routeDrops:  reg.Counter("flip.route_invalidations", l),
+			queueDrops:  reg.Counter("flip.locate_queue_drops", l),
 		}
 	}
 	return st, nil
+}
+
+// DisablePacketPool turns off packet pooling for this stack. Required
+// when a fault hook may duplicate frame deliveries: duplication hands
+// the same packet pointer to the receive path twice, and the second
+// release of a recycled packet would corrupt the free list. Without
+// pooling, packets are ordinary garbage-collected values and duplicate
+// deliveries are safe.
+func (st *Stack) DisablePacketPool() { st.noPool = true }
+
+// allocPacket takes a zeroed packet from the free list, or mints one.
+func (st *Stack) allocPacket() *Packet {
+	if n := len(st.pool); n > 0 {
+		pk := st.pool[n-1]
+		st.pool[n-1] = nil
+		st.pool = st.pool[:n-1]
+		return pk
+	}
+	return &Packet{}
+}
+
+// ReleasePacket drops one reference to a pooled packet, recycling it
+// into this stack's free list when the last reference goes. The final
+// consumer of a packet calls it: the dispatch upcall after the handler
+// returns, or — when the handler queued the packet with Retain — the
+// thread that eventually dequeues it. No-op on unpooled packets, so
+// broadcast deliveries (many receivers, one pointer) and fault-injected
+// runs stay safe.
+func (st *Stack) ReleasePacket(pk *Packet) {
+	if pk == nil || !pk.poolable {
+		return
+	}
+	pk.refs--
+	if pk.refs > 0 {
+		return
+	}
+	*pk = Packet{}
+	st.pool = append(st.pool, pk)
 }
 
 // NICID returns the station address of the stack's NIC.
@@ -257,6 +329,14 @@ func (st *Stack) NextMsgID() uint64 {
 // per-packet FLIP send cost and the user-to-kernel copy to the calling
 // thread. Each fragment leaves after its processing time has elapsed.
 func (st *Stack) SendFromThread(t *proc.Thread, msg Message) {
+	if st.m.FragmentsFor(msg.Size) == 1 {
+		pk := st.fragmentOne(msg)
+		t.ChargeP(msg.sendPhase(), st.m.FLIPSend)
+		t.CopyBytes(pk.Length)
+		t.Flush()
+		st.transmit(pk, msg)
+		return
+	}
 	frags := st.fragment(msg)
 	for _, fr := range frags {
 		t.ChargeP(msg.sendPhase(), st.m.FLIPSend)
@@ -269,12 +349,59 @@ func (st *Stack) SendFromThread(t *proc.Thread, msg Message) {
 // SendFromInterrupt transmits a message from interrupt/kernel context,
 // charging the send costs at interrupt level on the owning processor.
 func (st *Stack) SendFromInterrupt(msg Message) {
+	if st.m.FragmentsFor(msg.Size) == 1 {
+		pk := st.fragmentOne(msg)
+		cost := st.m.FLIPSend + st.m.Copy(pk.Length)
+		st.p.InterruptTagged(cost, msg.Op, msg.sendPhase(), func() { st.transmit(pk, msg) })
+		return
+	}
 	frags := st.fragment(msg)
 	for _, fr := range frags {
 		fr := fr
 		cost := st.m.FLIPSend + st.m.Copy(fr.Length)
 		st.p.InterruptTagged(cost, msg.Op, msg.sendPhase(), func() { st.transmit(fr, msg) })
 	}
+}
+
+// newPacket builds fragment i of n, drawing unicast data packets from
+// the stack's free list (a multicast packet is shared by reference with
+// every receiver, so it cannot have a pooled single-owner lifecycle).
+func (st *Stack) newPacket(msg Message, i, n, off, length int) *Packet {
+	var pk *Packet
+	if !msg.Multicast && !st.noPool && !st.net.FaultEverArmed() {
+		pk = st.allocPacket()
+		pk.poolable = true
+		pk.refs = 1
+	} else {
+		pk = &Packet{}
+	}
+	pk.Kind = kindData
+	pk.Src = msg.Src
+	pk.Dst = msg.Dst
+	pk.Proto = msg.Proto
+	pk.MsgID = msg.MsgID
+	pk.Frag = i
+	pk.NFrags = n
+	pk.Offset = off
+	pk.Length = length
+	pk.Total = msg.Size
+	pk.Payload = msg.Payload
+	pk.Op = msg.Op
+	pk.srcNIC = st.nic.ID()
+	if i == 0 {
+		pk.Hdr = msg.Hdr
+	}
+	return pk
+}
+
+// fragmentOne builds the single packet of a message that fits one frame,
+// skipping the general path's fragment-slice allocation — the hot case
+// for RPC requests and acks.
+func (st *Stack) fragmentOne(msg Message) *Packet {
+	if st.mx != nil {
+		st.mx.messages.Inc()
+	}
+	return st.newPacket(msg, 0, 1, 0, msg.Size)
 }
 
 // fragment splits a message into packets of at most one Ethernet frame.
@@ -294,25 +421,7 @@ func (st *Stack) fragment(msg Message) []*Packet {
 		if length > cap0 {
 			length = cap0
 		}
-		pk := &Packet{
-			Kind:    kindData,
-			Src:     msg.Src,
-			Dst:     msg.Dst,
-			Proto:   msg.Proto,
-			MsgID:   msg.MsgID,
-			Frag:    i,
-			NFrags:  n,
-			Offset:  off,
-			Length:  length,
-			Total:   msg.Size,
-			Payload: msg.Payload,
-			Op:      msg.Op,
-			srcNIC:  st.nic.ID(),
-		}
-		if i == 0 {
-			pk.Hdr = msg.Hdr
-		}
-		frags = append(frags, pk)
+		frags = append(frags, st.newPacket(msg, i, n, off, length))
 		off += length
 	}
 	return frags
@@ -353,9 +462,22 @@ func (st *Stack) transmit(pk *Packet, msg Message) {
 	st.enqueueForLocate(msg.Dst, msg, pk)
 }
 
+// MaxPendingLocate caps the messages queued per address while a locate is
+// outstanding. A locate resolves (or fails) within a handful of backoff
+// rounds, during which a correct upper protocol has at most a few
+// messages in flight per destination; an unbounded queue only grows when
+// something above FLIP retransmits faster than the locate round-trips,
+// and then every queued copy would flush onto the wire at once.
+const MaxPendingLocate = 16
+
 // enqueueForLocate holds a whole message until the destination address is
-// located; the fragments are regenerated on flush.
-func (st *Stack) enqueueForLocate(a Address, msg Message, _ *Packet) {
+// located; the fragments are regenerated on flush, so the already-built
+// packet is recycled here. When the per-address queue is full the oldest
+// message is evicted deterministically — FLIP is unreliable, so a dropped
+// message is indistinguishable from a lost one and costs the upper
+// protocol a retransmission, exactly like a locate timeout.
+func (st *Stack) enqueueForLocate(a Address, msg Message, pk *Packet) {
+	st.ReleasePacket(pk)
 	// Only queue the message once (first fragment triggers it).
 	q := st.pending[a]
 	for _, m := range q {
@@ -372,6 +494,16 @@ func (st *Stack) enqueueForLocate(a Address, msg Message, _ *Packet) {
 			}
 			return
 		}
+	}
+	if len(q) >= MaxPendingLocate {
+		st.DroppedPending++
+		if st.mx != nil {
+			st.mx.queueDrops.Inc()
+		}
+		st.sim.Trace(st.name, "flip.queue_drop", "addr=%x msgid=%d", uint64(a), q[0].MsgID)
+		copy(q, q[1:])
+		q[len(q)-1] = Message{}
+		q = q[:len(q)-1]
 	}
 	st.pending[a] = append(q, msg)
 	if st.locating[a] == nil {
@@ -459,7 +591,10 @@ func (st *Stack) dispatch(pk *Packet) {
 	if pk.Dst != 0 {
 		wantLocal := st.local[pk.Dst] || st.groups[pk.Dst]
 		if !wantLocal {
-			return // not for us (hardware broadcast filter)
+			// Not for us (hardware broadcast filter, or a stale unicast
+			// route): this stack is the packet's last consumer.
+			st.ReleasePacket(pk)
+			return
 		}
 	}
 	st.RecvPackets++
@@ -469,6 +604,9 @@ func (st *Stack) dispatch(pk *Packet) {
 	if h := st.handlers[pk.Proto]; h != nil {
 		h(pk)
 	}
+	// The upcall has returned; unless the handler retained the packet to
+	// queue it past the upcall, recycle it into this stack's free list.
+	st.ReleasePacket(pk)
 }
 
 // Reassembler rebuilds messages from FLIP fragments. Both the kernel
@@ -483,6 +621,7 @@ type Reassembler struct {
 	limit    int
 	seq      uint64 // creation order, for deterministic eviction ties
 	partial  map[reasmKey]*reasmState
+	free     []*reasmState    // recycled states (bitset storage kept)
 	timeouts *metrics.Counter // stale partial-message evictions
 }
 
@@ -502,11 +641,51 @@ type reasmKey struct {
 }
 
 type reasmState struct {
-	have     map[int]bool
+	have     []uint64 // fragment-arrival bitset
 	count    int
 	total    int
 	deadline sim.Time
 	seq      uint64 // creation order (eviction tie-break)
+}
+
+// mark records fragment i, reporting whether it is new (not a duplicate).
+func (stt *reasmState) mark(i int) bool {
+	w, b := i>>6, uint(i&63)
+	if stt.have[w]&(1<<b) != 0 {
+		return false
+	}
+	stt.have[w] |= 1 << b
+	return true
+}
+
+// allocState takes a recycled partial-message state from the free list
+// (reusing its bitset storage) or mints one sized for total fragments.
+func (r *Reassembler) allocState(total int) *reasmState {
+	words := (total + 63) / 64
+	var stt *reasmState
+	if n := len(r.free); n > 0 {
+		stt = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		if cap(stt.have) >= words {
+			stt.have = stt.have[:words]
+			for i := range stt.have {
+				stt.have[i] = 0
+			}
+		} else {
+			stt.have = make([]uint64, words)
+		}
+		stt.count = 0
+	} else {
+		stt = &reasmState{have: make([]uint64, words)}
+	}
+	stt.total = total
+	return stt
+}
+
+// freeState recycles a state removed from the partial map.
+func (r *Reassembler) freeState(stt *reasmState) {
+	r.free = append(r.free, stt)
 }
 
 // NewReassembler creates a reassembler with the given staleness timeout
@@ -539,6 +718,7 @@ func (r *Reassembler) Add(pk *Packet) bool {
 	now := r.sim.Now()
 	if stt != nil && now > stt.deadline {
 		delete(r.partial, key)
+		r.freeState(stt)
 		stt = nil
 		r.timeouts.Inc()
 	}
@@ -547,17 +727,18 @@ func (r *Reassembler) Add(pk *Packet) bool {
 			r.reclaim(now)
 		}
 		r.seq++
-		stt = &reasmState{have: make(map[int]bool, pk.NFrags), total: pk.NFrags, seq: r.seq}
+		stt = r.allocState(pk.NFrags)
+		stt.seq = r.seq
 		r.partial[key] = stt
 	}
 	stt.deadline = now.Add(r.timeout)
-	if stt.have[pk.Frag] {
+	if !stt.mark(pk.Frag) {
 		return false
 	}
-	stt.have[pk.Frag] = true
 	stt.count++
 	if stt.count == stt.total {
 		delete(r.partial, key)
+		r.freeState(stt)
 		return true
 	}
 	return false
@@ -573,6 +754,7 @@ func (r *Reassembler) reclaim(now sim.Time) {
 	for key, stt := range r.partial {
 		if now > stt.deadline {
 			delete(r.partial, key)
+			r.freeState(stt)
 			r.timeouts.Inc()
 		}
 	}
@@ -589,6 +771,7 @@ func (r *Reassembler) reclaim(now sim.Time) {
 	}
 	if vs != nil {
 		delete(r.partial, victim)
+		r.freeState(vs)
 		r.timeouts.Inc()
 	}
 }

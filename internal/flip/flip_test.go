@@ -18,7 +18,7 @@ type rig struct {
 	stacks []*Stack
 }
 
-func newRig(t *testing.T, n int) *rig {
+func newRig(t testing.TB, n int) *rig {
 	t.Helper()
 	s := sim.New()
 	m := model.Calibrated()
@@ -46,7 +46,10 @@ func TestUnicastWithLocate(t *testing.T) {
 	const addr Address = 100
 	r.stacks[1].Register(addr)
 	var got []*Packet
-	r.stacks[1].Handle(ProtoSystem, func(pk *Packet) { got = append(got, pk) })
+	// A handler keeping the packet past the upcall retains it (see
+	// Packet.Retain); without the retain, dispatch recycles the packet
+	// the moment the handler returns.
+	r.stacks[1].Handle(ProtoSystem, func(pk *Packet) { pk.Retain(); got = append(got, pk) })
 
 	r.stacks[0].SendFromInterrupt(Message{
 		Src: 1, Dst: addr, Proto: ProtoSystem,
@@ -120,7 +123,7 @@ func TestLargeMessageFragmentsOnWire(t *testing.T) {
 	const addr Address = 7
 	r.stacks[1].Register(addr)
 	var pkts []*Packet
-	r.stacks[1].Handle(ProtoRPC, func(pk *Packet) { pkts = append(pkts, pk) })
+	r.stacks[1].Handle(ProtoRPC, func(pk *Packet) { pk.Retain(); pkts = append(pkts, pk) })
 	r.stacks[0].SendFromInterrupt(Message{
 		Src: 1, Dst: addr, Proto: ProtoRPC,
 		MsgID: 1, Hdr: 56, Size: 4096, Payload: "big",

@@ -323,8 +323,12 @@ func (u *User) daemonLoop(t *proc.Thread) {
 	for {
 		pk := u.k.RawReceiveMatch(t, filter)
 		t.Call(pandaDepth)
-		if u.reasm.Add(pk) {
-			if w, ok := pk.Payload.(*uwire); ok {
+		done := u.reasm.Add(pk)
+		w, isW := pk.Payload.(*uwire)
+		// The wire struct is extracted; recycle the packet shell.
+		u.k.RawRelease(pk)
+		if done {
+			if isW {
 				if u.iface != nil {
 					// Ablation: relay the upcall through the
 					// interface-layer daemon (one extra thread switch

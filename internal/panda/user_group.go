@@ -433,10 +433,12 @@ func (g *userGroup) sequencerLoop(t *proc.Thread) {
 	for {
 		pk := u.k.RawReceiveMatch(t, match)
 		t.Call(pandaDepth)
-		if g.seqReasm.Add(pk) {
-			if w, ok := pk.Payload.(*uwire); ok {
-				g.seqHandle(t, w)
-			}
+		done := g.seqReasm.Add(pk)
+		w, isW := pk.Payload.(*uwire)
+		// The wire struct is extracted; recycle the packet shell.
+		u.k.RawRelease(pk)
+		if done && isW {
+			g.seqHandle(t, w)
 		}
 		t.Return(pandaDepth)
 		// Drop the per-packet operation before blocking for the next one.
